@@ -1,0 +1,32 @@
+//! # dift-attack — software attack detection and PC-taint bug location
+//!
+//! Reproduces §3.3: most vulnerabilities are input-validation errors, so
+//! DIFT detects attacks by flagging tainted data used as a store/load
+//! address or an indirect control target. The paper's twist: propagate
+//! **PC values** instead of booleans, so the alert's label names the most
+//! recent instruction that wrote the tainted value — usually the buggy
+//! statement itself (the missing validation / overflowing copy).
+//!
+//! * [`cases`] — a suite of seeded vulnerabilities, each a small program
+//!   with a benign input (runs clean, no alert) and an attack input that
+//!   exercises the vulnerability: stack-less function-pointer overflow,
+//!   unchecked boundary index, format-string-style write primitive, and a
+//!   heap overflow into an adjacent object.
+//! * [`report`] — runs each case under [`TaintEngine<PcTaint>`] and
+//!   scores detection plus whether the PC label lands on the known
+//!   root-cause statement (the E6 table).
+
+pub mod cases;
+pub mod report;
+
+pub use cases::{all_cases, VulnCase};
+pub use report::{evaluate_case, evaluate_suite, AttackReport};
+
+use dift_taint::TaintEngine;
+#[allow(unused_imports)]
+use dift_taint::PcTaint; // re-export anchor for docs
+#[allow(unused_imports)]
+pub use dift_taint::AlertKind;
+
+/// Convenience alias for the engine variant this crate uses.
+pub type PcTaintEngine = TaintEngine<dift_taint::PcTaint>;

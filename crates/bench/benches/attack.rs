@@ -1,0 +1,24 @@
+//! E6 machinery: PC-taint attack detection over the vulnerability suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_attack::{all_cases, evaluate_case};
+
+fn bench_attack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack-detection");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for case in all_cases() {
+        g.bench_function(case.name, |b| {
+            b.iter(|| {
+                let r = evaluate_case(&case);
+                assert!(r.detected());
+                r.attack_alerts
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E8/E9 machinery: predicate switching and value replacement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_faultloc::{faulty_cases, locate_omission_error, value_replacement_rank, VrConfig};
+use dift_vm::MachineConfig;
+
+fn bench_faultloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault-location");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for case in faulty_cases() {
+        g.bench_function(format!("value-replacement/{}", case.name), |b| {
+            b.iter(|| {
+                value_replacement_rank(
+                    &case.program,
+                    &MachineConfig::small(),
+                    &case.input,
+                    &case.expected_output,
+                    VrConfig::default(),
+                )
+                .runs
+            })
+        });
+    }
+    // Predicate switching on the omission pattern.
+    use dift_isa::{BranchCond, ProgramBuilder, Reg};
+    use std::sync::Arc;
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 100);
+    b.li(Reg(2), 5);
+    b.store(Reg(2), Reg(1), 0);
+    b.li(Reg(3), 0);
+    b.branch(BranchCond::Eq, Reg(3), Reg(0), "skip");
+    b.li(Reg(4), 42);
+    b.store(Reg(4), Reg(1), 0);
+    b.label("skip");
+    b.load(Reg(5), Reg(1), 0);
+    b.output(Reg(5), 0);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    g.bench_function("predicate-switching/omission", |bch| {
+        bch.iter(|| {
+            locate_omission_error(&p, &MachineConfig::small(), &|_| {}, 0, 16).verifications
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_faultloc);
+criterion_main!(benches);

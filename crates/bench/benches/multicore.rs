@@ -1,0 +1,35 @@
+//! E3 machinery: inline vs helper-thread DIFT (both channel models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_multicore::{run_helper_dift, run_inline_dift, ChannelModel};
+use dift_taint::{BitTaint, TaintPolicy};
+use dift_workloads::spec::{mcf_like, Size};
+
+fn bench_multicore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multicore-dift");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let w = mcf_like(Size::Tiny);
+    g.bench_function("inline", |b| {
+        b.iter(|| run_inline_dift::<BitTaint>(w.machine(), TaintPolicy::propagate_only()).result.steps)
+    });
+    g.bench_function("helper-sw", |b| {
+        b.iter(|| {
+            run_helper_dift::<BitTaint>(w.machine(), ChannelModel::software(), TaintPolicy::propagate_only())
+                .stats
+                .messages
+        })
+    });
+    g.bench_function("helper-hw", |b| {
+        b.iter(|| {
+            run_helper_dift::<BitTaint>(w.machine(), ChannelModel::hardware(), TaintPolicy::propagate_only())
+                .stats
+                .messages
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multicore);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E1/E2 machinery: ONTRAC tracing vs the offline pipeline on the
+//! compress kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_dbi::Engine;
+use dift_ddg::{OfflinePipeline, OnTrac, OnTracConfig};
+use dift_workloads::spec::{compress_like, Size};
+
+fn bench_ontrac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ontrac");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let w = compress_like(Size::Tiny);
+    g.bench_function("optimized", |b| {
+        b.iter(|| {
+            let m = w.machine();
+            let mem = m.config().mem_words;
+            let mut tracer = OnTrac::new(&w.program, mem, OnTracConfig::optimized(1 << 20));
+            let mut e = Engine::new(m);
+            e.run_tool(&mut tracer);
+            tracer.stats().deps_recorded
+        })
+    });
+    g.bench_function("unoptimized", |b| {
+        b.iter(|| {
+            let m = w.machine();
+            let mem = m.config().mem_words;
+            let mut tracer = OnTrac::new(&w.program, mem, OnTracConfig::unoptimized(1 << 20));
+            let mut e = Engine::new(m);
+            e.run_tool(&mut tracer);
+            tracer.stats().deps_recorded
+        })
+    });
+    g.bench_function("offline-pipeline", |b| {
+        b.iter(|| {
+            let (stats, _, _, _) = OfflinePipeline::run(w.machine());
+            stats.deps
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ontrac);
+criterion_main!(benches);

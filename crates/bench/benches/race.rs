@@ -1,0 +1,29 @@
+//! E10 machinery: race detection in both modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_dbi::Engine;
+use dift_race::{Mode, RaceDetector};
+use dift_workloads::parallel::all_parallel;
+
+fn bench_race(c: &mut Criterion) {
+    let mut g = c.benchmark_group("race-detection");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for w in all_parallel() {
+        for (mode, tag) in [(Mode::Naive, "naive"), (Mode::SyncAware, "aware")] {
+            g.bench_function(format!("{}/{tag}", w.name), |b| {
+                b.iter(|| {
+                    let mut det = RaceDetector::new(mode);
+                    let mut e = Engine::new(w.machine());
+                    e.run_tool(&mut det);
+                    det.races().len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_race);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 machinery: logging, deterministic replay, execution reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_ddg::OnTracConfig;
+use dift_replay::{record, reduce, replay_full, replay_reduced_with_tracing, RunSpec};
+use dift_workloads::server::{server, ServerConfig};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let cfg = ServerConfig { with_bug: true, requests_per_worker: 30, ..Default::default() };
+    let w = server(cfg);
+    let spec = RunSpec { program: w.program.clone(), config: w.config(), inputs: w.inputs.clone() };
+    g.bench_function("record(log+checkpoints)", |b| {
+        b.iter(|| record(&spec, 400).result.steps)
+    });
+    let rec = record(&spec, 400);
+    g.bench_function("replay-full", |b| b.iter(|| replay_full(&spec, &rec.log).1.steps));
+    let fstep = rec.fault.expect("bug fires").3;
+    let plan = reduce(&rec.log, fstep);
+    g.bench_function("replay-reduced-traced", |b| {
+        b.iter(|| {
+            replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 22))
+                .stats
+                .deps_recorded
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! roBDD micro-benchmarks: the set operations lineage tracing leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_robdd::BddManager;
+
+fn bench_robdd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("robdd");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("singleton-insert-1k", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(16);
+            let mut s = m.empty();
+            for v in 0..1000u64 {
+                s = m.insert(s, v * 7 % 4096);
+            }
+            m.count(s)
+        })
+    });
+    g.bench_function("range-4k", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(16);
+            let r = m.range(100, 4100);
+            m.count(r)
+        })
+    });
+    g.bench_function("union-overlapping", |b| {
+        let mut m = BddManager::new(16);
+        let a = m.range(0, 2047);
+        let s = m.range(1024, 3071);
+        b.iter(|| m.union(a, s))
+    });
+    g.bench_function("count-large", |b| {
+        let mut m = BddManager::new(20);
+        let r = m.range(5000, 900_000);
+        b.iter(|| m.count(r))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_robdd);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 machinery: TM monitoring under both conflict policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_dbi::Engine;
+use dift_tm::{ConflictPolicy, TmMonitor};
+use dift_workloads::parallel::all_parallel;
+
+fn bench_tm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tm-monitoring");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for w in all_parallel() {
+        for (policy, tag) in
+            [(ConflictPolicy::Naive, "naive"), (ConflictPolicy::SyncAware, "aware")]
+        {
+            g.bench_function(format!("{}/{tag}", w.name), |b| {
+                b.iter(|| {
+                    let mut tm = TmMonitor::with_window(policy, 4);
+                    let mut e = Engine::new(w.machine());
+                    e.run_tool(&mut tm);
+                    tm.stats().commits
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tm);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Native VM interpretation throughput on the SPEC-like suite — the
+//! denominator of every slowdown factor in the experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dift_workloads::spec::{all_spec, Size};
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm-native");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for w in all_spec(Size::Tiny) {
+        g.bench_function(&w.name, |b| {
+            b.iter(|| {
+                let mut m = w.machine();
+                let r = m.run();
+                assert!(r.status.is_clean());
+                r.steps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

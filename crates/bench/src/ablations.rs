@@ -1,0 +1,313 @@
+//! Ablation studies called out in DESIGN.md.
+
+use crate::{pct, Scale, Table};
+use dift_dbi::Engine;
+use dift_ddg::{OnTrac, OnTracConfig};
+use dift_lineage::{BddBackend, LineageEngine, NaiveBackend};
+use dift_multicore::{run_helper_dift, ChannelModel};
+use dift_taint::{BitTaint, TaintPolicy};
+use dift_tm::{ConflictPolicy, TmMonitor};
+use dift_workloads::science;
+use dift_workloads::spec::{compress_like, mcf_like};
+use dift_workloads::Workload;
+
+fn ontrac_density(w: &Workload, cfg: OnTracConfig) -> f64 {
+    let m = w.machine();
+    let mem = m.config().mem_words;
+    let mut tracer = OnTrac::new(&w.program, mem, cfg);
+    let mut engine = Engine::new(m);
+    engine.run_tool(&mut tracer);
+    tracer.stats().bytes_per_instr()
+}
+
+/// E2a — each ONTRAC optimization toggled alone.
+pub fn e2a_optimization_ablation(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E2a",
+        "ONTRAC optimization ablation (stored bytes/instr, compress kernel)",
+        "each optimization contributes; together they reach the ~1 B/instr regime",
+        &["configuration", "B/instr"],
+    );
+    let w = compress_like(scale.spec_size());
+    let base = OnTracConfig::unoptimized(1 << 24);
+    t.row(vec!["none".into(), format!("{:.2}", ontrac_density(&w, base.clone()))]);
+    let mut only_block = base.clone();
+    only_block.opt_block_static = true;
+    t.row(vec!["block-static only".into(), format!("{:.2}", ontrac_density(&w, only_block))]);
+    let mut only_trace = base.clone();
+    only_trace.opt_trace_static = true;
+    t.row(vec!["trace-static only".into(), format!("{:.2}", ontrac_density(&w, only_trace))]);
+    let mut only_red = base.clone();
+    only_red.opt_redundant_load = true;
+    t.row(vec!["redundant-load only".into(), format!("{:.2}", ontrac_density(&w, only_red))]);
+    let mut fsi = base.clone();
+    fsi.forward_slice_input = true;
+    t.row(vec!["forward-slice filter only".into(), format!("{:.2}", ontrac_density(&w, fsi))]);
+    t.row(vec![
+        "all".into(),
+        format!("{:.2}", ontrac_density(&w, OnTracConfig::optimized(1 << 24))),
+    ]);
+    t
+}
+
+/// E2b — selective tracing: trace only the function the programmer
+/// suspects. The sound variant (shadow state maintained everywhere)
+/// records a fraction of the dependences at a fraction of the overhead
+/// while preserving chains through untraced code; the naive variant
+/// (simply uninstrumenting other functions) silently loses them.
+pub fn e2b_selective(scale: Scale) -> Table {
+    use dift_workloads::spec::modular_like;
+    let mut t = Table::new(
+        "E2b",
+        "selective tracing of `compute` in the modular pipeline",
+        "tracing only the suspect function is sound iff chains through untraced code are summarized",
+        &["configuration", "deps recorded", "slowdown", "cross-boundary deps kept"],
+    );
+    let w = modular_like(scale.spec_size());
+    let native = w.machine().run().cycles as f64;
+    let compute = w.program.func_by_name("compute").unwrap();
+
+    let run = |cfg: OnTracConfig| {
+        let m = w.machine();
+        let mem = m.config().mem_words;
+        let mut tracer = OnTrac::new(&w.program, mem, cfg);
+        let mut engine = Engine::new(m);
+        let r = engine.run_tool(&mut tracer);
+        let graph = tracer.graph(&w.program);
+        // Cross-boundary register deps: user inside `compute`, def outside.
+        let range = &w.program.funcs()[compute as usize];
+        let cross = graph
+            .deps()
+            .iter()
+            .filter(|d| {
+                graph.meta(d.user).map(|m| range.contains(m.addr)).unwrap_or(false)
+                    && graph.meta(d.def).map(|m| !range.contains(m.addr)).unwrap_or(false)
+            })
+            .count();
+        (tracer.stats().deps_recorded, r.cycles as f64 / native, cross)
+    };
+
+    let full = run(OnTracConfig::unoptimized(1 << 24));
+    let mut sel = OnTracConfig::unoptimized(1 << 24);
+    sel.selective_funcs = Some([compute].into_iter().collect());
+    let sound = run(sel.clone());
+    let mut naive = sel;
+    naive.naive_selective = true;
+    let naive_r = run(naive);
+
+    for (name, (deps, slow, cross)) in [
+        ("full tracing", full),
+        ("selective (sound)", sound),
+        ("selective (naive)", naive_r),
+    ] {
+        t.row(vec![
+            name.into(),
+            deps.to_string(),
+            crate::fx(slow),
+            cross.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E3a — channel-parameter sweep: where does offloading stop paying?
+pub fn e3a_channel_sweep(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E3a",
+        "helper-channel sweep (mcf kernel): enqueue cost and queue depth",
+        "overhead grows with producer-side cost; shallow queues add stalls",
+        &["enqueue cycles", "queue depth", "overhead", "stall cycles"],
+    );
+    let w = mcf_like(scale.spec_size());
+    let native = w.machine().run().cycles as f64;
+    for (enq, depth) in [(1u64, 1024usize), (1, 16), (3, 1024), (3, 16), (6, 1024), (6, 4)] {
+        let model = ChannelModel { enqueue_cycles: enq, helper_per_msg: 4, queue_depth: depth };
+        let run = run_helper_dift::<BitTaint>(w.machine(), model, TaintPolicy::propagate_only());
+        t.row(vec![
+            enq.to_string(),
+            depth.to_string(),
+            pct(run.stats.completion_cycles as f64 / native - 1.0),
+            run.stats.stall_cycles.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E5a — livelock pressure vs number of waiting threads: every spinner
+/// whose read collides with the publisher's uncommitted flag write is one
+/// more abort duel under the naive policy.
+pub fn e5a_spin_length(_scale: Scale) -> Table {
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+    use std::sync::Arc;
+    let mut t = Table::new(
+        "E5a",
+        "naive-TM livelock episodes vs waiting threads (flag sync)",
+        "livelock pressure grows with the number of spinning waiters",
+        &["spinners", "naive livelocks", "aware livelocks", "aware yields"],
+    );
+    for spinners in [1u64, 2, 4, 6] {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "worker", Reg(1));
+        // Spawn extra spinner threads.
+        b.li(Reg(10), (spinners - 1) as i64);
+        b.li(Reg(11), 0);
+        b.label("sp");
+        b.branch(BranchCond::Geu, Reg(11), Reg(10), "wait");
+        b.spawn(Reg(12), "spinner", Reg(1));
+        b.addi(Reg(11), Reg(11), 1);
+        b.jump("sp");
+        // Main is itself a spinner.
+        b.label("wait");
+        b.li(Reg(2), 900);
+        b.label("spin");
+        b.load(Reg(3), Reg(2), 0);
+        b.branch(BranchCond::Ne, Reg(3), Reg(0), "go");
+        b.jump("spin");
+        b.label("go");
+        b.join(Reg(5));
+        b.halt();
+        b.func("spinner");
+        b.li(Reg(2), 900);
+        b.label("sspin");
+        b.load(Reg(3), Reg(2), 0);
+        b.branch(BranchCond::Ne, Reg(3), Reg(0), "sdone");
+        b.jump("sspin");
+        b.label("sdone");
+        b.halt();
+        b.func("worker");
+        b.li(Reg(1), 900);
+        b.li(Reg(2), 0);
+        for i in 1..=8 {
+            b.bini(BinOp::Add, Reg(2), Reg(2), i);
+        }
+        b.li(Reg(4), 1);
+        b.store(Reg(4), Reg(1), 0); // publish
+        for i in 1..=12 {
+            b.bini(BinOp::Add, Reg(2), Reg(2), i); // uncommitted tail
+        }
+        b.halt();
+        let w = Workload::new(format!("flag.s{spinners}"), Arc::new(b.build().unwrap()))
+            .with_quantum(3);
+        let run = |policy| {
+            let mut tm = TmMonitor::new(policy);
+            let mut e = Engine::new(w.machine());
+            e.run_tool(&mut tm);
+            tm.stats()
+        };
+        let naive = run(ConflictPolicy::Naive);
+        let aware = run(ConflictPolicy::SyncAware);
+        t.row(vec![
+            spinners.to_string(),
+            naive.livelocks.to_string(),
+            aware.livelocks.to_string(),
+            aware.yields.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E7a — where does the roBDD start winning? Sweep the prefix-sum depth:
+/// resident lineage sets are `{0..=k}` per cell, so the naive footprint
+/// grows quadratically while roBDD ranges grow near-linearly.
+pub fn e7a_overlap_sweep(scale: Scale) -> Table {
+    let sizes: &[u64] = match scale {
+        Scale::Test => &[8, 24, 64, 128],
+        Scale::Paper => &[16, 64, 256, 512],
+    };
+    let mut t = Table::new(
+        "E7a",
+        "lineage memory vs resident overlap (prefix-sum depth sweep)",
+        "roBDD's advantage grows with set size and overlap",
+        &["prefix n", "bdd peak B", "naive peak B", "naive/bdd"],
+    );
+    for &n in sizes {
+        let run_bdd = {
+            let p = science::prefix_sum(n);
+            let mut eng = LineageEngine::new(BddBackend::new(20));
+            let mut dbi = Engine::new(p.workload.machine());
+            dbi.run_tool(&mut eng);
+            eng.stats().peak_shadow_bytes
+        };
+        let run_naive = {
+            let p = science::prefix_sum(n);
+            let mut eng = LineageEngine::new(NaiveBackend::new());
+            let mut dbi = Engine::new(p.workload.machine());
+            dbi.run_tool(&mut eng);
+            eng.stats().peak_shadow_bytes
+        };
+        t.row(vec![
+            n.to_string(),
+            run_bdd.to_string(),
+            run_naive.to_string(),
+            format!("{:.2}", run_naive as f64 / run_bdd.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2a_all_is_best() {
+        let t = e2a_optimization_ablation(Scale::Test);
+        let none: f64 = t.row_named("none").unwrap()[1].parse().unwrap();
+        let all: f64 = t.row_named("all").unwrap()[1].parse().unwrap();
+        assert!(all < none, "{all} vs {none}");
+        // Each single optimization is between the two extremes.
+        for name in ["block-static only", "trace-static only", "redundant-load only"] {
+            let v: f64 = t.row_named(name).unwrap()[1].parse().unwrap();
+            assert!(v <= none + 1e-9, "{name}: {v} vs none {none}");
+            assert!(v >= all - 1e-9, "{name}: {v} vs all {all}");
+        }
+    }
+
+    #[test]
+    fn e2b_sound_selective_keeps_cross_boundary_deps() {
+        let t = e2b_selective(Scale::Test);
+        let full: u64 = t.row_named("full tracing").unwrap()[1].parse().unwrap();
+        let sound: u64 = t.row_named("selective (sound)").unwrap()[1].parse().unwrap();
+        let sound_cross: u64 = t.row_named("selective (sound)").unwrap()[3].parse().unwrap();
+        let naive_cross: u64 = t.row_named("selective (naive)").unwrap()[3].parse().unwrap();
+        assert!(sound < full / 2, "selective must record far fewer deps: {sound} vs {full}");
+        assert!(sound_cross > 0, "sound selective keeps cross-boundary chains");
+        assert!(naive_cross < sound_cross, "naive loses chains: {naive_cross} vs {sound_cross}");
+    }
+
+    #[test]
+    fn e3a_deeper_queue_never_hurts() {
+        let t = e3a_channel_sweep(Scale::Test);
+        // Same enqueue cost: deeper queue => no more stalls.
+        let stall = |enq: &str, depth: &str| -> u64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == enq && r[1] == depth)
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        assert!(stall("1", "1024") <= stall("1", "16"));
+        assert!(stall("3", "1024") <= stall("3", "16"));
+    }
+
+    #[test]
+    fn e5a_more_spinners_more_episodes() {
+        let t = e5a_spin_length(Scale::Test);
+        let first: u64 = t.rows[0][1].parse().unwrap();
+        let last: u64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > first, "more waiters must duel more: {first} -> {last}");
+        // Sync-aware column is all zeros.
+        assert!(t.rows.iter().all(|r| r[2] == "0"));
+    }
+
+    #[test]
+    fn e7a_ratio_grows_with_overlap() {
+        let t = e7a_overlap_sweep(Scale::Test);
+        let first: f64 = t.rows[0][3].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last > first, "bdd advantage must grow: {first} -> {last}");
+    }
+}

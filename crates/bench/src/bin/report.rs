@@ -1,0 +1,76 @@
+//! `report` — regenerate the experiment tables.
+//!
+//! ```text
+//! report              # all experiments at paper scale
+//! report e1 e4        # selected experiments
+//! report ablations    # E2a/E3a/E5a/E7a
+//! report --test       # CI scale
+//! report --json       # machine-readable output
+//! ```
+
+use dift_bench::{
+    e10_races, e1_slowdown, e2_trace_density, e2a_optimization_ablation, e3_multicore,
+    e3a_channel_sweep, e4_execution_reduction, e5_tm, e5a_spin_length, e6_attacks, e7_lineage,
+    e7a_overlap_sweep, e8_omission, e9_value_replacement, Scale, Table,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+
+    type Gen = (&'static str, fn(Scale) -> Table);
+    let main_exps: &[Gen] = &[
+        ("e1", e1_slowdown),
+        ("e2", e2_trace_density),
+        ("e3", e3_multicore),
+        ("e4", e4_execution_reduction),
+        ("e5", e5_tm),
+        ("e6", e6_attacks),
+        ("e7", e7_lineage),
+        ("e8", e8_omission),
+        ("e9", e9_value_replacement),
+        ("e10", e10_races),
+    ];
+    let ablations: &[Gen] = &[
+        ("mix", dift_bench::mix_table),
+        ("e1b", dift_bench::e1b_compaction),
+        ("e2a", e2a_optimization_ablation),
+        ("e2b", dift_bench::e2b_selective),
+        ("e3a", e3a_channel_sweep),
+        ("e5a", e5a_spin_length),
+        ("e7a", e7a_overlap_sweep),
+    ];
+
+    let wanted = |id: &str| -> bool {
+        if selected.is_empty() || selected.contains(&"all") {
+            return true;
+        }
+        (selected.contains(&"ablations") && id.ends_with('a')) || selected.contains(&id)
+    };
+
+    let mut ran = 0;
+    for (id, gen) in main_exps.iter().chain(ablations) {
+        if !wanted(id) {
+            continue;
+        }
+        let t = gen(scale);
+        if json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{t}");
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown selection {selected:?}; available: e1..e10, e2a, e3a, e5a, e7a, ablations, all"
+        );
+        std::process::exit(2);
+    }
+}

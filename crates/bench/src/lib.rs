@@ -1,0 +1,51 @@
+//! # dift-bench — the experiment harness
+//!
+//! One function per experiment (E1–E10 from `DESIGN.md`), each returning
+//! a [`Table`] that the `report` binary prints and `EXPERIMENTS.md`
+//! records. The same functions back the Criterion benches and the
+//! scaled-down shape tests, so CI catches regressions in *who wins and by
+//! roughly how much* — the paper's reproducible content.
+//!
+//! Scale: every experiment takes a [`Scale`]; `Scale::Test` keeps CI
+//! fast, `Scale::Paper` is what `report` uses.
+
+pub mod ablations;
+pub mod apps_exps;
+pub mod table;
+pub mod tracing_exps;
+
+pub use ablations::{
+    e2a_optimization_ablation, e2b_selective, e3a_channel_sweep, e5a_spin_length,
+    e7a_overlap_sweep,
+};
+pub use apps_exps::{e10_races, e5_tm, e6_attacks, e7_lineage, e8_omission, e9_value_replacement};
+pub use table::Table;
+pub use tracing_exps::{e1_slowdown, e1b_compaction, e2_trace_density, e3_multicore, e4_execution_reduction, mix_table};
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly: small workloads.
+    Test,
+    /// The scale the committed EXPERIMENTS.md numbers use.
+    Paper,
+}
+
+impl Scale {
+    pub fn spec_size(self) -> dift_workloads::spec::Size {
+        match self {
+            Scale::Test => dift_workloads::spec::Size::Tiny,
+            Scale::Paper => dift_workloads::spec::Size::Small,
+        }
+    }
+}
+
+/// Format a factor like `19.3x`.
+pub(crate) fn fx(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Format a percentage like `48%`.
+pub(crate) fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}

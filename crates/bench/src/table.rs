@@ -1,0 +1,96 @@
+//! Experiment-result tables.
+
+use serde::Serialize;
+
+/// A printable/serializable experiment table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// One-line comparison with the paper's claim.
+    pub paper_claim: String,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, paper_claim: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            paper_claim: paper_claim.to_string(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Cell at (row, col) parsed as the leading float (for shape tests).
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        let s = &self.rows[row][col];
+        let numeric: String = s
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        numeric.parse().unwrap_or(f64::NAN)
+    }
+
+    /// Find a row by its first cell.
+    pub fn row_named(&self, name: &str) -> Option<&Vec<String>> {
+        self.rows.iter().find(|r| r[0] == name)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        writeln!(f, "   paper: {}", self.paper_claim)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            write!(f, "   ")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &sep)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let mut t = Table::new("E0", "demo", "n/a", &["name", "factor"]);
+        t.row(vec!["a".into(), "19.3x".into()]);
+        t.row(vec!["b".into(), "540.0x".into()]);
+        let s = t.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("19.3x"));
+        assert!((t.cell_f64(0, 1) - 19.3).abs() < 1e-9);
+        assert_eq!(t.row_named("b").unwrap()[1], "540.0x");
+        assert!(t.to_json().contains("\"id\": \"E0\""));
+    }
+}

@@ -1,0 +1,42 @@
+//! Facade crate for the scalable-DIFT system (IPDPS 2008 reproduction).
+//!
+//! Re-exports every subsystem under a stable, memorable path:
+//!
+//! * [`isa`] — the instruction set, program builder and CFG analysis.
+//! * [`vm`] — the deterministic interpreting VM (threads, memory, cycles).
+//! * [`dbi`] — the Pin-style dynamic binary instrumentation framework.
+//! * [`ddg`] — dynamic dependence graphs and the ONTRAC online tracer.
+//! * [`slicing`] — dynamic slicing (backward/forward/relevant/implicit).
+//! * [`taint`] — DIFT engines (bit taint, PC taint, generic lattices).
+//! * [`robdd`] — reduced ordered binary decision diagrams.
+//! * [`lineage`] — lineage-set DIFT for scientific data validation.
+//! * [`replay`] — checkpointing/logging, replay, execution reduction.
+//! * [`multicore`] — helper-thread DIFT with SW/HW channel models.
+//! * [`tm`] — transactional-memory monitoring with sync-aware conflicts.
+//! * [`race`] — data-race detection via extended slicing.
+//! * [`attack`] — software attack detection and PC-taint bug location.
+//! * [`faultloc`] — fault location (slicing, predicate switching, value replacement).
+//! * [`workloads`] — the synthetic benchmark programs.
+
+pub use dift_attack as attack;
+pub use dift_dbi as dbi;
+pub use dift_ddg as ddg;
+pub use dift_faultloc as faultloc;
+pub use dift_isa as isa;
+pub use dift_lineage as lineage;
+pub use dift_multicore as multicore;
+pub use dift_race as race;
+pub use dift_replay as replay;
+pub use dift_robdd as robdd;
+pub use dift_slicing as slicing;
+pub use dift_taint as taint;
+pub use dift_tm as tm;
+pub use dift_vm as vm;
+pub use dift_workloads as workloads;
+
+/// Convenience prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use dift_dbi::{Engine, Tool};
+    pub use dift_isa::{Instruction, Opcode, Program, ProgramBuilder, Reg};
+    pub use dift_vm::{ExitStatus, Machine, MachineConfig, RunResult};
+}

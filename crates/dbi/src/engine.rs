@@ -1,0 +1,280 @@
+//! The instrumentation engine: drives the VM and dispatches tool
+//! callbacks.
+
+use crate::tool::Tool;
+use dift_isa::{Addr, Cfg, FuncId};
+use dift_vm::{ExitStatus, Machine, RunResult, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+/// Which instructions receive instrumentation callbacks.
+#[derive(Clone, Debug, Default)]
+pub enum InstrumentationScope {
+    /// Everything (default).
+    #[default]
+    All,
+    /// Only instructions inside the named functions. Used by ONTRAC's
+    /// selective tracing; note that *engine* events stop at the boundary,
+    /// and it is the tracer's job to summarize dependences through
+    /// unselected code (`dift-ddg`).
+    Funcs(HashSet<FuncId>),
+}
+
+impl InstrumentationScope {
+    /// Build a function scope from names, resolving against `program`.
+    pub fn funcs(program: &dift_isa::Program, names: &[&str]) -> InstrumentationScope {
+        let set = names.iter().filter_map(|n| program.func_by_name(n)).collect();
+        InstrumentationScope::Funcs(set)
+    }
+}
+
+/// Drives a machine to completion while dispatching to tools.
+///
+/// Basic blocks are discovered statically (per function) when the engine
+/// is constructed — the moral equivalent of the DBI front-end decoding
+/// code as it is first reached; the `is_new` flag on block entries
+/// reproduces the first-touch distinction.
+pub struct Engine {
+    machine: Machine,
+    scope: InstrumentationScope,
+    /// Leaders (block entry addresses) across the whole program.
+    leaders: HashSet<Addr>,
+    /// Blocks already entered at least once.
+    seen_blocks: HashSet<Addr>,
+    /// Per-thread flag: the next instrumented instruction begins a block.
+    block_pending: HashMap<ThreadId, bool>,
+    /// Total instrumented (callback-dispatched) instructions.
+    pub instrumented_steps: u64,
+}
+
+impl Engine {
+    pub fn new(machine: Machine) -> Engine {
+        let mut leaders = HashSet::new();
+        let program = machine.program().clone();
+        for cfg in Cfg::build_all(&program) {
+            for b in &cfg.blocks {
+                leaders.insert(b.start);
+            }
+        }
+        Engine {
+            machine,
+            scope: InstrumentationScope::All,
+            leaders,
+            seen_blocks: HashSet::new(),
+            block_pending: HashMap::new(),
+            instrumented_steps: 0,
+        }
+    }
+
+    pub fn with_scope(mut self, scope: InstrumentationScope) -> Engine {
+        self.scope = scope;
+        self
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Consume the engine, returning the machine (for post-run
+    /// inspection when the engine is no longer needed).
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
+    fn in_scope(&self, addr: Addr) -> bool {
+        match &self.scope {
+            InstrumentationScope::All => true,
+            InstrumentationScope::Funcs(set) => self
+                .machine
+                .program()
+                .func_at(addr)
+                .map(|f| set.contains(&f))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Execute one instruction with callbacks; returns machine status.
+    pub fn step(&mut self, tools: &mut [&mut dyn Tool]) -> ExitStatus {
+        let pending = match self.machine.pending() {
+            Some(p) => p,
+            None => return self.machine.status(),
+        };
+        let instrumented = self.in_scope(pending.addr);
+        if instrumented {
+            // Block-entry dispatch: the pending address is a leader, or
+            // the thread was flagged after a control transfer. The flag is
+            // consumed either way so it cannot leak into the block body.
+            let flagged = self.block_pending.remove(&pending.tid).unwrap_or(false);
+            if self.leaders.contains(&pending.addr) || flagged {
+                let is_new = self.seen_blocks.insert(pending.addr);
+                for t in tools.iter_mut() {
+                    t.on_block(&mut self.machine, pending.tid, pending.addr, is_new);
+                }
+            }
+            for t in tools.iter_mut() {
+                t.before(&mut self.machine, &pending);
+            }
+        }
+        let status = self.machine.step();
+        if instrumented {
+            self.instrumented_steps += 1;
+            let fx = self.machine.last_step().clone();
+            if fx.control.is_some() {
+                self.block_pending.insert(fx.tid, true);
+            }
+            for t in tools.iter_mut() {
+                t.after(&mut self.machine, &fx);
+            }
+        }
+        status
+    }
+
+    /// Run to completion with callbacks; returns the run summary.
+    pub fn run(&mut self, tools: &mut [&mut dyn Tool]) -> RunResult {
+        for t in tools.iter_mut() {
+            t.on_start(&mut self.machine);
+        }
+        while self.step(tools) == ExitStatus::Running {}
+        // Final summary comes from the machine.
+        let result = RunResult {
+            status: self.machine.status(),
+            steps: self.machine.steps(),
+            cycles: self.machine.cycles(),
+            threads: self.machine.threads().len(),
+            sched_decisions: self.machine.sched_trace().len(),
+        };
+        for t in tools.iter_mut() {
+            t.on_finish(&mut self.machine, &result);
+        }
+        result
+    }
+
+    /// Convenience: run a single tool.
+    pub fn run_tool(&mut self, tool: &mut dyn Tool) -> RunResult {
+        let mut tools: [&mut dyn Tool; 1] = [tool];
+        self.run(&mut tools)
+    }
+
+    /// Number of statically discovered basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.leaders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::{CountingTool, NullTool};
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+    use dift_vm::MachineConfig;
+    use std::sync::Arc;
+
+    fn looping_program() -> Arc<dift_isa::Program> {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 5);
+        b.label("loop");
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+        b.call("leaf");
+        b.halt();
+        b.func("leaf");
+        b.li(Reg(2), 1);
+        b.ret();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn callbacks_fire_for_every_instruction() {
+        let m = Machine::new(looping_program(), MachineConfig::small());
+        let mut e = Engine::new(m);
+        let mut tool = CountingTool::default();
+        let r = e.run_tool(&mut tool);
+        assert!(tool.started && tool.finished);
+        assert_eq!(tool.before_calls, r.steps);
+        assert_eq!(tool.after_calls, r.steps);
+        assert_eq!(e.instrumented_steps, r.steps);
+    }
+
+    #[test]
+    fn block_entries_count_loop_iterations() {
+        let m = Machine::new(looping_program(), MachineConfig::small());
+        let mut e = Engine::new(m);
+        let mut tool = CountingTool::default();
+        e.run_tool(&mut tool);
+        // Blocks: [li], [sub,bne] x5, [call], [halt], [leaf li,ret].
+        assert_eq!(tool.new_blocks as usize, 5);
+        assert_eq!(tool.block_entries, 1 + 5 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn scope_restricts_callbacks_to_selected_functions() {
+        let p = looping_program();
+        let m = Machine::new(p.clone(), MachineConfig::small());
+        let scope = InstrumentationScope::funcs(&p, &["leaf"]);
+        let mut e = Engine::new(m).with_scope(scope);
+        let mut tool = CountingTool::default();
+        let r = e.run_tool(&mut tool);
+        assert_eq!(tool.before_calls, 2, "only leaf's two instructions");
+        assert!(r.steps > tool.before_calls);
+    }
+
+    #[test]
+    fn multiple_tools_all_receive_events() {
+        let m = Machine::new(looping_program(), MachineConfig::small());
+        let mut e = Engine::new(m);
+        let mut t1 = CountingTool::default();
+        let mut t2 = CountingTool::default();
+        {
+            let mut tools: [&mut dyn Tool; 2] = [&mut t1, &mut t2];
+            e.run(&mut tools);
+        }
+        assert_eq!(t1.before_calls, t2.before_calls);
+        assert!(t1.before_calls > 0);
+    }
+
+    #[test]
+    fn null_tool_adds_no_cycles() {
+        let p = looping_program();
+        let mut bare = Machine::new(p.clone(), MachineConfig::small());
+        let bare_r = bare.run();
+
+        let m = Machine::new(p, MachineConfig::small());
+        let mut e = Engine::new(m);
+        let mut tool = NullTool;
+        let r = e.run_tool(&mut tool);
+        assert_eq!(r.cycles, bare_r.cycles, "engine dispatch itself is free in the cost model");
+        assert_eq!(r.steps, bare_r.steps);
+    }
+
+    #[test]
+    fn block_count_matches_static_discovery() {
+        let m = Machine::new(looping_program(), MachineConfig::small());
+        let e = Engine::new(m);
+        assert_eq!(e.block_count(), 5);
+    }
+
+    #[test]
+    fn tool_can_mutate_machine_state() {
+        // A before-hook that forces r1 = 0 right before the branch,
+        // making the loop exit on the first iteration.
+        struct Forcer;
+        impl Tool for Forcer {
+            fn before(&mut self, m: &mut Machine, p: &dift_vm::Pending) {
+                if p.insn.is_branch() {
+                    m.set_reg(p.tid, Reg(1), 0);
+                }
+            }
+        }
+        let m = Machine::new(looping_program(), MachineConfig::small());
+        let mut e = Engine::new(m);
+        let mut forcer = Forcer;
+        let r = e.run_tool(&mut forcer);
+        // Unforced: 1 + 5*2 + 1(call) + 2(leaf) + 1(halt) = 15 steps.
+        // Forced: single loop iteration = 1 + 2 + 1 + 2 + 1 = 7.
+        assert_eq!(r.steps, 7);
+    }
+}

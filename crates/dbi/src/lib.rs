@@ -1,0 +1,34 @@
+//! # dift-dbi — a Pin-style dynamic binary instrumentation framework
+//!
+//! The paper's systems (ONTRAC, the taint trackers, the lineage tracer)
+//! are Pin/Valgrind tools. This crate reproduces the tool-writing model
+//! over the `dift-vm` substrate:
+//!
+//! * [`Tool`] — the callback interface: instruction-level `before`/`after`
+//!   hooks, basic-block entry hooks, and lifecycle hooks. `before` hooks
+//!   may *mutate* the machine (registers, memory, PC) — that power is what
+//!   predicate switching and fault avoidance are built on.
+//! * [`Engine`] — drives a [`Machine`](dift_vm::Machine) while dispatching
+//!   to any number of tools, discovering basic-block boundaries on the
+//!   fly exactly as a JIT-based DBI discovers code.
+//! * [`trace::TraceBuilder`] — hot-trace formation (NET-style: when a
+//!   block becomes hot, the following block sequence is recorded as a
+//!   trace), which ONTRAC uses to extend static dependence inference
+//!   across block boundaries.
+//! * Function filtering — tools can restrict instrumentation to selected
+//!   functions, the mechanism behind ONTRAC's "trace only where the
+//!   programmer expects the bug" optimization.
+//!
+//! Instrumentation *cost* is explicit: a tool charges cycles to the
+//! machine via [`dift_vm::Machine::charge`], and every slowdown factor in
+//! the experiment suite is a ratio of charged to uncharged cycle counts.
+
+pub mod engine;
+pub mod profile;
+pub mod tool;
+pub mod trace;
+
+pub use engine::{Engine, InstrumentationScope};
+pub use profile::{InsnClass, ProfileTool};
+pub use tool::{CountingTool, NullTool, Tool};
+pub use trace::{HotTrace, TraceBuilder};

@@ -1,0 +1,185 @@
+//! A profiling tool — the "hello world" of DBI frameworks, and the
+//! source of the workload-characterization table in the experiment
+//! report (instruction mixes are what make tracing overheads differ
+//! across benchmarks).
+
+use crate::tool::Tool;
+use dift_isa::{Addr, Opcode};
+use dift_vm::{Machine, RunResult, StepEffects, ThreadId};
+use std::collections::HashMap;
+
+/// Coarse instruction classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InsnClass {
+    Alu,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    CallRet,
+    Io,
+    Atomic,
+    Thread,
+    Other,
+}
+
+impl InsnClass {
+    pub fn of(op: &Opcode) -> InsnClass {
+        match op {
+            Opcode::Li { .. } | Opcode::Mov { .. } | Opcode::Bin { .. } | Opcode::BinImm { .. } => {
+                InsnClass::Alu
+            }
+            Opcode::Load { .. } => InsnClass::Load,
+            Opcode::Store { .. } => InsnClass::Store,
+            Opcode::Branch { .. } => InsnClass::Branch,
+            Opcode::Jump { .. } | Opcode::JumpInd { .. } => InsnClass::Jump,
+            Opcode::Call { .. } | Opcode::CallInd { .. } | Opcode::Ret => InsnClass::CallRet,
+            Opcode::In { .. } | Opcode::Out { .. } => InsnClass::Io,
+            Opcode::Atomic { .. } | Opcode::Cas { .. } | Opcode::Fence => InsnClass::Atomic,
+            Opcode::Spawn { .. } | Opcode::Join { .. } | Opcode::Yield => InsnClass::Thread,
+            _ => InsnClass::Other,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            InsnClass::Alu => "alu",
+            InsnClass::Load => "load",
+            InsnClass::Store => "store",
+            InsnClass::Branch => "branch",
+            InsnClass::Jump => "jump",
+            InsnClass::CallRet => "call/ret",
+            InsnClass::Io => "io",
+            InsnClass::Atomic => "atomic",
+            InsnClass::Thread => "thread",
+            InsnClass::Other => "other",
+        }
+    }
+}
+
+/// Execution profile: instruction mix, block statistics, branch bias.
+#[derive(Default, Debug)]
+pub struct ProfileTool {
+    pub class_counts: HashMap<InsnClass, u64>,
+    pub block_entries: u64,
+    pub distinct_blocks: u64,
+    pub taken_branches: u64,
+    pub total_branches: u64,
+    pub instrs: u64,
+    /// Per-block execution counts (hotness histogram).
+    pub block_hits: HashMap<Addr, u64>,
+}
+
+impl ProfileTool {
+    pub fn new() -> ProfileTool {
+        ProfileTool::default()
+    }
+
+    /// Fraction of dynamic instructions in `class`.
+    pub fn fraction(&self, class: InsnClass) -> f64 {
+        if self.instrs == 0 {
+            0.0
+        } else {
+            *self.class_counts.get(&class).unwrap_or(&0) as f64 / self.instrs as f64
+        }
+    }
+
+    /// Mean dynamic basic-block length.
+    pub fn mean_block_len(&self) -> f64 {
+        if self.block_entries == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.block_entries as f64
+        }
+    }
+
+    /// Dynamic coverage concentration: fraction of block entries landing
+    /// on the hottest 10% of blocks (how "loopy" the workload is).
+    pub fn hot10_concentration(&self) -> f64 {
+        if self.block_hits.is_empty() {
+            return 0.0;
+        }
+        let mut hits: Vec<u64> = self.block_hits.values().copied().collect();
+        hits.sort_unstable_by(|a, b| b.cmp(a));
+        let top = hits.len().div_ceil(10);
+        let hot: u64 = hits[..top].iter().sum();
+        hot as f64 / self.block_entries.max(1) as f64
+    }
+}
+
+impl Tool for ProfileTool {
+    fn on_block(&mut self, _m: &mut Machine, _tid: ThreadId, entry: Addr, is_new: bool) {
+        self.block_entries += 1;
+        if is_new {
+            self.distinct_blocks += 1;
+        }
+        *self.block_hits.entry(entry).or_insert(0) += 1;
+    }
+
+    fn after(&mut self, _m: &mut Machine, fx: &StepEffects) {
+        self.instrs += 1;
+        *self.class_counts.entry(InsnClass::of(&fx.insn.op)).or_insert(0) += 1;
+        if fx.insn.is_branch() {
+            self.total_branches += 1;
+            if fx.branch_taken() {
+                self.taken_branches += 1;
+            }
+        }
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+    use dift_vm::MachineConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn profile_counts_classes_and_blocks() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 4);
+        b.label("loop");
+        b.li(Reg(2), 100);
+        b.store(Reg(1), Reg(2), 0);
+        b.load(Reg(3), Reg(2), 0);
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let m = Machine::new(p, MachineConfig::small());
+        let mut prof = ProfileTool::new();
+        let mut e = Engine::new(m);
+        let r = e.run_tool(&mut prof);
+
+        assert_eq!(prof.instrs, r.steps);
+        assert_eq!(*prof.class_counts.get(&InsnClass::Load).unwrap(), 4);
+        assert_eq!(*prof.class_counts.get(&InsnClass::Store).unwrap(), 4);
+        assert_eq!(prof.total_branches, 4);
+        assert_eq!(prof.taken_branches, 3);
+        assert!(prof.mean_block_len() > 1.0);
+        let sum: u64 = prof.class_counts.values().sum();
+        assert_eq!(sum, prof.instrs, "classes partition the stream");
+    }
+
+    #[test]
+    fn hot_concentration_detects_loops() {
+        // Loopy program: concentration near 1; straight-line: lower.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 50);
+        b.label("l");
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "l");
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let mut prof = ProfileTool::new();
+        let mut e = Engine::new(Machine::new(p, MachineConfig::small()));
+        e.run_tool(&mut prof);
+        assert!(prof.hot10_concentration() > 0.9, "{}", prof.hot10_concentration());
+    }
+}

@@ -1,0 +1,74 @@
+//! The tool (analysis plugin) interface.
+
+use dift_isa::Addr;
+use dift_vm::{Machine, Pending, RunResult, StepEffects, ThreadId};
+
+/// An instrumentation tool — the analysis code a DBI user writes.
+///
+/// All callbacks receive `&mut Machine` so tools can inspect state and,
+/// where the technique requires it, mutate it (predicate switching flips
+/// branch outcomes, value replacement overwrites operands, environment
+/// patching adjusts allocation behaviour).
+///
+/// Tools model their runtime cost by calling
+/// [`Machine::charge`] from their callbacks; the engine never
+/// charges implicitly.
+pub trait Tool {
+    /// Called once before the first instruction.
+    fn on_start(&mut self, _m: &mut Machine) {}
+
+    /// Called before each instrumented instruction executes. The pending
+    /// descriptor names the thread, address and instruction about to run.
+    fn before(&mut self, _m: &mut Machine, _pending: &Pending) {}
+
+    /// Called after each instrumented instruction with its architectural
+    /// effects.
+    fn after(&mut self, _m: &mut Machine, _fx: &StepEffects) {}
+
+    /// Called when an instrumented thread enters a basic block (the first
+    /// time the engine sees the block, `is_new` is true — the analog of
+    /// JIT-compiling it).
+    fn on_block(&mut self, _m: &mut Machine, _tid: ThreadId, _entry: Addr, _is_new: bool) {}
+
+    /// Called once when the machine stops.
+    fn on_finish(&mut self, _m: &mut Machine, _result: &RunResult) {}
+}
+
+/// A tool that does nothing — used to measure bare engine dispatch
+/// overhead.
+#[derive(Default)]
+pub struct NullTool;
+
+impl Tool for NullTool {}
+
+/// A tool counting events, for tests and calibration.
+#[derive(Default, Debug)]
+pub struct CountingTool {
+    pub before_calls: u64,
+    pub after_calls: u64,
+    pub block_entries: u64,
+    pub new_blocks: u64,
+    pub started: bool,
+    pub finished: bool,
+}
+
+impl Tool for CountingTool {
+    fn on_start(&mut self, _m: &mut Machine) {
+        self.started = true;
+    }
+    fn before(&mut self, _m: &mut Machine, _p: &Pending) {
+        self.before_calls += 1;
+    }
+    fn after(&mut self, _m: &mut Machine, _fx: &StepEffects) {
+        self.after_calls += 1;
+    }
+    fn on_block(&mut self, _m: &mut Machine, _tid: ThreadId, _entry: Addr, is_new: bool) {
+        self.block_entries += 1;
+        if is_new {
+            self.new_blocks += 1;
+        }
+    }
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
+        self.finished = true;
+    }
+}

@@ -1,0 +1,164 @@
+//! Hot-trace formation (NET-style next-executing-tail).
+//!
+//! ONTRAC's second generic optimization extends intra-block static
+//! dependence inference to *traces* — sequences of basic blocks that
+//! execute consecutively in hot code. This module provides the runtime
+//! trace builder: when a block's entry count crosses `hot_threshold` the
+//! builder starts recording the block sequence the thread executes next,
+//! ending at `max_blocks`, at a back-edge to the head, or at a block
+//! already in the trace.
+
+use dift_isa::Addr;
+use dift_vm::ThreadId;
+use std::collections::HashMap;
+
+/// A formed hot trace: a head block plus the recorded successor blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotTrace {
+    pub head: Addr,
+    /// Block entry addresses, starting with `head`.
+    pub blocks: Vec<Addr>,
+}
+
+enum Recording {
+    No,
+    Yes { head: Addr, blocks: Vec<Addr> },
+}
+
+/// Builds hot traces from a stream of block-entry events.
+pub struct TraceBuilder {
+    hot_threshold: u32,
+    max_blocks: usize,
+    counts: HashMap<Addr, u32>,
+    recording: HashMap<ThreadId, Recording>,
+    traces: HashMap<Addr, HotTrace>,
+}
+
+impl TraceBuilder {
+    pub fn new(hot_threshold: u32, max_blocks: usize) -> TraceBuilder {
+        TraceBuilder {
+            hot_threshold,
+            max_blocks,
+            counts: HashMap::new(),
+            recording: HashMap::new(),
+            traces: HashMap::new(),
+        }
+    }
+
+    /// Feed one block entry; returns a completed trace when this event
+    /// finishes one.
+    pub fn on_block(&mut self, tid: ThreadId, entry: Addr) -> Option<HotTrace> {
+        // Continue an in-progress recording for this thread.
+        let state = self.recording.entry(tid).or_insert(Recording::No);
+        if let Recording::Yes { head, blocks } = state {
+            let head = *head;
+            let cycle = blocks.contains(&entry);
+            if cycle || blocks.len() >= self.max_blocks {
+                let trace = HotTrace { head, blocks: std::mem::take(blocks) };
+                *state = Recording::No;
+                self.traces.insert(head, trace.clone());
+                return Some(trace);
+            }
+            blocks.push(entry);
+            return None;
+        }
+
+        // Not recording: bump hotness and maybe start.
+        if self.traces.contains_key(&entry) {
+            return None; // already have a trace for this head
+        }
+        let c = self.counts.entry(entry).or_insert(0);
+        *c += 1;
+        if *c >= self.hot_threshold {
+            self.recording
+                .insert(tid, Recording::Yes { head: entry, blocks: vec![entry] });
+        }
+        None
+    }
+
+    /// The trace formed for `head`, if any.
+    pub fn trace_for(&self, head: Addr) -> Option<&HotTrace> {
+        self.traces.get(&head)
+    }
+
+    /// All formed traces.
+    pub fn traces(&self) -> impl Iterator<Item = &HotTrace> {
+        self.traces.values()
+    }
+
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_forms_a_trace_at_threshold() {
+        let mut tb = TraceBuilder::new(3, 8);
+        // Simulate a 2-block loop body: A -> B -> A -> B ...
+        let mut formed = None;
+        for _ in 0..10 {
+            if let Some(t) = tb.on_block(0, 100) {
+                formed = Some(t);
+                break;
+            }
+            if let Some(t) = tb.on_block(0, 200) {
+                formed = Some(t);
+                break;
+            }
+        }
+        let t = formed.expect("hot loop should form a trace");
+        assert_eq!(t.head, 100);
+        assert_eq!(t.blocks, vec![100, 200]);
+        assert!(tb.trace_for(100).is_some());
+    }
+
+    #[test]
+    fn recording_stops_at_max_blocks() {
+        let mut tb = TraceBuilder::new(1, 3);
+        // Straight-line distinct blocks.
+        assert!(tb.on_block(0, 1).is_none()); // hot immediately, starts recording
+        assert!(tb.on_block(0, 2).is_none());
+        assert!(tb.on_block(0, 3).is_none());
+        let t = tb.on_block(0, 4).expect("max_blocks reached");
+        assert_eq!(t.blocks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cold_blocks_form_no_trace() {
+        let mut tb = TraceBuilder::new(100, 8);
+        for _ in 0..50 {
+            assert!(tb.on_block(0, 7).is_none());
+        }
+        assert_eq!(tb.trace_count(), 0);
+    }
+
+    #[test]
+    fn per_thread_recording_is_independent() {
+        let mut tb = TraceBuilder::new(1, 8);
+        assert!(tb.on_block(0, 10).is_none()); // thread 0 starts recording at 10
+        assert!(tb.on_block(1, 20).is_none()); // thread 1 starts recording at 20
+        assert!(tb.on_block(0, 11).is_none());
+        assert!(tb.on_block(1, 21).is_none());
+        let t0 = tb.on_block(0, 10).unwrap(); // cycle back to head
+        assert_eq!(t0.blocks, vec![10, 11]);
+        let t1 = tb.on_block(1, 20).unwrap();
+        assert_eq!(t1.blocks, vec![20, 21]);
+    }
+
+    #[test]
+    fn existing_trace_head_is_not_recounted() {
+        let mut tb = TraceBuilder::new(1, 4);
+        tb.on_block(0, 5);
+        tb.on_block(0, 6);
+        let t = tb.on_block(0, 5).unwrap();
+        assert_eq!(t.blocks, vec![5, 6]);
+        // Re-entering the head afterwards does not restart recording.
+        assert!(tb.on_block(0, 5).is_none());
+        assert!(tb.on_block(0, 6).is_none());
+        assert_eq!(tb.trace_count(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Adaptive tracing (the paper's §4 future work: "employing efficient
+//! tracing … in performing adaptive optimizations").
+//!
+//! The adaptive tracer starts at full fidelity and *degrades gracefully
+//! under buffer pressure*: when the circular buffer's byte rate would
+//! shrink the execution-history window below a target, it enables
+//! ONTRAC's optimizations one class at a time (block-static →
+//! trace-static → redundant-load). The result is the longest window the
+//! budget affords while keeping as much directly-recorded detail as the
+//! workload allows — the adaptive-policy skeleton an optimizing runtime
+//! would drive.
+
+use crate::ontrac::{OnTrac, OnTracConfig, OnTracStats};
+use dift_dbi::Tool;
+use dift_isa::{Addr, Program};
+use dift_vm::{Machine, Pending, RunResult, StepEffects, ThreadId};
+
+/// Escalation levels, in the order they are enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AdaptLevel {
+    /// Everything recorded.
+    Full,
+    /// + intra-block static inference.
+    BlockStatic,
+    /// + hot-trace static inference.
+    TraceStatic,
+    /// + redundant-load elimination.
+    RedundantLoad,
+}
+
+/// Outcome of one adaptation decision.
+#[derive(Clone, Debug)]
+pub struct Adaptation {
+    pub at_step: u64,
+    pub to: AdaptLevel,
+    /// Bytes/instr observed when the decision fired.
+    pub observed_density: f64,
+}
+
+/// The adaptive tracer: wraps [`OnTrac`] and re-tunes it online.
+pub struct AdaptiveTracer {
+    inner: OnTrac,
+    program: Program,
+    mem_words: usize,
+    buffer_bytes: usize,
+    /// Desired minimum window, in instructions.
+    target_window: u64,
+    level: AdaptLevel,
+    check_every: u64,
+    last_check: u64,
+    pub adaptations: Vec<Adaptation>,
+}
+
+impl AdaptiveTracer {
+    pub fn new(
+        program: &Program,
+        mem_words: usize,
+        buffer_bytes: usize,
+        target_window: u64,
+    ) -> AdaptiveTracer {
+        let mut cfg = OnTracConfig::unoptimized(buffer_bytes);
+        cfg.trace_hot_threshold = 8;
+        AdaptiveTracer {
+            inner: OnTrac::new(program, mem_words, cfg),
+            program: program.clone(),
+            mem_words,
+            buffer_bytes,
+            target_window,
+            level: AdaptLevel::Full,
+            check_every: 256,
+            last_check: 0,
+            adaptations: Vec::new(),
+        }
+    }
+
+    pub fn level(&self) -> AdaptLevel {
+        self.level
+    }
+
+    pub fn stats(&self) -> OnTracStats {
+        self.inner.stats()
+    }
+
+    pub fn tracer(&self) -> &OnTrac {
+        &self.inner
+    }
+
+    fn escalate(&mut self, stats: &OnTracStats) {
+        let next = match self.level {
+            AdaptLevel::Full => AdaptLevel::BlockStatic,
+            AdaptLevel::BlockStatic => AdaptLevel::TraceStatic,
+            AdaptLevel::TraceStatic => AdaptLevel::RedundantLoad,
+            AdaptLevel::RedundantLoad => return,
+        };
+        let mut cfg = OnTracConfig::unoptimized(self.buffer_bytes);
+        cfg.trace_hot_threshold = 8;
+        cfg.opt_block_static = next >= AdaptLevel::BlockStatic;
+        cfg.opt_trace_static = next >= AdaptLevel::TraceStatic;
+        cfg.opt_redundant_load = next >= AdaptLevel::RedundantLoad;
+        // Rebuild the tracer with the new configuration; the already
+        // buffered records are dropped (the adaptive runtime trades old
+        // history for a sustainable rate), which is exactly what a
+        // wrap-around would do anyway.
+        self.inner = OnTrac::new(&self.program, self.mem_words, cfg);
+        self.adaptations.push(Adaptation {
+            at_step: stats.instrs,
+            to: next,
+            observed_density: stats.bytes_per_instr(),
+        });
+        self.level = next;
+    }
+}
+
+impl Tool for AdaptiveTracer {
+    fn on_block(&mut self, m: &mut Machine, tid: ThreadId, entry: Addr, is_new: bool) {
+        self.inner.on_block(m, tid, entry, is_new);
+    }
+
+    fn before(&mut self, m: &mut Machine, p: &Pending) {
+        self.inner.before(m, p);
+    }
+
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        self.inner.after(m, fx);
+        if fx.step.saturating_sub(self.last_check) >= self.check_every {
+            self.last_check = fx.step;
+            let stats = self.inner.stats();
+            let density = stats.bytes_per_instr().max(1e-9);
+            let projected_window = self.buffer_bytes as f64 / density;
+            if (projected_window as u64) < self.target_window {
+                self.escalate(&stats);
+            }
+        }
+    }
+
+    fn on_finish(&mut self, m: &mut Machine, r: &RunResult) {
+        self.inner.on_finish(m, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_dbi::Engine;
+    use dift_vm::MachineConfig;
+    use dift_workloads::spec::{gap_like, Size};
+
+    fn run(target_window: u64) -> AdaptiveTracer {
+        let w = gap_like(Size::Tiny);
+        let m = Machine::new(w.program.clone(), {
+            let mut c = MachineConfig::small();
+            c.mem_words = 1 << 16;
+            c.heap_base = 1 << 15;
+            c
+        });
+        let mut t = AdaptiveTracer::new(&w.program, 1 << 16, 8 << 10, target_window);
+        let mut e = Engine::new(m);
+        let r = e.run_tool(&mut t);
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        t
+    }
+
+    #[test]
+    fn low_pressure_stays_full_fidelity() {
+        // A tiny target window: full fidelity already satisfies it.
+        let t = run(16);
+        assert_eq!(t.level(), AdaptLevel::Full);
+        assert!(t.adaptations.is_empty());
+    }
+
+    #[test]
+    fn high_pressure_escalates() {
+        // Demand a window far beyond what full fidelity affords in 8 KiB.
+        let t = run(50_000);
+        assert!(t.level() > AdaptLevel::Full, "must escalate, got {:?}", t.level());
+        assert!(!t.adaptations.is_empty());
+        // Adaptations escalate monotonically.
+        for w in t.adaptations.windows(2) {
+            assert!(w[0].to < w[1].to);
+        }
+    }
+
+    #[test]
+    fn escalation_reduces_density() {
+        let t = run(50_000);
+        let last = t.adaptations.last().unwrap();
+        let final_density = t.stats().bytes_per_instr();
+        assert!(
+            final_density < last.observed_density,
+            "post-adaptation density {final_density} vs {0}",
+            last.observed_density
+        );
+    }
+}

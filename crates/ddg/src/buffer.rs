@@ -1,0 +1,210 @@
+//! ONTRAC's fixed-size circular trace buffer.
+//!
+//! The design decision from §2.1: dependences are *not* written to a
+//! file; they are stored in memory in a fixed-size circular buffer. The
+//! buffer's byte budget bounds the **execution-history window** — the
+//! range of recent steps whose dependences are still available. A fault
+//! is locatable by slicing only if it is exercised inside the window,
+//! which is why the optimizations that shrink per-instruction trace size
+//! matter: they stretch the window (20 M instructions in 16 MB at the
+//! paper's 0.8 B/instr).
+//!
+//! Records are accounted with the compact delta encoding ONTRAC uses:
+//! a varint of the gap since the previous record's user step, a varint of
+//! the user→def distance, and one kind/metadata byte.
+
+use crate::dep::{DepKind, Dependence};
+use dift_isa::{Addr, StmtId};
+use std::collections::VecDeque;
+
+/// One buffered record: the dependence plus the metadata needed to report
+/// slices in source terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufRecord {
+    pub dep: Dependence,
+    pub user_addr: Addr,
+    pub def_addr: Addr,
+    pub user_stmt: StmtId,
+    pub def_stmt: StmtId,
+}
+
+/// Number of bytes of a LEB128 varint for `v`.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Fixed-byte-budget circular dependence buffer.
+pub struct CircularTraceBuffer {
+    cap_bytes: usize,
+    records: VecDeque<(BufRecord, u32)>, // record + its encoded size
+    bytes: usize,
+    last_user: u64,
+    /// Total records ever appended (including evicted).
+    pub appended: u64,
+    /// Total encoded bytes ever appended.
+    pub bytes_appended: u64,
+    /// Records evicted to respect the budget.
+    pub evicted: u64,
+}
+
+impl CircularTraceBuffer {
+    pub fn new(cap_bytes: usize) -> CircularTraceBuffer {
+        CircularTraceBuffer {
+            cap_bytes,
+            records: VecDeque::new(),
+            bytes: 0,
+            last_user: 0,
+            appended: 0,
+            bytes_appended: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Encoded size of `rec` given the previous appended record.
+    fn encoded_size(&self, rec: &BufRecord) -> usize {
+        let gap = rec.dep.user.saturating_sub(self.last_user);
+        let dist = rec.dep.user.saturating_sub(rec.dep.def);
+        varint_len(gap) + varint_len(dist) + 1
+    }
+
+    /// Append a record, evicting the oldest ones if the budget overflows.
+    pub fn push(&mut self, rec: BufRecord) {
+        let size = self.encoded_size(&rec) as u32;
+        self.last_user = rec.dep.user;
+        self.records.push_back((rec, size));
+        self.bytes += size as usize;
+        self.appended += 1;
+        self.bytes_appended += size as u64;
+        while self.bytes > self.cap_bytes {
+            if let Some((_, sz)) = self.records.pop_front() {
+                self.bytes -= sz as usize;
+                self.evicted += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &BufRecord> {
+        self.records.iter().map(|(r, _)| r)
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// The window of steps still covered: `(oldest_user, newest_user)`.
+    pub fn window(&self) -> Option<(u64, u64)> {
+        let first = self.records.front()?.0.dep.user;
+        let last = self.records.back()?.0.dep.user;
+        Some((first, last))
+    }
+
+    /// Window length in steps (0 when empty).
+    pub fn window_len(&self) -> u64 {
+        self.window().map(|(a, b)| b - a + 1).unwrap_or(0)
+    }
+}
+
+/// Convenience constructor for records in tests and the tracer.
+pub fn record(
+    user: u64,
+    def: u64,
+    kind: DepKind,
+    user_addr: Addr,
+    def_addr: Addr,
+    user_stmt: StmtId,
+    def_stmt: StmtId,
+) -> BufRecord {
+    BufRecord { dep: Dependence::new(user, def, kind), user_addr, def_addr, user_stmt, def_stmt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u64, def: u64) -> BufRecord {
+        record(user, def, DepKind::RegData, 0, 0, 0, 0)
+    }
+
+    #[test]
+    fn varint_lengths() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(16_383), 2);
+        assert_eq!(varint_len(16_384), 3);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn dense_records_are_tiny() {
+        let mut b = CircularTraceBuffer::new(1024);
+        // Consecutive steps, short distances: 3 bytes each.
+        for i in 1..=10u64 {
+            b.push(rec(i, i - 1));
+        }
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.bytes(), 30);
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let mut b = CircularTraceBuffer::new(30);
+        for i in 1..=100u64 {
+            b.push(rec(i, i - 1));
+        }
+        assert!(b.bytes() <= 30);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.evicted, 90);
+        assert_eq!(b.appended, 100);
+        let (lo, hi) = b.window().unwrap();
+        assert_eq!(hi, 100);
+        assert_eq!(lo, 91);
+        assert_eq!(b.window_len(), 10);
+    }
+
+    #[test]
+    fn long_distance_deps_cost_more_bytes() {
+        let mut b = CircularTraceBuffer::new(1 << 20);
+        b.push(rec(1_000_000, 0)); // huge gap and distance
+        assert!(b.bytes() > 5);
+    }
+
+    #[test]
+    fn empty_window() {
+        let b = CircularTraceBuffer::new(16);
+        assert_eq!(b.window(), None);
+        assert_eq!(b.window_len(), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bytes_appended_accumulates_across_evictions() {
+        let mut b = CircularTraceBuffer::new(6);
+        for i in 1..=4u64 {
+            b.push(rec(i, i - 1));
+        }
+        assert_eq!(b.bytes_appended, 12);
+        assert!(b.bytes() <= 6);
+    }
+}

@@ -1,0 +1,511 @@
+//! ONTRAC: online dependence tracing with the paper's optimizations.
+//!
+//! The tracer is a DBI tool ([`dift_dbi::Tool`]): it maintains last-writer
+//! shadow state, derives every dynamic dependence as instructions retire,
+//! and appends the dependences that survive its optimizations to the
+//! fixed-size circular buffer. Each optimization is independently
+//! switchable so the E2 ablation can quantify its contribution:
+//!
+//! * **Block-static inference** — register dependences whose definition
+//!   occurred in the same dynamic basic-block instance are statically
+//!   inferable from the binary and are not stored.
+//! * **Trace-static inference** — the same across the blocks of a formed
+//!   hot trace ([`dift_dbi::TraceBuilder`]).
+//! * **Redundant-load elimination** — a load from an address already
+//!   loaded since its last store contributes no new dependence edge.
+//! * **Selective tracing** — only dependences *used* inside the selected
+//!   functions are stored, but shadow state is maintained everywhere so
+//!   chains through unselected code remain sound. (The unsound "naive"
+//!   mode that simply uninstruments other functions is provided for the
+//!   ablation that shows why it is wrong.)
+//! * **Forward-slice-of-inputs filtering** — only dependences reached by
+//!   input taint are stored, per the observation that root causes lie in
+//!   the forward slice of the inputs.
+
+use crate::buffer::{BufRecord, CircularTraceBuffer};
+use crate::costs;
+use crate::dep::{DepKind, Dependence};
+use crate::graph::DdgGraph;
+use crate::shadow::{ControlStack, ShadowState};
+use dift_dbi::{Tool, TraceBuilder};
+use dift_isa::{Addr, FuncId, Opcode, Program, StmtId};
+use dift_vm::{Machine, Pending, RunResult, StepEffects, ThreadId};
+use std::collections::HashSet;
+
+/// Tracer configuration.
+#[derive(Clone, Debug)]
+pub struct OnTracConfig {
+    /// Circular buffer budget in bytes (paper: 16 MB).
+    pub buffer_bytes: usize,
+    pub opt_block_static: bool,
+    pub opt_trace_static: bool,
+    pub opt_redundant_load: bool,
+    /// Record only dependences whose *user* lies in these functions.
+    pub selective_funcs: Option<HashSet<FuncId>>,
+    /// Ablation: ALSO stop updating shadow state outside the selected
+    /// functions (the naive, unsound variant the paper warns about).
+    pub naive_selective: bool,
+    /// Record only input-tainted dependences.
+    pub forward_slice_input: bool,
+    /// Hot-trace formation parameters.
+    pub trace_hot_threshold: u32,
+    pub trace_max_blocks: usize,
+    /// Additionally record WAR/WAW memory dependences (multithreaded
+    /// slicing extension used by race detection, §3.1).
+    pub record_war_waw: bool,
+}
+
+impl OnTracConfig {
+    /// All generic optimizations on (the paper's default deployment).
+    pub fn optimized(buffer_bytes: usize) -> OnTracConfig {
+        OnTracConfig {
+            buffer_bytes,
+            opt_block_static: true,
+            opt_trace_static: true,
+            opt_redundant_load: true,
+            selective_funcs: None,
+            naive_selective: false,
+            forward_slice_input: false,
+            trace_hot_threshold: 16,
+            trace_max_blocks: 16,
+            record_war_waw: false,
+        }
+    }
+
+    /// Everything off: records every dependence (the 16 B/instr regime).
+    pub fn unoptimized(buffer_bytes: usize) -> OnTracConfig {
+        OnTracConfig {
+            buffer_bytes,
+            opt_block_static: false,
+            opt_trace_static: false,
+            opt_redundant_load: false,
+            selective_funcs: None,
+            naive_selective: false,
+            forward_slice_input: false,
+            trace_hot_threshold: 16,
+            trace_max_blocks: 16,
+            record_war_waw: false,
+        }
+    }
+}
+
+/// Tracing statistics for the experiment tables.
+#[derive(Clone, Debug, Default)]
+pub struct OnTracStats {
+    /// Instructions the tracer observed.
+    pub instrs: u64,
+    /// Dependences derived (before optimization filtering).
+    pub deps_considered: u64,
+    /// Dependences actually stored.
+    pub deps_recorded: u64,
+    /// Encoded bytes appended to the buffer (pre-eviction total).
+    pub bytes_appended: u64,
+    /// Steps covered by the buffer at the end of the run.
+    pub window_len: u64,
+}
+
+impl OnTracStats {
+    /// Stored trace density — the paper's headline 0.8 B/instr metric.
+    pub fn bytes_per_instr(&self) -> f64 {
+        if self.instrs == 0 {
+            0.0
+        } else {
+            self.bytes_appended as f64 / self.instrs as f64
+        }
+    }
+}
+
+/// Per-thread hot-trace instance state.
+#[derive(Clone, Debug)]
+struct TraceInstance {
+    blocks: Vec<Addr>,
+    pos: usize,
+    start_step: u64,
+    /// Start step of the immediately preceding instance of the *same*
+    /// trace (loop iterations): register dependences reaching into it are
+    /// statically inferable from the trace structure and are not stored.
+    prev_start: u64,
+}
+
+/// The ONTRAC tracer tool.
+pub struct OnTrac {
+    cfg: OnTracConfig,
+    shadow: ShadowState,
+    control: ControlStack,
+    traces: TraceBuilder,
+    buffer: CircularTraceBuffer,
+    /// Per-thread step at which the current basic block instance began.
+    block_start: Vec<u64>,
+    /// Per-thread active hot-trace instance.
+    trace_inst: Vec<Option<TraceInstance>>,
+    /// Per-thread branch step whose control dependence was already
+    /// recorded for the current block instance: all instructions of a
+    /// block share one dynamic control dependence, so (under the
+    /// block-static optimization) it is stored once per block instance.
+    ctrl_recorded: Vec<Option<u64>>,
+    /// Last-reader step per memory word (`step + 1`), for WAR edges.
+    mem_last_read: Vec<u64>,
+    /// Side table: def-step → (addr, stmt), kept for every step that
+    /// produced a definition or opened a control region, so records carry
+    /// full def-side metadata. Pruned to the buffer window.
+    step_meta: std::collections::HashMap<u64, (Addr, StmtId)>,
+    stats: OnTracStats,
+}
+
+impl OnTrac {
+    pub fn new(program: &Program, mem_words: usize, cfg: OnTracConfig) -> OnTrac {
+        OnTrac {
+            buffer: CircularTraceBuffer::new(cfg.buffer_bytes),
+            traces: TraceBuilder::new(cfg.trace_hot_threshold, cfg.trace_max_blocks),
+            shadow: ShadowState::new(mem_words),
+            control: ControlStack::new(program),
+            block_start: Vec::new(),
+            trace_inst: Vec::new(),
+            ctrl_recorded: Vec::new(),
+            mem_last_read: vec![0; if cfg.record_war_waw { mem_words } else { 0 }],
+            step_meta: std::collections::HashMap::new(),
+            cfg,
+            stats: OnTracStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> OnTracStats {
+        let mut s = self.stats.clone();
+        s.window_len = self.buffer.window_len();
+        s
+    }
+
+    pub fn buffer(&self) -> &CircularTraceBuffer {
+        &self.buffer
+    }
+
+    /// Build a queryable DDG from the records currently in the window.
+    pub fn graph(&self, program: &Program) -> DdgGraph {
+        DdgGraph::from_records(self.buffer.records(), program)
+    }
+
+    fn ensure_tid(&mut self, tid: ThreadId) {
+        let need = tid as usize + 1;
+        while self.block_start.len() < need {
+            self.block_start.push(0);
+            self.trace_inst.push(None);
+            self.ctrl_recorded.push(None);
+        }
+    }
+
+    fn user_in_scope(&self, program: &Program, addr: Addr) -> bool {
+        match &self.cfg.selective_funcs {
+            None => true,
+            Some(set) => program.func_at(addr).map(|f| set.contains(&f)).unwrap_or(false),
+        }
+    }
+
+    /// Record (or skip) one derived dependence.
+    #[allow(clippy::too_many_arguments)]
+    fn consider(
+        &mut self,
+        m: &mut Machine,
+        kind: DepKind,
+        user: u64,
+        def: u64,
+        user_addr: Addr,
+        user_stmt: StmtId,
+        in_scope: bool,
+        tainted: bool,
+        tid: ThreadId,
+    ) {
+        self.stats.deps_considered += 1;
+        m.charge(costs::ONLINE_PER_DEP_LOOKUP);
+
+        // Optimization filters.
+        if kind == DepKind::RegData {
+            if self.cfg.opt_block_static && def >= self.block_start[tid as usize] {
+                return;
+            }
+            if self.cfg.opt_trace_static {
+                if let Some(inst) = &self.trace_inst[tid as usize] {
+                    // Inside the current instance, or reaching into the
+                    // immediately preceding iteration of the same trace:
+                    // both are reconstructible from the trace structure.
+                    if def >= inst.start_step || def >= inst.prev_start {
+                        return;
+                    }
+                }
+            }
+        }
+        if kind == DepKind::Control && self.cfg.opt_trace_static {
+            // Control inside a formed trace is implied by the trace's
+            // recorded path; nothing to store.
+            if self.trace_inst[tid as usize].is_some() {
+                return;
+            }
+        }
+        if !in_scope {
+            return;
+        }
+        if self.cfg.forward_slice_input && !tainted {
+            return;
+        }
+
+        let (def_addr, def_stmt) = self.step_meta.get(&def).copied().unwrap_or((0, 0));
+        self.buffer.push(BufRecord {
+            dep: Dependence::new(user, def, kind),
+            user_addr,
+            def_addr,
+            user_stmt,
+            def_stmt,
+        });
+        self.stats.deps_recorded += 1;
+        self.stats.bytes_appended = self.buffer.bytes_appended;
+        m.charge(costs::ONLINE_PER_RECORD);
+    }
+}
+
+impl Tool for OnTrac {
+    fn on_block(&mut self, _m: &mut Machine, tid: ThreadId, entry: Addr, _is_new: bool) {
+        self.ensure_tid(tid);
+        let t = tid as usize;
+
+        // Hot-trace instance tracking.
+        let mut exited = false;
+        let mut prev_start = 0u64;
+        let mut prev_head = None;
+        if let Some(inst) = &mut self.trace_inst[t] {
+            inst.pos += 1;
+            if inst.pos >= inst.blocks.len() || inst.blocks[inst.pos] != entry {
+                exited = true;
+                prev_start = inst.start_step;
+                prev_head = inst.blocks.first().copied();
+            }
+        }
+        if exited {
+            self.trace_inst[t] = None;
+        }
+        if self.cfg.opt_trace_static {
+            self.traces.on_block(tid, entry);
+            if self.trace_inst[t].is_none() {
+                if let Some(tr) = self.traces.trace_for(entry) {
+                    if tr.blocks.len() > 1 {
+                        // Consecutive instances of the same trace (a loop)
+                        // remember the previous iteration's start.
+                        let prev = if prev_head == Some(entry) { prev_start } else { u64::MAX };
+                        self.trace_inst[t] = Some(TraceInstance {
+                            blocks: tr.blocks.clone(),
+                            pos: 0,
+                            start_step: u64::MAX, // set at the block's first instruction
+                            prev_start: prev,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn before(&mut self, _m: &mut Machine, p: &Pending) {
+        self.ensure_tid(p.tid);
+    }
+
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        let tid = fx.tid;
+        self.ensure_tid(tid);
+        let t = tid as usize;
+        let step = fx.step;
+        let program = m.program().clone();
+
+        m.charge(costs::ONLINE_PER_INSN);
+        self.stats.instrs += 1;
+
+        // Block / trace instance step bookkeeping: a block begins when the
+        // engine reported a block entry, which it does right before this
+        // instruction; detect via control effects on the previous
+        // instruction having reset block_start lazily instead: the engine
+        // fires on_block before `before`, so initialize start steps here
+        // on first instruction of the block (block_start > step means
+        // stale state from another thread slot).
+        if let Some(inst) = &mut self.trace_inst[t] {
+            if inst.start_step == u64::MAX {
+                inst.start_step = step;
+            }
+        }
+
+        // Dynamic control dependence bookkeeping.
+        self.control.on_step(tid, fx.addr);
+
+        // Def-side metadata for future records: definitions and branches
+        // (control-dep sources) get an entry; prune far below the window.
+        if fx.reg_write.is_some() || fx.mem_write.is_some() || fx.insn.is_branch() {
+            self.step_meta.insert(step, (fx.addr, fx.insn.stmt));
+            if self.step_meta.len() > 4_000_000 {
+                let keep_from = self.buffer.window().map(|(lo, _)| lo).unwrap_or(step);
+                self.step_meta.retain(|&s, _| s >= keep_from);
+            }
+        }
+
+        let in_scope = self.user_in_scope(&program, fx.addr);
+        let shadow_scope = in_scope || !self.cfg.naive_selective;
+
+        // Input-taint evaluation (forward slice of inputs).
+        let mut tainted = matches!(fx.insn.op, Opcode::In { .. });
+        if self.cfg.forward_slice_input {
+            for r in &fx.insn.reg_uses() {
+                if self.shadow.reg_tainted(tid, r) {
+                    tainted = true;
+                }
+            }
+            if let Some((a, _)) = fx.mem_read {
+                if self.shadow.mem_tainted(a) {
+                    tainted = true;
+                }
+            }
+        }
+
+        // ---- derive dependences -----------------------------------------
+        // Register uses.
+        for r in &fx.insn.reg_uses() {
+            if let Some(def) = self.shadow.reg_def(tid, r) {
+                self.consider(
+                    m,
+                    DepKind::RegData,
+                    step,
+                    def,
+                    fx.addr,
+                    fx.insn.stmt,
+                    in_scope,
+                    tainted,
+                    tid,
+                );
+            }
+        }
+        // Memory read.
+        if let Some((addr, _)) = fx.mem_read {
+            let redundant = self.cfg.opt_redundant_load
+                && matches!(fx.insn.op, Opcode::Load { .. })
+                && {
+                    m.charge(costs::ONLINE_REDUNDANT_PROBE);
+                    self.shadow.probe_redundant_load(addr, step)
+                };
+            if !redundant {
+                if let Some(def) = self.shadow.mem_def(addr) {
+                    self.consider(
+                        m,
+                        DepKind::MemData,
+                        step,
+                        def,
+                        fx.addr,
+                        fx.insn.stmt,
+                        in_scope,
+                        tainted,
+                        tid,
+                    );
+                }
+            }
+        }
+        // Control dependence. All instructions of a block instance share
+        // one dynamic control dependence; under block-static inference it
+        // is stored once per block instance and the rest are inferred.
+        if let Some(branch_step) = self.control.current_dep(tid) {
+            let dedup = self.cfg.opt_block_static
+                && self.ctrl_recorded[t] == Some(branch_step);
+            if !dedup {
+                self.consider(
+                    m,
+                    DepKind::Control,
+                    step,
+                    branch_step,
+                    fx.addr,
+                    fx.insn.stmt,
+                    in_scope,
+                    tainted,
+                    tid,
+                );
+                self.ctrl_recorded[t] = Some(branch_step);
+            } else {
+                self.stats.deps_considered += 1;
+                m.charge(costs::ONLINE_PER_DEP_LOOKUP);
+            }
+        }
+        // WAR/WAW (multithreaded slicing extension).
+        if self.cfg.record_war_waw {
+            if let Some((addr, _, _)) = fx.mem_write {
+                if let Some(slot) = self.mem_last_read.get(addr as usize) {
+                    if *slot != 0 {
+                        let last_read = *slot - 1;
+                        self.consider(
+                            m,
+                            DepKind::War,
+                            step,
+                            last_read,
+                            fx.addr,
+                            fx.insn.stmt,
+                            in_scope,
+                            tainted,
+                            tid,
+                        );
+                    }
+                }
+                if let Some(def) = self.shadow.mem_def(addr) {
+                    self.consider(
+                        m,
+                        DepKind::Waw,
+                        step,
+                        def,
+                        fx.addr,
+                        fx.insn.stmt,
+                        in_scope,
+                        tainted,
+                        tid,
+                    );
+                }
+            }
+        }
+
+        // ---- update shadow state ----------------------------------------
+        if shadow_scope {
+            if let Some((r, _, _)) = fx.reg_write {
+                self.shadow.set_reg_def(tid, r, step);
+                if self.cfg.forward_slice_input {
+                    self.shadow.set_reg_taint(tid, r, tainted);
+                }
+            }
+            if let Some((addr, _, _)) = fx.mem_write {
+                self.shadow.set_mem_def(addr, step);
+                if self.cfg.forward_slice_input {
+                    self.shadow.set_mem_taint(addr, tainted);
+                }
+            }
+        }
+        if self.cfg.record_war_waw {
+            if let Some((addr, _)) = fx.mem_read {
+                if let Some(slot) = self.mem_last_read.get_mut(addr as usize) {
+                    *slot = step + 1;
+                }
+            }
+            if let Some((addr, _, _)) = fx.mem_write {
+                if let Some(slot) = self.mem_last_read.get_mut(addr as usize) {
+                    *slot = 0;
+                }
+            }
+        }
+
+        // Control-stack maintenance.
+        match fx.control {
+            Some(dift_vm::ControlEffect::Branch { .. }) => {
+                self.control.on_branch(tid, fx.addr, step)
+            }
+            Some(dift_vm::ControlEffect::Call { .. }) => self.control.on_call(tid),
+            Some(dift_vm::ControlEffect::Ret { .. }) => self.control.on_ret(tid),
+            _ => {}
+        }
+
+        // Block-instance boundary: the *next* instruction of this thread
+        // starts a new block if this one ended a block.
+        if fx.insn.is_block_end() {
+            self.block_start[t] = step + 1;
+            self.ctrl_recorded[t] = None;
+        }
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
+        self.stats.window_len = self.buffer.window_len();
+    }
+}

@@ -1,0 +1,363 @@
+//! Tracer shadow state: last-writer timestamps, input-taint bits, and the
+//! online dynamic control-dependence stack.
+
+use dift_isa::{control_dependence, Addr, Cfg, DomTree, MemAddr, Program, Reg, NUM_REGS};
+use dift_vm::ThreadId;
+use std::collections::HashMap;
+
+/// Sentinel end-address meaning "region closes when the frame pops".
+pub const FRAME_END: Addr = Addr::MAX;
+
+/// Last-writer shadow for registers and memory, plus input-taint bits.
+///
+/// Timestamps are stored as `step + 1` (0 = never written) so the state
+/// can be dense arrays with a cheap reset.
+pub struct ShadowState {
+    reg_def: Vec<[u64; NUM_REGS]>,
+    mem_def: Vec<u64>,
+    reg_taint: Vec<[bool; NUM_REGS]>,
+    mem_taint: Vec<u64>, // bitset: one bit per word
+    /// Step of the most recent load of each address since its last store
+    /// (`step + 1`, 0 = none) — the redundant-load detection table.
+    load_seen: Vec<u64>,
+}
+
+impl ShadowState {
+    pub fn new(mem_words: usize) -> ShadowState {
+        ShadowState {
+            reg_def: Vec::new(),
+            mem_def: vec![0; mem_words],
+            reg_taint: Vec::new(),
+            mem_taint: vec![0; mem_words.div_ceil(64)],
+            load_seen: vec![0; mem_words],
+        }
+    }
+
+    fn ensure_tid(&mut self, tid: ThreadId) {
+        let need = tid as usize + 1;
+        while self.reg_def.len() < need {
+            self.reg_def.push([0; NUM_REGS]);
+            self.reg_taint.push([false; NUM_REGS]);
+        }
+    }
+
+    /// Defining step of a register, if any.
+    #[inline]
+    pub fn reg_def(&mut self, tid: ThreadId, r: Reg) -> Option<u64> {
+        self.ensure_tid(tid);
+        let v = self.reg_def[tid as usize][r.index()];
+        (v != 0).then(|| v - 1)
+    }
+
+    #[inline]
+    pub fn set_reg_def(&mut self, tid: ThreadId, r: Reg, step: u64) {
+        self.ensure_tid(tid);
+        self.reg_def[tid as usize][r.index()] = step + 1;
+    }
+
+    /// Defining step of a memory word, if any.
+    #[inline]
+    pub fn mem_def(&self, addr: MemAddr) -> Option<u64> {
+        let v = *self.mem_def.get(addr as usize)?;
+        (v != 0).then(|| v - 1)
+    }
+
+    #[inline]
+    pub fn set_mem_def(&mut self, addr: MemAddr, step: u64) {
+        if let Some(slot) = self.mem_def.get_mut(addr as usize) {
+            *slot = step + 1;
+            // A store invalidates the redundant-load record.
+            self.load_seen[addr as usize] = 0;
+        }
+    }
+
+    /// Redundant-load probe: returns `true` when `addr` was already
+    /// loaded since its last store (this load adds no new dependence
+    /// information), and records this load otherwise.
+    pub fn probe_redundant_load(&mut self, addr: MemAddr, step: u64) -> bool {
+        match self.load_seen.get_mut(addr as usize) {
+            Some(slot) if *slot != 0 => true,
+            Some(slot) => {
+                *slot = step + 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    // -- input taint (forward slice of inputs) ---------------------------
+
+    #[inline]
+    pub fn reg_tainted(&mut self, tid: ThreadId, r: Reg) -> bool {
+        self.ensure_tid(tid);
+        self.reg_taint[tid as usize][r.index()]
+    }
+
+    #[inline]
+    pub fn set_reg_taint(&mut self, tid: ThreadId, r: Reg, tainted: bool) {
+        self.ensure_tid(tid);
+        self.reg_taint[tid as usize][r.index()] = tainted;
+    }
+
+    #[inline]
+    pub fn mem_tainted(&self, addr: MemAddr) -> bool {
+        let i = addr as usize;
+        self.mem_taint
+            .get(i / 64)
+            .map(|w| w & (1 << (i % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    #[inline]
+    pub fn set_mem_taint(&mut self, addr: MemAddr, tainted: bool) {
+        let i = addr as usize;
+        if let Some(w) = self.mem_taint.get_mut(i / 64) {
+            if tainted {
+                *w |= 1 << (i % 64);
+            } else {
+                *w &= !(1 << (i % 64));
+            }
+        }
+    }
+}
+
+/// Static branch-region table + per-thread dynamic region stacks: the
+/// online dynamic control-dependence algorithm (Xin & Zhang, ISSTA'07).
+///
+/// For every conditional branch we precompute the address where its
+/// control region ends (the entry of its immediate post-dominator block;
+/// [`FRAME_END`] when the region extends to function exit). At runtime
+/// each thread keeps a stack of open regions per call frame:
+///
+/// * executing a branch pushes (or, for the same branch, replaces) a
+///   region entry;
+/// * reaching a region's end address pops it;
+/// * calls push a fresh frame, returns pop it.
+///
+/// The dynamic control dependence of the current instruction is the
+/// region on top of the current frame's stack.
+pub struct ControlStack {
+    /// branch addr -> region end addr.
+    region_end: HashMap<Addr, Addr>,
+    /// Per-thread stacks of frames; each frame is a stack of
+    /// `(branch_step, end_addr)`.
+    frames: Vec<Vec<Vec<(u64, Addr)>>>,
+}
+
+impl ControlStack {
+    pub fn new(program: &Program) -> ControlStack {
+        let mut region_end = HashMap::new();
+        for cfg in Cfg::build_all(program) {
+            let n = cfg.blocks.len() as u32;
+            let pdom = DomTree::postdominators(&cfg);
+            // Sanity: control_dependence is derived from the same tree; we
+            // only need ipdom here but keep the call to validate in debug.
+            debug_assert_eq!(control_dependence(&cfg).len(), cfg.blocks.len());
+            for (b, blk) in cfg.blocks.iter().enumerate() {
+                if blk.succs.len() < 2 {
+                    continue;
+                }
+                let branch_addr = blk.terminator();
+                let ip = pdom.idom[b];
+                let end = if ip == dift_isa::dom::NO_DOM || ip >= n {
+                    FRAME_END
+                } else {
+                    cfg.blocks[ip as usize].start
+                };
+                region_end.insert(branch_addr, end);
+            }
+        }
+        ControlStack { region_end, frames: Vec::new() }
+    }
+
+    fn frame(&mut self, tid: ThreadId) -> &mut Vec<(u64, Addr)> {
+        let t = tid as usize;
+        while self.frames.len() <= t {
+            self.frames.push(vec![Vec::new()]);
+        }
+        if self.frames[t].is_empty() {
+            self.frames[t].push(Vec::new());
+        }
+        self.frames[t].last_mut().expect("frame ensured above")
+    }
+
+    /// Must be called for every instruction *before* querying
+    /// [`ControlStack::current_dep`]: closes regions ending at `addr`.
+    pub fn on_step(&mut self, tid: ThreadId, addr: Addr) {
+        let frame = self.frame(tid);
+        while frame.last().map(|&(_, end)| end == addr).unwrap_or(false) {
+            frame.pop();
+        }
+    }
+
+    /// The branch instance the current instruction is control dependent
+    /// on, if any.
+    pub fn current_dep(&mut self, tid: ThreadId) -> Option<u64> {
+        self.frame(tid).last().map(|&(s, _)| s)
+    }
+
+    /// Record the execution of conditional branch `addr` at `step`.
+    pub fn on_branch(&mut self, tid: ThreadId, addr: Addr, step: u64) {
+        let Some(&end) = self.region_end.get(&addr) else { return };
+        let frame = self.frame(tid);
+        // Re-execution of the branch whose region is already open (a loop
+        // back-edge) replaces the top entry instead of growing the stack.
+        if let Some(top) = frame.last_mut() {
+            if top.1 == end {
+                *top = (step, end);
+                return;
+            }
+        }
+        frame.push((step, end));
+    }
+
+    /// A call pushes a fresh region frame.
+    pub fn on_call(&mut self, tid: ThreadId) {
+        let t = tid as usize;
+        while self.frames.len() <= t {
+            self.frames.push(vec![Vec::new()]);
+        }
+        self.frames[t].push(Vec::new());
+    }
+
+    /// A return pops the callee's frame (regions extending to function
+    /// exit close here).
+    pub fn on_ret(&mut self, tid: ThreadId) {
+        let t = tid as usize;
+        if let Some(stack) = self.frames.get_mut(t) {
+            if stack.len() > 1 {
+                stack.pop();
+            } else if let Some(f) = stack.last_mut() {
+                f.clear();
+            }
+        }
+    }
+
+    /// Number of precomputed branch regions (for tests).
+    pub fn region_count(&self) -> usize {
+        self.region_end.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder};
+
+    #[test]
+    fn shadow_reg_defs_round_trip() {
+        let mut s = ShadowState::new(64);
+        assert_eq!(s.reg_def(0, Reg(1)), None);
+        s.set_reg_def(0, Reg(1), 7);
+        assert_eq!(s.reg_def(0, Reg(1)), Some(7));
+        // Step 0 is distinguishable from "never".
+        s.set_reg_def(1, Reg(2), 0);
+        assert_eq!(s.reg_def(1, Reg(2)), Some(0));
+    }
+
+    #[test]
+    fn shadow_mem_defs_and_redundant_loads() {
+        let mut s = ShadowState::new(64);
+        assert_eq!(s.mem_def(10), None);
+        s.set_mem_def(10, 5);
+        assert_eq!(s.mem_def(10), Some(5));
+        assert!(!s.probe_redundant_load(10, 6), "first load is not redundant");
+        assert!(s.probe_redundant_load(10, 7), "second load is redundant");
+        s.set_mem_def(10, 8); // store invalidates
+        assert!(!s.probe_redundant_load(10, 9));
+    }
+
+    #[test]
+    fn taint_bits() {
+        let mut s = ShadowState::new(128);
+        assert!(!s.reg_tainted(0, Reg(3)));
+        s.set_reg_taint(0, Reg(3), true);
+        assert!(s.reg_tainted(0, Reg(3)));
+        assert!(!s.mem_tainted(100));
+        s.set_mem_taint(100, true);
+        assert!(s.mem_tainted(100));
+        s.set_mem_taint(100, false);
+        assert!(!s.mem_tainted(100));
+    }
+
+    fn diamond_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0); // 0
+        b.branch(BranchCond::Eq, Reg(1), Reg(0), "else"); // 1
+        b.li(Reg(2), 1); // 2
+        b.jump("join"); // 3
+        b.label("else");
+        b.li(Reg(2), 2); // 4
+        b.label("join");
+        b.halt(); // 5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn control_region_of_diamond_branch() {
+        let p = diamond_program();
+        let mut cs = ControlStack::new(&p);
+        assert_eq!(cs.region_count(), 1);
+        // Execute: 0, branch at 1 (step 1), then else arm at 4, join at 5.
+        cs.on_step(0, 0);
+        assert_eq!(cs.current_dep(0), None);
+        cs.on_step(0, 1);
+        cs.on_branch(0, 1, 1);
+        cs.on_step(0, 4);
+        assert_eq!(cs.current_dep(0), Some(1), "arm is control dependent on branch");
+        cs.on_step(0, 5); // join: region closes
+        assert_eq!(cs.current_dep(0), None);
+    }
+
+    #[test]
+    fn loop_branch_region_is_replaced_not_stacked() {
+        // loop: body at 1-2, branch at 2 back to 1; exit at 3.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 3); // 0
+        b.label("loop");
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1); // 1
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop"); // 2
+        b.halt(); // 3
+        let p = b.build().unwrap();
+        let mut cs = ControlStack::new(&p);
+        cs.on_step(0, 0);
+        let mut step = 0u64;
+        for _ in 0..3 {
+            cs.on_step(0, 1);
+            step += 1;
+            cs.on_step(0, 2);
+            step += 1;
+            cs.on_branch(0, 2, step);
+            // After each branch, the body is control dependent on the
+            // latest branch instance only.
+            assert_eq!(cs.current_dep(0), Some(step));
+        }
+        cs.on_step(0, 3); // loop exit: region closes
+        assert_eq!(cs.current_dep(0), None);
+    }
+
+    #[test]
+    fn call_frames_isolate_regions() {
+        let p = diamond_program();
+        let mut cs = ControlStack::new(&p);
+        cs.on_step(0, 1);
+        cs.on_branch(0, 1, 1);
+        assert_eq!(cs.current_dep(0), Some(1));
+        cs.on_call(0);
+        // Inside the callee, the caller's open region is not visible.
+        assert_eq!(cs.current_dep(0), None);
+        cs.on_ret(0);
+        assert_eq!(cs.current_dep(0), Some(1));
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let p = diamond_program();
+        let mut cs = ControlStack::new(&p);
+        cs.on_branch(0, 1, 10);
+        assert_eq!(cs.current_dep(0), Some(10));
+        assert_eq!(cs.current_dep(1), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests on the dependence-graph structures.
+
+use dift_ddg::buffer::{record, varint_len, CircularTraceBuffer};
+use dift_ddg::{CompactDdg, DdgGraph, DepKind, Dependence, StepMeta};
+use proptest::prelude::*;
+
+fn kind(i: u8) -> DepKind {
+    match i % 3 {
+        0 => DepKind::RegData,
+        1 => DepKind::MemData,
+        _ => DepKind::Control,
+    }
+}
+
+proptest! {
+    /// The circular buffer never exceeds its byte budget, evicts oldest
+    /// first, and accounts appended totals exactly.
+    #[test]
+    fn buffer_invariants(
+        cap in 8usize..256,
+        gaps in proptest::collection::vec((1u64..50, 0u64..1000, 0u8..3), 1..120),
+    ) {
+        let mut b = CircularTraceBuffer::new(cap);
+        let mut user = 0u64;
+        let mut appended_bytes = 0u64;
+        for (gap, dist, k) in gaps.clone() {
+            user += gap;
+            let def = user.saturating_sub(dist);
+            appended_bytes += (varint_len(gap) + varint_len(user - def) + 1) as u64;
+            b.push(record(user, def, kind(k), 0, 0, 0, 0));
+            prop_assert!(b.bytes() <= cap, "budget respected");
+        }
+        prop_assert_eq!(b.appended as usize, gaps.len());
+        prop_assert_eq!(b.bytes_appended, appended_bytes);
+        // Window ordering: records are sorted by user step.
+        let users: Vec<u64> = b.records().map(|r| r.dep.user).collect();
+        let mut sorted = users.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(users, sorted);
+    }
+
+    /// CompactDdg::expand is the exact inverse of insertion, for
+    /// arbitrary instance sets grouped on arbitrary static edges.
+    #[test]
+    fn compact_round_trip(
+        edges in proptest::collection::vec(
+            ((0u32..50, 0u32..50, 0u8..3),
+             proptest::collection::vec((1u64..100, 0u64..99), 1..20)),
+            1..12,
+        )
+    ) {
+        // Precondition of CompactDdg: per-edge user steps increase, so
+        // the generated edge keys must be distinct across groups.
+        let keys: std::collections::HashSet<(u32, u32, u8)> =
+            edges.iter().map(|((ua, da, k), _)| (*ua, *da, *k % 3)).collect();
+        prop_assume!(keys.len() == edges.len());
+        let mut c = CompactDdg::default();
+        let mut want: Vec<(u32, u32, u64, u64)> = Vec::new();
+        for ((ua, da, k), instances) in &edges {
+            // Per-edge user steps must be strictly increasing (as they
+            // are when produced by a forward scan); enforce by prefix sum.
+            let mut user = 0u64;
+            for (gap, dist) in instances {
+                user += gap;
+                let def = user.saturating_sub(*dist);
+                c.push(*ua, *da, Dependence::new(user, def, kind(*k)));
+                want.push((*ua, *da, user, def));
+            }
+        }
+        let got: Vec<(u32, u32, u64, u64)> =
+            c.expand().into_iter().map(|(ua, da, d)| (ua, da, d.user, d.def)).collect();
+        let mut want_sorted = want.clone();
+        want_sorted.sort_by_key(|&(_, _, u, d)| (u, d));
+        // got is sorted by (user, def); compare as multisets via sort.
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        want_sorted.sort();
+        prop_assert_eq!(got_sorted, want_sorted);
+        prop_assert_eq!(c.dep_count() as usize, want.len());
+    }
+
+    /// DdgGraph indexes are consistent: defs_of/users_of are inverse
+    /// relations and dedup removes exact duplicates only.
+    #[test]
+    fn graph_index_inverse(
+        deps in proptest::collection::vec((1u64..40, 0u64..39, 0u8..3), 1..60)
+    ) {
+        let dep_vec: Vec<Dependence> = deps
+            .iter()
+            .filter(|(u, d, _)| d < u)
+            .map(|(u, d, k)| Dependence::new(*u, *d, kind(*k)))
+            .collect();
+        prop_assume!(!dep_vec.is_empty());
+        let metas: Vec<StepMeta> = (0..41)
+            .map(|s| StepMeta { step: s, addr: s as u32, stmt: s as u32, tid: 0 })
+            .collect();
+        let g = DdgGraph::from_deps(dep_vec.clone(), metas);
+        // Inverse relation.
+        for d in g.deps() {
+            prop_assert!(g.users_of(d.def).any(|x| x.user == d.user && x.kind == d.kind));
+            prop_assert!(g.defs_of(d.user).contains(d));
+        }
+        // Dedup: count of unique inputs equals graph size.
+        let mut uniq = dep_vec.clone();
+        uniq.sort_by_key(|d| (d.user, d.def, d.kind as u8));
+        uniq.dedup();
+        prop_assert_eq!(g.dep_count(), uniq.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! # dift-faultloc — fault location on top of the DIFT stack
+//!
+//! Ties together the fault-location techniques of §3.1:
+//!
+//! * dynamic-slice-based candidates (`dift-slicing`),
+//! * **value replacement** ranking ([`value_replacement`]): re-execute
+//!   the failing run with one produced value swapped for an alternate;
+//!   statements whose replacement repairs the output rank as prime fault
+//!   candidates — and unlike slicing this works for *any* error type,
+//! * execution-omission location via predicate switching (re-exported
+//!   from `dift-slicing::implicit`),
+//! * a seeded-fault [`suite`] used by the E8/E9 experiments.
+
+pub mod pipeline;
+pub mod suite;
+pub mod value_replacement;
+
+pub use pipeline::{locate, LocReport};
+pub use suite::{faulty_cases, omission_cases, FaultCase, OmissionCase};
+pub use value_replacement::{value_replacement_rank, VrConfig, VrReport};
+
+pub use dift_slicing::implicit::{locate_omission_error, OmissionReport};

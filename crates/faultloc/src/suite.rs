@@ -1,0 +1,273 @@
+//! Seeded-fault programs for the fault-location experiments.
+
+use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg, StmtId};
+use std::sync::Arc;
+
+/// One seeded fault: a program, its input, the output a correct version
+/// would produce, and the statement id of the injected bug.
+pub struct FaultCase {
+    pub name: &'static str,
+    pub program: Arc<Program>,
+    pub input: Vec<u64>,
+    /// Output of the hypothetical fixed program on channel 0.
+    pub expected_output: Vec<u64>,
+    /// Statement id of the injected fault.
+    pub faulty_stmt: StmtId,
+}
+
+/// Wrong constant: tax is computed with rate 3 instead of 2.
+/// sum = in0 + in1; tax = sum / RATE; out = sum - tax.
+pub fn wrong_constant() -> FaultCase {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.stmt(0);
+    b.input(Reg(1), 0);
+    b.end_stmt();
+    b.stmt(1);
+    b.input(Reg(2), 0);
+    b.end_stmt();
+    b.stmt(2);
+    b.add(Reg(3), Reg(1), Reg(2));
+    b.end_stmt();
+    b.stmt(3); // <- fault: should be rate 2
+    b.li(Reg(4), 3);
+    b.end_stmt();
+    b.stmt(4);
+    b.bin(BinOp::Div, Reg(5), Reg(3), Reg(4));
+    b.end_stmt();
+    b.stmt(5);
+    b.bin(BinOp::Sub, Reg(6), Reg(3), Reg(5));
+    b.end_stmt();
+    b.stmt(6);
+    b.output(Reg(6), 0);
+    b.halt();
+    b.end_stmt();
+    // input 10+14 = 24; correct: 24 - 24/2 = 12; buggy: 24 - 8 = 16.
+    FaultCase {
+        name: "wrong-constant",
+        program: Arc::new(b.build().unwrap()),
+        input: vec![10, 14],
+        expected_output: vec![12],
+        faulty_stmt: 3,
+    }
+}
+
+/// Wrong operator: a running minimum is computed with `Max`.
+pub fn wrong_operator() -> FaultCase {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.stmt(0);
+    b.li(Reg(1), 3); // count
+    b.end_stmt();
+    b.stmt(1);
+    b.input(Reg(2), 0); // current best
+    b.end_stmt();
+    b.label("loop");
+    b.stmt(2);
+    b.input(Reg(3), 0);
+    b.end_stmt();
+    b.stmt(3); // <- fault: should be Min
+    b.bin(BinOp::Max, Reg(2), Reg(2), Reg(3));
+    b.end_stmt();
+    b.stmt(4);
+    b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+    b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+    b.end_stmt();
+    b.stmt(5);
+    b.output(Reg(2), 0);
+    b.halt();
+    b.end_stmt();
+    // inputs 9,4,7,2 -> min 2; buggy max -> 9.
+    FaultCase {
+        name: "wrong-operator",
+        program: Arc::new(b.build().unwrap()),
+        input: vec![9, 4, 7, 2],
+        expected_output: vec![2],
+        faulty_stmt: 3,
+    }
+}
+
+/// Wrong comparison: a clamp uses the wrong bound register, letting
+/// values through unclamped.
+pub fn wrong_comparison() -> FaultCase {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.stmt(0);
+    b.input(Reg(1), 0); // value
+    b.end_stmt();
+    b.stmt(1);
+    b.li(Reg(2), 50); // limit
+    b.end_stmt();
+    b.stmt(2); // <- fault: compares value with itself (should be r1 vs r2)
+    b.bin(BinOp::Ltu, Reg(3), Reg(1), Reg(1));
+    b.end_stmt();
+    b.stmt(3);
+    b.branch(BranchCond::Ne, Reg(3), Reg(0), "ok"); // "value < limit"?
+    b.end_stmt();
+    b.stmt(4);
+    b.mov(Reg(1), Reg(2)); // clamp to limit
+    b.end_stmt();
+    b.label("ok");
+    b.stmt(5);
+    b.output(Reg(1), 0);
+    b.halt();
+    b.end_stmt();
+    // input 30: correct clamp leaves 30 (30 < 50); buggy compare forces
+    // the clamp path -> outputs 50.
+    FaultCase {
+        name: "wrong-comparison",
+        program: Arc::new(b.build().unwrap()),
+        input: vec![30],
+        expected_output: vec![30],
+        faulty_stmt: 2,
+    }
+}
+
+/// All seeded-fault cases.
+pub fn faulty_cases() -> Vec<FaultCase> {
+    vec![wrong_constant(), wrong_operator(), wrong_comparison()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_vm::{Machine, MachineConfig};
+
+    #[test]
+    fn every_case_actually_fails() {
+        for case in faulty_cases() {
+            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
+            m.feed_input(0, &case.input);
+            let r = m.run();
+            assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
+            assert_ne!(
+                m.output(0),
+                case.expected_output.as_slice(),
+                "{}: the seeded bug must change the output",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn omission_cases_run_clean_but_wrong() {
+        for case in omission_cases() {
+            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
+            m.feed_input(0, &case.input);
+            let r = m.run();
+            assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
+            assert!(case.program.get(case.guard_addr).is_some());
+            assert!(case.program.get(case.root_addr).is_some());
+            assert!(case.program.fetch(case.guard_addr).is_branch(), "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn faulty_stmt_exists_in_program() {
+        for case in faulty_cases() {
+            assert!(
+                case.program.instructions().iter().any(|i| i.stmt == case.faulty_stmt),
+                "{}",
+                case.name
+            );
+        }
+    }
+}
+
+/// An execution-omission case: the program produces wrong output because
+/// code that should have run did not. `guard_addr` is the branch whose
+/// switching exposes the implicit dependence; `root_addr` is the
+/// instruction computing the wrong guard operand (the root cause).
+pub struct OmissionCase {
+    pub name: &'static str,
+    pub program: Arc<Program>,
+    pub input: Vec<u64>,
+    pub guard_addr: u32,
+    pub root_addr: u32,
+}
+
+/// Skipped fix-up store: a wrong predicate operand makes the guard take
+/// the skip path, so the output reads a stale value.
+pub fn omission_skipped_store() -> OmissionCase {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 100); // 0
+    b.li(Reg(2), 5); // 1
+    b.store(Reg(2), Reg(1), 0); // 2 stale
+    b.li(Reg(3), 0); // 3 <- root cause (should be 1)
+    let guard = b.branch(BranchCond::Eq, Reg(3), Reg(0), "skip"); // 4
+    b.li(Reg(4), 42);
+    b.store(Reg(4), Reg(1), 0); // omitted fix-up
+    b.label("skip");
+    b.load(Reg(5), Reg(1), 0);
+    b.output(Reg(5), 0);
+    b.halt();
+    OmissionCase {
+        name: "skipped-store",
+        program: Arc::new(b.build().unwrap()),
+        input: vec![],
+        guard_addr: guard,
+        root_addr: 3,
+    }
+}
+
+/// Early loop exit: an off-by-one bound makes the accumulation loop stop
+/// one iteration short, omitting the final update.
+pub fn omission_early_exit() -> OmissionCase {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 0); // 0 acc addr base
+    b.li(Reg(9), 200); // 1
+    b.li(Reg(2), 0); // 2 i
+    let root = b.li(Reg(3), 3); // 3 <- root cause: bound should be 4
+    b.li(Reg(4), 0); // 4 acc
+    b.label("loop");
+    let guard = b.branch(BranchCond::Geu, Reg(2), Reg(3), "done"); // 5
+    b.add(Reg(5), Reg(9), Reg(2));
+    b.load(Reg(6), Reg(5), 0);
+    b.add(Reg(4), Reg(4), Reg(6));
+    b.addi(Reg(2), Reg(2), 1);
+    b.jump("loop");
+    b.label("done");
+    b.output(Reg(4), 0);
+    b.halt();
+    b.data_block(200, &[10, 20, 30, 40]);
+    OmissionCase {
+        name: "early-exit",
+        program: Arc::new(b.build().unwrap()),
+        input: vec![],
+        guard_addr: guard,
+        root_addr: root,
+    }
+}
+
+/// Skipped call: a feature flag read as 0 skips the `normalize` call, so
+/// the emitted value misses its transformation.
+pub fn omission_skipped_call() -> OmissionCase {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 300); // 0
+    let root = b.load(Reg(2), Reg(1), 0); // 1 <- root cause: flag cell left 0
+    b.li(Reg(4), 90); // 2 value
+    let guard = b.branch(BranchCond::Eq, Reg(2), Reg(0), "no_norm"); // 3
+    b.call("normalize");
+    b.label("no_norm");
+    b.output(Reg(4), 0);
+    b.halt();
+    b.func("normalize");
+    b.bini(BinOp::Rem, Reg(4), Reg(4), 7);
+    b.ret();
+    // flag cell 300 left 0 in the image: the bug.
+    OmissionCase {
+        name: "skipped-call",
+        program: Arc::new(b.build().unwrap()),
+        input: vec![],
+        guard_addr: guard,
+        root_addr: root,
+    }
+}
+
+/// The omission suite for E8.
+pub fn omission_cases() -> Vec<OmissionCase> {
+    vec![omission_skipped_store(), omission_early_exit(), omission_skipped_call()]
+}

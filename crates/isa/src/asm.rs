@@ -1,0 +1,519 @@
+//! Text assembler: the parsing counterpart of [`crate::disasm`].
+//!
+//! Accepts a simple line-oriented syntax — one instruction, label or
+//! directive per line, `;` comments — that round-trips with the
+//! disassembler's output:
+//!
+//! ```text
+//! .func main
+//!     li    r1, 10
+//! loop:
+//!     subi  r1, r1, 1
+//!     bne   r1, r0, loop
+//!     out   r1, ch0
+//!     halt
+//! .data 100 1 2 3
+//! ```
+//!
+//! Branch/jump/call/spawn targets may be labels or absolute `@addr`
+//! references (the form the disassembler emits).
+
+use crate::builder::{BuildError, ProgramBuilder, Target};
+use crate::insn::{BinOp, BranchCond};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Assembly-parsing errors, with the offending 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// Syntax problem in a line.
+    Parse { line: usize, msg: String },
+    /// The assembled program failed builder validation.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            AsmError::Build(e) => write!(f, "assembly failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError::Parse { line, msg: msg.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let num = t
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{t}`")))?;
+    let r = Reg(n);
+    if !r.is_valid() {
+        return Err(err(line, format!("register out of range `{t}`")));
+    }
+    Ok(r)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v: i64 = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate `{t}`")))?
+    } else {
+        t.parse().map_err(|_| err(line, format!("bad immediate `{t}`")))?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(abs) = t.strip_prefix('@') {
+        let a: u32 = abs.parse().map_err(|_| err(line, format!("bad address `{t}`")))?;
+        Ok(Target::Abs(a))
+    } else if t.is_empty() {
+        Err(err(line, "missing target"))
+    } else {
+        Ok(Target::Label(t.to_string()))
+    }
+}
+
+/// Parse `offset(base)` memory operands like `-4(r2)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let open = t.find('(').ok_or_else(|| err(line, format!("expected offset(base), got `{t}`")))?;
+    let close = t
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("unclosed memory operand `{t}`")))?;
+    let off_str = &t[..open];
+    let base = parse_reg(&t[open + 1..close], line)?;
+    let offset = if off_str.is_empty() { 0 } else { parse_imm(off_str, line)? };
+    Ok((base, offset))
+}
+
+fn parse_channel(tok: &str, line: usize) -> Result<u16, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let n = t
+        .strip_prefix("ch")
+        .ok_or_else(|| err(line, format!("expected channel `chN`, got `{t}`")))?;
+    n.parse().map_err(|_| err(line, format!("bad channel `{t}`")))
+}
+
+fn bin_op(mnemonic: &str) -> Option<BinOp> {
+    Some(match mnemonic {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "sar" => BinOp::Sar,
+        "seq" => BinOp::Eq,
+        "sne" => BinOp::Ne,
+        "slt" => BinOp::Lt,
+        "sle" => BinOp::Le,
+        "sltu" => BinOp::Ltu,
+        "sleu" => BinOp::Leu,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        _ => return None,
+    })
+}
+
+fn branch_cond(mnemonic: &str) -> Option<BranchCond> {
+    Some(match mnemonic {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+/// Assemble a source string into a [`Program`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = line.strip_prefix(".func") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(err(line_no, ".func needs a name"));
+            }
+            b.func(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".entry") {
+            b.entry(rest.trim());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".data") {
+            let mut toks = rest.split_whitespace();
+            let addr: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(line_no, ".data needs an address"))?;
+            let words: Result<Vec<u64>, _> = toks.map(|t| t.parse::<u64>()).collect();
+            let words = words.map_err(|_| err(line_no, "bad .data word"))?;
+            b.data_block(addr, &words);
+            continue;
+        }
+
+        // Labels (possibly with a trailing instruction).
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            if label.contains(char::is_whitespace) {
+                break; // `:` belongs to something else
+            }
+            b.label(label.trim());
+            rest = tail[1..].trim();
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        // Instruction.
+        let mut toks = rest.split_whitespace();
+        let mnem = toks.next().expect("non-empty");
+        let ops: Vec<&str> = toks.collect();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if ops.len() < n {
+                Err(err(line_no, format!("`{mnem}` needs {n} operand(s)")))
+            } else {
+                Ok(())
+            }
+        };
+
+        match mnem {
+            "nop" => {
+                b.nop();
+            }
+            "li" => {
+                need(2)?;
+                b.li(parse_reg(ops[0], line_no)?, parse_imm(ops[1], line_no)?);
+            }
+            "mov" => {
+                need(2)?;
+                b.mov(parse_reg(ops[0], line_no)?, parse_reg(ops[1], line_no)?);
+            }
+            "ld" => {
+                need(2)?;
+                let (base, off) = parse_mem(ops[1], line_no)?;
+                b.load(parse_reg(ops[0], line_no)?, base, off);
+            }
+            "st" => {
+                need(2)?;
+                let (base, off) = parse_mem(ops[1], line_no)?;
+                b.store(parse_reg(ops[0], line_no)?, base, off);
+            }
+            "j" => {
+                need(1)?;
+                b.jump(parse_target(ops[0], line_no)?);
+            }
+            "jr" => {
+                need(1)?;
+                b.jump_ind(parse_reg(ops[0], line_no)?);
+            }
+            "call" => {
+                need(1)?;
+                b.call(parse_target(ops[0], line_no)?);
+            }
+            "callr" => {
+                need(1)?;
+                b.call_ind(parse_reg(ops[0], line_no)?);
+            }
+            "ret" => {
+                b.ret();
+            }
+            "in" => {
+                need(2)?;
+                b.input(parse_reg(ops[0], line_no)?, parse_channel(ops[1], line_no)?);
+            }
+            "out" => {
+                need(2)?;
+                b.output(parse_reg(ops[0], line_no)?, parse_channel(ops[1], line_no)?);
+            }
+            "alloc" => {
+                need(2)?;
+                b.alloc(parse_reg(ops[0], line_no)?, parse_reg(ops[1], line_no)?);
+            }
+            "free" => {
+                need(1)?;
+                b.free(parse_reg(ops[0], line_no)?);
+            }
+            "spawn" => {
+                need(3)?;
+                b.spawn(
+                    parse_reg(ops[0], line_no)?,
+                    parse_target(ops[1], line_no)?,
+                    parse_reg(ops[2], line_no)?,
+                );
+            }
+            "join" => {
+                need(1)?;
+                b.join(parse_reg(ops[0], line_no)?);
+            }
+            "amoadd" => {
+                need(3)?;
+                let (base, _) = parse_mem(ops[1], line_no)?;
+                b.fetch_add(parse_reg(ops[0], line_no)?, base, parse_reg(ops[2], line_no)?);
+            }
+            "amoswap" => {
+                need(3)?;
+                let (base, _) = parse_mem(ops[1], line_no)?;
+                b.swap(parse_reg(ops[0], line_no)?, base, parse_reg(ops[2], line_no)?);
+            }
+            "cas" => {
+                need(4)?;
+                let (base, _) = parse_mem(ops[1], line_no)?;
+                b.cas(
+                    parse_reg(ops[0], line_no)?,
+                    base,
+                    parse_reg(ops[2], line_no)?,
+                    parse_reg(ops[3], line_no)?,
+                );
+            }
+            "fence" => {
+                b.fence();
+            }
+            "yield" => {
+                b.yield_();
+            }
+            "assert" => {
+                need(2)?;
+                let msg = ops[1]
+                    .trim_start_matches('#')
+                    .parse()
+                    .map_err(|_| err(line_no, "assert needs #N message id"))?;
+                b.assert_(parse_reg(ops[0], line_no)?, msg);
+            }
+            "halt" => {
+                b.halt();
+            }
+            "exit" => {
+                need(1)?;
+                b.exit(parse_reg(ops[0], line_no)?);
+            }
+            other => {
+                // Register-register and register-immediate ALU forms:
+                // `add rd, rs1, rs2` / `addi rd, rs1, imm`.
+                if let Some(op) = bin_op(other) {
+                    need(3)?;
+                    b.bin(
+                        op,
+                        parse_reg(ops[0], line_no)?,
+                        parse_reg(ops[1], line_no)?,
+                        parse_reg(ops[2], line_no)?,
+                    );
+                } else if let Some(op) = other.strip_suffix('i').and_then(bin_op) {
+                    need(3)?;
+                    b.bini(
+                        op,
+                        parse_reg(ops[0], line_no)?,
+                        parse_reg(ops[1], line_no)?,
+                        parse_imm(ops[2], line_no)?,
+                    );
+                } else if let Some(cond) = branch_cond(other) {
+                    need(3)?;
+                    b.branch(
+                        cond,
+                        parse_reg(ops[0], line_no)?,
+                        parse_reg(ops[1], line_no)?,
+                        parse_target(ops[2], line_no)?,
+                    );
+                } else {
+                    return Err(err(line_no, format!("unknown mnemonic `{other}`")));
+                }
+            }
+        }
+    }
+    b.build().map_err(AsmError::Build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use crate::insn::Opcode;
+
+    #[test]
+    fn assemble_sum_loop_and_run_shape() {
+        let p = assemble(
+            r"
+            .func main
+                li    r1, 10
+                li    r2, 0
+            loop:
+                add   r2, r2, r1
+                subi  r1, r1, 1
+                bne   r1, r0, loop
+                out   r2, ch0
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.label("loop"), Some(2));
+        assert!(matches!(p.fetch(4).op, Opcode::Branch { target: 2, .. }));
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let p = assemble(
+            r"
+            .func main
+                li  r1, 100
+                st  r2, -4(r1)
+                ld  r3, 8(r1)
+                ld  r4, (r1)
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.fetch(1).op, Opcode::Store { rs: Reg(2), base: Reg(1), offset: -4 });
+        assert_eq!(p.fetch(2).op, Opcode::Load { rd: Reg(3), base: Reg(1), offset: 8 });
+        assert_eq!(p.fetch(3).op, Opcode::Load { rd: Reg(4), base: Reg(1), offset: 0 });
+    }
+
+    #[test]
+    fn directives_and_comments() {
+        let p = assemble(
+            r"
+            ; a program with two functions
+            .func helper
+                ret
+            .func main     ; entry by name
+                call helper
+                halt
+            .data 50 7 8 9
+            .entry main
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.entry(), 1);
+        assert_eq!(p.data_image().get(&51), Some(&8));
+    }
+
+    #[test]
+    fn threads_atomics_and_io() {
+        let p = assemble(
+            r"
+            .func main
+                li      r1, 0
+                spawn   r5, worker, r1
+                join    r5
+                amoadd  r2, (r3), r4
+                amoswap r2, (r3), r4
+                cas     r2, (r3), r4, r5
+                in      r6, ch2
+                out     r6, ch3
+                fence
+                yield
+                assert  r6, #9
+                halt
+            .func worker
+                exit r0
+            ",
+        )
+        .unwrap();
+        assert!(matches!(p.fetch(1).op, Opcode::Spawn { .. }));
+        assert!(matches!(p.fetch(3).op, Opcode::Atomic { op: crate::insn::AtomicOp::FetchAdd, .. }));
+        assert!(matches!(p.fetch(5).op, Opcode::Cas { .. }));
+        assert!(matches!(p.fetch(10).op, Opcode::Assert { msg: 9, .. }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".func main\n  bogus r1\n  halt").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 2, .. }), "{e}");
+        let e = assemble(".func main\n  li r99, 1\n  halt").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 2, .. }));
+        let e = assemble(".func main\n  j nowhere").unwrap_err();
+        assert!(matches!(e, AsmError::Build(BuildError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        let src = r"
+            .func main
+                li    r1, 5
+                li    r2, 100
+            loop:
+                st    r1, (r2)
+                ld    r3, (r2)
+                muli  r3, r3, 3
+                subi  r1, r1, 1
+                bne   r1, r0, loop
+                callr r3
+                out   r3, ch1
+                halt
+            .func f
+                slt   r4, r1, r2
+                ret
+        ";
+        let p1 = assemble(src).unwrap();
+        // Disassemble and re-assemble: instructions must be identical.
+        let text = disassemble(&p1);
+        // Strip address columns and function headers back into our syntax.
+        let mut src2 = String::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            if let Some(name) = t.strip_suffix(':') {
+                src2.push_str(&format!(".func {name}\n"));
+            } else {
+                // drop the leading address
+                let insn = t.splitn(2, ' ').nth(1).unwrap_or("").trim();
+                src2.push_str(insn);
+                src2.push('\n');
+            }
+        }
+        let p2 = assemble(&src2).unwrap();
+        assert_eq!(p1.instructions().len(), p2.instructions().len());
+        for (a, b) in p1.instructions().iter().zip(p2.instructions()) {
+            assert_eq!(a.op, b.op);
+        }
+    }
+
+    #[test]
+    fn absolute_targets_parse() {
+        let p = assemble(
+            r"
+            .func main
+                j     @2
+                nop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.fetch(0).op, Opcode::Jump { target: 2 });
+    }
+}

@@ -1,0 +1,274 @@
+//! Basic-block discovery and per-function control-flow graphs.
+//!
+//! ONTRAC's static optimizations and the slicer's control-dependence
+//! computation both need a CFG of each function. Indirect jumps have no
+//! static successors; blocks ending in one are flagged so analyses can be
+//! conservative around them.
+
+use crate::insn::Opcode;
+use crate::program::{FuncId, Program};
+use crate::Addr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Basic-block identifier (index into [`Cfg::blocks`]).
+pub type BlockId = u32;
+
+/// A maximal straight-line instruction sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction address.
+    pub start: Addr,
+    /// One past the last instruction.
+    pub end: Addr,
+    /// Successor blocks within the same function.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks within the same function.
+    pub preds: Vec<BlockId>,
+    /// True when the block ends in an indirect jump (`JumpInd`), whose
+    /// successors are unknown statically.
+    pub has_indirect_exit: bool,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Addresses of the block's instructions.
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> {
+        self.start..self.end
+    }
+
+    /// Address of the block terminator (last instruction).
+    #[inline]
+    pub fn terminator(&self) -> Addr {
+        self.end - 1
+    }
+}
+
+/// The control-flow graph of one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub func: FuncId,
+    pub blocks: Vec<BasicBlock>,
+    /// Block containing the function entry.
+    pub entry: BlockId,
+    /// Blocks with no successors (returns, halts, indirect exits).
+    pub exits: Vec<BlockId>,
+    addr_to_block: BTreeMap<Addr, BlockId>,
+}
+
+impl Cfg {
+    /// Build the CFG of function `func` of `program`.
+    ///
+    /// Calls are *not* block boundaries crossing into the callee: within a
+    /// function, a call's successor is its fall-through, matching how
+    /// dependence tracing treats calls (the callee's effects appear in the
+    /// dynamic stream, not the static CFG).
+    pub fn build(program: &Program, func: FuncId) -> Cfg {
+        let f = &program.funcs()[func as usize];
+        let (lo, hi) = (f.entry, f.end);
+
+        // Leaders: entry, every static branch target inside the function,
+        // and every instruction following a block end.
+        let mut leaders: BTreeSet<Addr> = BTreeSet::new();
+        leaders.insert(lo);
+        for at in lo..hi {
+            let insn = program.fetch(at);
+            match insn.op {
+                Opcode::Jump { target } | Opcode::Branch { target, .. } => {
+                    if target >= lo && target < hi {
+                        leaders.insert(target);
+                    }
+                }
+                _ => {}
+            }
+            if insn.is_block_end() && at + 1 < hi {
+                leaders.insert(at + 1);
+            }
+        }
+
+        // Carve blocks.
+        let leader_list: Vec<Addr> = leaders.iter().copied().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(leader_list.len());
+        let mut addr_to_block = BTreeMap::new();
+        for (i, &start) in leader_list.iter().enumerate() {
+            let end = leader_list.get(i + 1).copied().unwrap_or(hi);
+            addr_to_block.insert(start, i as BlockId);
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+                has_indirect_exit: false,
+            });
+        }
+
+        // Wire edges.
+        let block_of = |addr: Addr, map: &BTreeMap<Addr, BlockId>| -> Option<BlockId> {
+            map.range(..=addr).next_back().map(|(_, &b)| b)
+        };
+        for b in 0..blocks.len() {
+            let term = blocks[b].terminator();
+            let insn = program.fetch(term);
+            if matches!(insn.op, Opcode::JumpInd { .. }) {
+                blocks[b].has_indirect_exit = true;
+                continue;
+            }
+            for succ_addr in insn.static_successors(term) {
+                if succ_addr >= lo && succ_addr < hi {
+                    if let Some(s) = block_of(succ_addr, &addr_to_block) {
+                        // A static successor is always a leader, so the
+                        // lookup is exact; keep the range form for safety.
+                        debug_assert_eq!(blocks[s as usize].start, succ_addr);
+                        if !blocks[b].succs.contains(&s) {
+                            blocks[b].succs.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        for b in 0..blocks.len() {
+            let succs = blocks[b].succs.clone();
+            for s in succs {
+                blocks[s as usize].preds.push(b as BlockId);
+            }
+        }
+
+        let exits = blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, blk)| blk.succs.is_empty())
+            .map(|(i, _)| i as BlockId)
+            .collect();
+
+        Cfg { func, blocks, entry: 0, exits, addr_to_block }
+    }
+
+    /// Build CFGs for every function of `program`.
+    pub fn build_all(program: &Program) -> Vec<Cfg> {
+        (0..program.funcs().len() as FuncId).map(|f| Cfg::build(program, f)).collect()
+    }
+
+    /// The block containing address `addr`, if it lies in this function.
+    pub fn block_at(&self, addr: Addr) -> Option<BlockId> {
+        let (_, &b) = self.addr_to_block.range(..=addr).next_back()?;
+        let blk = &self.blocks[b as usize];
+        (addr >= blk.start && addr < blk.end).then_some(b)
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::insn::BranchCond;
+    use crate::reg::Reg;
+
+    /// A diamond: entry -> (then | else) -> join.
+    fn diamond() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0); // 0
+        b.branch(BranchCond::Eq, Reg(1), Reg(0), "else"); // 1
+        b.li(Reg(2), 1); // 2 then
+        b.jump("join"); // 3
+        b.label("else");
+        b.li(Reg(2), 2); // 4
+        b.label("join");
+        b.halt(); // 5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let p = diamond();
+        let cfg = Cfg::build(&p, 0);
+        assert_eq!(cfg.len(), 4);
+        let entry = &cfg.blocks[cfg.entry as usize];
+        assert_eq!(entry.succs.len(), 2);
+        // join block has two preds
+        let join = cfg.block_at(5).unwrap();
+        assert_eq!(cfg.blocks[join as usize].preds.len(), 2);
+        assert_eq!(cfg.exits, vec![join]);
+    }
+
+    #[test]
+    fn block_at_maps_interior_addresses() {
+        let p = diamond();
+        let cfg = Cfg::build(&p, 0);
+        assert_eq!(cfg.block_at(0), Some(cfg.block_at(1).unwrap()));
+        assert_ne!(cfg.block_at(2), cfg.block_at(4));
+        assert_eq!(cfg.block_at(99), None);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 10); // 0
+        b.label("loop");
+        b.bini(crate::insn::BinOp::Sub, Reg(1), Reg(1), 1); // 1
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop"); // 2
+        b.halt(); // 3
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        // blocks: [0], [1-2], [3]
+        assert_eq!(cfg.len(), 3);
+        let body = cfg.block_at(1).unwrap();
+        assert!(cfg.blocks[body as usize].succs.contains(&body), "self loop edge");
+    }
+
+    #[test]
+    fn call_is_a_block_end_with_fallthrough() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.call("f"); // 0
+        b.halt(); // 1
+        b.func("f");
+        b.ret(); // 2
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        assert_eq!(cfg.len(), 2);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn indirect_exit_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 2);
+        b.jump_ind(Reg(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let blk = cfg.block_at(1).unwrap();
+        assert!(cfg.blocks[blk as usize].has_indirect_exit);
+        assert!(cfg.blocks[blk as usize].succs.is_empty());
+    }
+
+    #[test]
+    fn build_all_covers_every_function() {
+        let p = diamond();
+        let cfgs = Cfg::build_all(&p);
+        assert_eq!(cfgs.len(), p.funcs().len());
+    }
+}

@@ -1,0 +1,284 @@
+//! Dominator / post-dominator trees and static control dependence.
+//!
+//! Implemented with the Cooper–Harvey–Kennedy iterative algorithm over a
+//! reverse-postorder numbering. Post-dominators run the same algorithm on
+//! the reversed CFG with a virtual exit joining every real exit (and every
+//! indirect-exit block, conservatively).
+//!
+//! Static control dependence (Ferrante et al.): block `B` is control
+//! dependent on branch block `A` iff `A` has a successor through which `B`
+//! is always reached (B post-dominates it) and another through which it is
+//! not. The slicer and ONTRAC's forward-slice filter consume this.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// Sentinel for "no immediate dominator" (the root).
+pub const NO_DOM: u32 = u32::MAX;
+
+/// A (post-)dominator tree over the blocks of one CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of `b`, or [`NO_DOM`] for the
+    /// root and for unreachable blocks.
+    pub idom: Vec<u32>,
+    /// Root of the tree (function entry, or the virtual exit for
+    /// post-dominators, encoded as `blocks.len()`).
+    pub root: u32,
+}
+
+impl DomTree {
+    /// Dominator tree of `cfg` rooted at its entry block.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let n = cfg.blocks.len();
+        let succs: Vec<Vec<u32>> =
+            cfg.blocks.iter().map(|b| b.succs.iter().map(|&s| s).collect()).collect();
+        let preds: Vec<Vec<u32>> =
+            cfg.blocks.iter().map(|b| b.preds.iter().map(|&p| p).collect()).collect();
+        let idom = Self::compute(n, cfg.entry, &succs, &preds);
+        DomTree { idom, root: cfg.entry }
+    }
+
+    /// Post-dominator tree of `cfg`, rooted at a virtual exit with id
+    /// `cfg.blocks.len()`. The returned `idom` has `n + 1` entries; the
+    /// last is the virtual exit itself.
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        let n = cfg.blocks.len();
+        let virt = n as u32;
+        // Reverse the graph and splice in the virtual exit.
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                // reversed edge s -> b
+                succs[s as usize].push(b as u32);
+                preds[b].push(s);
+            }
+        }
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            if blk.succs.is_empty() {
+                // reversed edge virt -> b
+                succs[virt as usize].push(b as u32);
+                preds[b].push(virt);
+            }
+        }
+        let idom = Self::compute(n + 1, virt, &succs, &preds);
+        DomTree { idom, root: virt }
+    }
+
+    /// Cooper–Harvey–Kennedy on an explicit successor/predecessor list.
+    fn compute(n: usize, root: u32, succs: &[Vec<u32>], preds: &[Vec<u32>]) -> Vec<u32> {
+        // Reverse postorder from root.
+        let mut order = Vec::with_capacity(n); // postorder
+        let mut state = vec![0u8; n]; // 0 unseen, 1 open, 2 done
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        state[root as usize] = 1;
+        while let Some(frame) = stack.last_mut() {
+            let node = frame.0;
+            if frame.1 < succs[node as usize].len() {
+                let next = succs[node as usize][frame.1];
+                frame.1 += 1;
+                if state[next as usize] == 0 {
+                    state[next as usize] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[node as usize] = 2;
+                order.push(node);
+                stack.pop();
+            }
+        }
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in order.iter().rev().enumerate() {
+            rpo_index[b as usize] = i;
+        }
+        let rpo: Vec<u32> = order.iter().rev().copied().collect();
+
+        let mut idom = vec![NO_DOM; n];
+        idom[root as usize] = root;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed (reachable) predecessor.
+                let mut new_idom = NO_DOM;
+                for &p in &preds[b as usize] {
+                    if idom[p as usize] != NO_DOM {
+                        new_idom = if new_idom == NO_DOM {
+                            p
+                        } else {
+                            Self::intersect(&idom, &rpo_index, p, new_idom)
+                        };
+                    }
+                }
+                if new_idom != NO_DOM && idom[b as usize] != new_idom {
+                    idom[b as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // Root's idom is conventionally NO_DOM for callers.
+        idom[root as usize] = NO_DOM;
+        idom
+    }
+
+    fn intersect(idom: &[u32], rpo_index: &[usize], mut a: u32, mut b: u32) -> u32 {
+        while a != b {
+            while rpo_index[a as usize] > rpo_index[b as usize] {
+                a = idom[a as usize];
+            }
+            while rpo_index[b as usize] > rpo_index[a as usize] {
+                b = idom[b as usize];
+            }
+        }
+        a
+    }
+
+    /// True when `a` (post-)dominates `b` in this tree.
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[cur as usize];
+            if next == NO_DOM || next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+}
+
+/// `result[b]` is the list of branch blocks that block `b` is statically
+/// control dependent on (Ferrante-style, computed from the post-dominator
+/// tree). Blocks ending in an indirect jump produce no dependences (their
+/// successors are unknown); consumers must treat them conservatively.
+pub fn control_dependence(cfg: &Cfg) -> Vec<Vec<BlockId>> {
+    let n = cfg.blocks.len();
+    let pdom = DomTree::postdominators(cfg);
+    let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for (a, blk) in cfg.blocks.iter().enumerate() {
+        if blk.succs.len() < 2 {
+            continue;
+        }
+        for &s in &blk.succs {
+            // Walk the post-dominator tree from s up to (but excluding)
+            // ipdom(a); every node on the way is control dependent on a.
+            let stop = pdom.idom[a];
+            let mut cur = s;
+            loop {
+                if cur == stop || cur as usize >= n {
+                    break;
+                }
+                if !deps[cur as usize].contains(&(a as BlockId)) {
+                    deps[cur as usize].push(a as BlockId);
+                }
+                let next = pdom.idom[cur as usize];
+                if next == NO_DOM || next == cur {
+                    break;
+                }
+                cur = next;
+            }
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::insn::BranchCond;
+    use crate::program::Program;
+    use crate::reg::Reg;
+
+    fn diamond() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0); // B0
+        b.branch(BranchCond::Eq, Reg(1), Reg(0), "else");
+        b.li(Reg(2), 1); // B1 (then)
+        b.jump("join");
+        b.label("else");
+        b.li(Reg(2), 2); // B2 (else)
+        b.label("join");
+        b.halt(); // B3
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let p = diamond();
+        let cfg = Cfg::build(&p, 0);
+        let dom = DomTree::dominators(&cfg);
+        // entry dominates everything
+        for b in 0..cfg.len() as u32 {
+            assert!(dom.dominates(cfg.entry, b), "entry should dominate {b}");
+        }
+        // neither arm dominates the join
+        let join = cfg.block_at(5).unwrap();
+        let then = cfg.block_at(2).unwrap();
+        let els = cfg.block_at(4).unwrap();
+        assert!(!dom.dominates(then, join));
+        assert!(!dom.dominates(els, join));
+        assert_eq!(dom.idom[join as usize], cfg.entry);
+    }
+
+    #[test]
+    fn postdominators_of_diamond() {
+        let p = diamond();
+        let cfg = Cfg::build(&p, 0);
+        let pdom = DomTree::postdominators(&cfg);
+        let join = cfg.block_at(5).unwrap();
+        let then = cfg.block_at(2).unwrap();
+        // join postdominates both arms and the entry
+        assert!(pdom.dominates(join, then));
+        assert!(pdom.dominates(join, cfg.entry));
+        // an arm does not postdominate the entry
+        assert!(!pdom.dominates(then, cfg.entry));
+    }
+
+    #[test]
+    fn control_dependence_of_diamond() {
+        let p = diamond();
+        let cfg = Cfg::build(&p, 0);
+        let cd = control_dependence(&cfg);
+        let then = cfg.block_at(2).unwrap();
+        let els = cfg.block_at(4).unwrap();
+        let join = cfg.block_at(5).unwrap();
+        assert_eq!(cd[then as usize], vec![cfg.entry]);
+        assert_eq!(cd[els as usize], vec![cfg.entry]);
+        assert!(cd[join as usize].is_empty(), "join is not control dependent on the branch");
+    }
+
+    #[test]
+    fn loop_body_control_depends_on_loop_branch() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 10); // B0
+        b.label("loop");
+        b.bini(crate::insn::BinOp::Sub, Reg(1), Reg(1), 1); // B1
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+        b.halt(); // B2
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let cd = control_dependence(&cfg);
+        let body = cfg.block_at(1).unwrap();
+        // the loop body is control dependent on its own branch (it
+        // executes again only if the branch is taken)
+        assert_eq!(cd[body as usize], vec![body]);
+    }
+
+    #[test]
+    fn straight_line_has_no_control_dependence() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 1);
+        b.li(Reg(2), 2);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let cd = control_dependence(&cfg);
+        assert!(cd.iter().all(|d| d.is_empty()));
+    }
+}

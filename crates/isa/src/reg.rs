@@ -1,0 +1,72 @@
+//! Architectural registers.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of general-purpose registers.
+///
+/// Register 0 is an ordinary register by convention used as a scratch /
+/// zero register by the builder helpers, but the hardware does not pin it.
+pub const NUM_REGS: usize = 32;
+
+/// Conventional stack-pointer register used by builder call helpers.
+pub const SP: Reg = Reg(29);
+/// Conventional argument registers for builder call helpers.
+pub const ARG_REGS: [Reg; 4] = [Reg(4), Reg(5), Reg(6), Reg(7)];
+/// Conventional return-value register.
+pub const RET: Reg = Reg(2);
+
+/// A general-purpose register identifier (`0..NUM_REGS`).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Index into a register file array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True when the register id is architecturally valid.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_REGS
+    }
+}
+
+impl std::fmt::Debug for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(format!("{:?}", Reg(31)), "r31");
+    }
+
+    #[test]
+    fn reg_validity() {
+        assert!(Reg(0).is_valid());
+        assert!(Reg(31).is_valid());
+        assert!(!Reg(32).is_valid());
+        assert!(!Reg(255).is_valid());
+    }
+
+    #[test]
+    fn reg_index_round_trip() {
+        for i in 0..NUM_REGS {
+            assert_eq!(Reg(i as u8).index(), i);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Intra-block static def-use inference.
+//!
+//! ONTRAC's first optimization: dependences between instructions of the
+//! same basic block that flow through *registers* are fully determined by
+//! the binary — there is no need to record them dynamically. This module
+//! computes, for each basic block, which register uses are *statically
+//! resolved* (their reaching definition is an earlier instruction of the
+//! same block) and which are *live-in* (the dynamic tracer must record
+//! them).
+//!
+//! Memory dependences can never be statically resolved here (addresses are
+//! dynamic), except that the paper's *redundant load* optimization handles
+//! the dynamic-memory side separately (`dift-ddg`).
+
+use crate::cfg::BasicBlock;
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS};
+use crate::Addr;
+
+/// One statically inferred register dependence inside a block:
+/// instruction `user` reads register `reg` defined by instruction `def`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticDep {
+    pub user: Addr,
+    pub def: Addr,
+    pub reg: Reg,
+}
+
+/// Per-block summary used by the ONTRAC tracer.
+#[derive(Clone, Debug, Default)]
+pub struct BlockDeps {
+    /// Register dependences fully resolved inside the block (not traced).
+    pub internal: Vec<StaticDep>,
+    /// `(user, reg)` pairs whose reaching definition is outside the block;
+    /// the dynamic tracer must look these up in its shadow state.
+    pub live_in: Vec<(Addr, Reg)>,
+    /// Registers defined by the block with the defining instruction that
+    /// is *last* (the block's register outputs).
+    pub defs_out: Vec<(Reg, Addr)>,
+}
+
+/// Compute the static dependence summary of `block` in `program`.
+pub fn block_static_deps(program: &Program, block: &BasicBlock) -> BlockDeps {
+    let mut last_def: [Option<Addr>; NUM_REGS] = [None; NUM_REGS];
+    let mut out = BlockDeps::default();
+    for at in block.addrs() {
+        let insn = program.fetch(at);
+        for r in &insn.reg_uses() {
+            match last_def[r.index()] {
+                Some(def) => out.internal.push(StaticDep { user: at, def, reg: r }),
+                None => out.live_in.push((at, r)),
+            }
+        }
+        if let Some(rd) = insn.def() {
+            last_def[rd.index()] = Some(at);
+        }
+    }
+    for (i, def) in last_def.iter().enumerate() {
+        if let Some(at) = def {
+            out.defs_out.push((Reg(i as u8), *at));
+        }
+    }
+    out
+}
+
+impl BlockDeps {
+    /// Fraction of register uses in the block resolved statically — the
+    /// quantity that determines how many dependence records ONTRAC can
+    /// skip for this block.
+    pub fn static_ratio(&self) -> f64 {
+        let total = self.internal.len() + self.live_in.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.internal.len() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::cfg::Cfg;
+    use crate::insn::BinOp;
+
+    #[test]
+    fn internal_deps_resolved_statically() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 1); // 0
+        b.li(Reg(2), 2); // 1
+        b.bin(BinOp::Add, Reg(3), Reg(1), Reg(2)); // 2: uses defs at 0,1
+        b.bin(BinOp::Mul, Reg(4), Reg(3), Reg(1)); // 3: uses defs at 2,0
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let deps = block_static_deps(&p, &cfg.blocks[0]);
+        assert_eq!(deps.internal.len(), 4);
+        assert!(deps.internal.contains(&StaticDep { user: 2, def: 0, reg: Reg(1) }));
+        assert!(deps.internal.contains(&StaticDep { user: 3, def: 2, reg: Reg(3) }));
+        assert!(deps.live_in.is_empty());
+        assert_eq!(deps.static_ratio(), 1.0);
+    }
+
+    #[test]
+    fn live_in_uses_are_reported() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.bin(BinOp::Add, Reg(3), Reg(1), Reg(2)); // r1, r2 live-in
+        b.bin(BinOp::Add, Reg(4), Reg(3), Reg(9)); // r3 internal, r9 live-in
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let deps = block_static_deps(&p, &cfg.blocks[0]);
+        assert_eq!(deps.live_in.len(), 3);
+        assert_eq!(deps.internal.len(), 1);
+        assert!((deps.static_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defs_out_reports_last_definition() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 1); // 0
+        b.li(Reg(1), 2); // 1 (kills 0)
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let deps = block_static_deps(&p, &cfg.blocks[0]);
+        assert_eq!(deps.defs_out, vec![(Reg(1), 1)]);
+    }
+
+    #[test]
+    fn redefinition_breaks_static_chain() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 1); // 0
+        b.li(Reg(1), 2); // 1
+        b.mov(Reg(2), Reg(1)); // 2: dep on 1, not 0
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let deps = block_static_deps(&p, &cfg.blocks[0]);
+        assert!(deps.internal.contains(&StaticDep { user: 2, def: 1, reg: Reg(1) }));
+        assert!(!deps.internal.contains(&StaticDep { user: 2, def: 0, reg: Reg(1) }));
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, 0);
+        let deps = block_static_deps(&p, &cfg.blocks[0]);
+        assert_eq!(deps.static_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Property tests: assembler/disassembler round-trip on random programs
+//! and CFG structural invariants.
+
+use dift_isa::{
+    assemble, disasm::disassemble, AtomicOp, BinOp, BranchCond, Cfg, Instruction, Opcode,
+    ProgramBuilder, Reg,
+};
+use proptest::prelude::*;
+
+const BIN_OPS: [BinOp; 19] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Sar,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Ltu,
+    BinOp::Leu,
+    BinOp::Min,
+    BinOp::Max,
+];
+
+const CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
+
+/// A strategy over "emittable" opcodes (targets filled in later, bounded
+/// by the program length).
+#[derive(Clone, Debug)]
+enum Emit {
+    Nop,
+    Li(u8, i64),
+    Mov(u8, u8),
+    Bin(usize, u8, u8, u8),
+    BinImm(usize, u8, u8, i64),
+    Load(u8, u8, i64),
+    Store(u8, u8, i64),
+    Branch(usize, u8, u8),
+    In(u8, u16),
+    Out(u8, u16),
+    FetchAdd(u8, u8, u8),
+    Swap(u8, u8, u8),
+    Cas(u8, u8, u8, u8),
+    Fence,
+    Yield,
+    Assert(u8, u32),
+}
+
+fn emit() -> impl Strategy<Value = Emit> {
+    let r = 0u8..32;
+    prop_oneof![
+        Just(Emit::Nop),
+        (r.clone(), -4096i64..4096).prop_map(|(a, i)| Emit::Li(a, i)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| Emit::Mov(a, b)),
+        (0..BIN_OPS.len(), r.clone(), r.clone(), r.clone())
+            .prop_map(|(o, a, b, c)| Emit::Bin(o, a, b, c)),
+        (0..BIN_OPS.len(), r.clone(), r.clone(), -512i64..512)
+            .prop_map(|(o, a, b, i)| Emit::BinImm(o, a, b, i)),
+        (r.clone(), r.clone(), -64i64..64).prop_map(|(a, b, o)| Emit::Load(a, b, o)),
+        (r.clone(), r.clone(), -64i64..64).prop_map(|(a, b, o)| Emit::Store(a, b, o)),
+        (0..CONDS.len(), r.clone(), r.clone()).prop_map(|(c, a, b)| Emit::Branch(c, a, b)),
+        (r.clone(), 0u16..8).prop_map(|(a, c)| Emit::In(a, c)),
+        (r.clone(), 0u16..8).prop_map(|(a, c)| Emit::Out(a, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Emit::FetchAdd(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Emit::Swap(a, b, c)),
+        (r.clone(), r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c, d)| Emit::Cas(a, b, c, d)),
+        Just(Emit::Fence),
+        Just(Emit::Yield),
+        (r, 0u32..100).prop_map(|(a, m)| Emit::Assert(a, m)),
+    ]
+}
+
+fn build_program(emits: &[Emit]) -> dift_isa::Program {
+    let n = emits.len() as u32 + 1; // + halt
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    for (i, e) in emits.iter().enumerate() {
+        match e.clone() {
+            Emit::Nop => {
+                b.nop();
+            }
+            Emit::Li(a, imm) => {
+                b.li(Reg(a), imm);
+            }
+            Emit::Mov(a, c) => {
+                b.mov(Reg(a), Reg(c));
+            }
+            Emit::Bin(o, a, c, d) => {
+                b.bin(BIN_OPS[o], Reg(a), Reg(c), Reg(d));
+            }
+            Emit::BinImm(o, a, c, imm) => {
+                b.bini(BIN_OPS[o], Reg(a), Reg(c), imm);
+            }
+            Emit::Load(a, c, off) => {
+                b.load(Reg(a), Reg(c), off);
+            }
+            Emit::Store(a, c, off) => {
+                b.store(Reg(a), Reg(c), off);
+            }
+            Emit::Branch(c, a, d) => {
+                // Deterministic in-range target derived from position.
+                let target = ((i as u32) * 7 + 3) % n;
+                b.branch(CONDS[c], Reg(a), Reg(d), target);
+            }
+            Emit::In(a, ch) => {
+                b.input(Reg(a), ch);
+            }
+            Emit::Out(a, ch) => {
+                b.output(Reg(a), ch);
+            }
+            Emit::FetchAdd(a, c, d) => {
+                b.fetch_add(Reg(a), Reg(c), Reg(d));
+            }
+            Emit::Swap(a, c, d) => {
+                b.swap(Reg(a), Reg(c), Reg(d));
+            }
+            Emit::Cas(a, c, d, e2) => {
+                b.cas(Reg(a), Reg(c), Reg(d), Reg(e2));
+            }
+            Emit::Fence => {
+                b.fence();
+            }
+            Emit::Yield => {
+                b.yield_();
+            }
+            Emit::Assert(a, m) => {
+                b.assert_(Reg(a), m);
+            }
+        }
+    }
+    b.halt();
+    b.build().unwrap()
+}
+
+/// Convert a disassembly listing back into assembler syntax.
+fn relisting(text: &str) -> String {
+    let mut src = String::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(name) = t.strip_suffix(':') {
+            src.push_str(&format!(".func {name}\n"));
+        } else {
+            let insn = t.splitn(2, ' ').nth(1).unwrap_or("").trim();
+            src.push_str(insn);
+            src.push('\n');
+        }
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// disassemble ∘ assemble is the identity on instructions for random
+    /// programs over (almost) the whole opcode space.
+    #[test]
+    fn disasm_asm_round_trip(emits in proptest::collection::vec(emit(), 1..60)) {
+        let p1 = build_program(&emits);
+        let text = disassemble(&p1);
+        let p2 = assemble(&relisting(&text))
+            .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        prop_assert_eq!(p1.len(), p2.len());
+        for (a, b) in p1.instructions().iter().zip(p2.instructions()) {
+            prop_assert_eq!(a.op, b.op, "listing:\n{}", text);
+        }
+    }
+
+    /// CFG structural invariants: blocks partition the function, edges
+    /// are symmetric, and every non-exit terminator's static successors
+    /// are block leaders.
+    #[test]
+    fn cfg_invariants(emits in proptest::collection::vec(emit(), 1..60)) {
+        let p = build_program(&emits);
+        let cfg = Cfg::build(&p, 0);
+        // Partition: block ranges are contiguous and cover the function.
+        let mut expected_start = 0u32;
+        for blk in &cfg.blocks {
+            prop_assert_eq!(blk.start, expected_start);
+            prop_assert!(blk.end > blk.start);
+            expected_start = blk.end;
+        }
+        prop_assert_eq!(expected_start as usize, p.len());
+        // Edge symmetry.
+        for (i, blk) in cfg.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                prop_assert!(cfg.blocks[s as usize].preds.contains(&(i as u32)));
+            }
+            for &pr in &blk.preds {
+                prop_assert!(cfg.blocks[pr as usize].succs.contains(&(i as u32)));
+            }
+        }
+        // block_at agrees with the partition.
+        for (i, blk) in cfg.blocks.iter().enumerate() {
+            for a in blk.addrs() {
+                prop_assert_eq!(cfg.block_at(a), Some(i as u32));
+            }
+        }
+    }
+
+    /// Instruction def/use queries never mention invalid registers and
+    /// the data/addr split partitions reg_uses.
+    #[test]
+    fn operand_queries_are_consistent(emits in proptest::collection::vec(emit(), 1..60)) {
+        let p = build_program(&emits);
+        for insn @ Instruction { op, .. } in p.instructions() {
+            let uses = insn.reg_uses();
+            for r in &uses {
+                prop_assert!(r.is_valid());
+            }
+            for r in &insn.data_uses() {
+                // In/Out channel regs etc: data uses are a subset of uses.
+                prop_assert!(uses.contains(r), "{op:?}: data use {r} not in reg_uses");
+            }
+            for r in &insn.addr_uses() {
+                prop_assert!(uses.contains(r), "{op:?}: addr use {r} not in reg_uses");
+            }
+            if let Some(rd) = insn.def() {
+                prop_assert!(rd.is_valid());
+            }
+            // Atomics read and write memory; loads read; stores write.
+            if let Some(mr) = insn.mem_ref() {
+                prop_assert!(mr.base.is_valid());
+            }
+        }
+    }
+}

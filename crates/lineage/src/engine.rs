@@ -1,0 +1,272 @@
+//! The set-valued DIFT engine.
+
+use crate::backend::LineageBackend;
+use crate::costs;
+use dift_dbi::Tool;
+use dift_isa::{MemAddr, Opcode, NUM_REGS};
+use dift_vm::{Machine, RunResult, StepEffects, ThreadId};
+use std::collections::HashMap;
+
+/// Lineage-tracing statistics (the E7 rows).
+#[derive(Clone, Debug, Default)]
+pub struct LineageStats {
+    pub instrs: u64,
+    pub unions: u64,
+    /// Peak bytes of shadow lineage state.
+    pub peak_shadow_bytes: usize,
+    /// Peak tainted (lineage-carrying) memory words.
+    pub peak_tracked_words: usize,
+    /// Largest single lineage set observed at an output.
+    pub max_output_set: u64,
+}
+
+/// The lineage engine, generic over the set backend.
+pub struct LineageEngine<B: LineageBackend> {
+    backend: B,
+    regs: Vec<Vec<B::Set>>,
+    mem: HashMap<MemAddr, B::Set>,
+    inputs_seen: u64,
+    /// `(channel, emit index, lineage elements)` per output word.
+    pub outputs: Vec<(u16, u64, Vec<u64>)>,
+    out_counts: HashMap<u16, u64>,
+    stats: LineageStats,
+    /// Sample shadow memory every N instructions (full scans are
+    /// expensive for the naive backend).
+    sample_every: u64,
+}
+
+impl<B: LineageBackend> LineageEngine<B> {
+    pub fn new(backend: B) -> LineageEngine<B> {
+        LineageEngine {
+            backend,
+            regs: Vec::new(),
+            mem: HashMap::new(),
+            inputs_seen: 0,
+            outputs: Vec::new(),
+            out_counts: HashMap::new(),
+            stats: LineageStats::default(),
+            sample_every: 64,
+        }
+    }
+
+    pub fn stats(&self) -> &LineageStats {
+        &self.stats
+    }
+
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    fn ensure_tid(&mut self, tid: ThreadId) {
+        while self.regs.len() <= tid as usize {
+            let empty = self.backend.empty();
+            self.regs.push(vec![empty; NUM_REGS]);
+        }
+    }
+
+    /// Lineage of an output word, resolved to sorted input indices.
+    pub fn output_lineage(&self, channel: u16, index: u64) -> Option<&[u64]> {
+        self.outputs
+            .iter()
+            .find(|(ch, i, _)| *ch == channel && *i == index)
+            .map(|(_, _, v)| v.as_slice())
+    }
+
+    fn sample_memory(&mut self) {
+        // Resident shadow state: memory cells plus live register labels.
+        let mut stored: Vec<&B::Set> = self.mem.values().collect();
+        for regs in &self.regs {
+            for s in regs {
+                if !self.backend.is_empty(s) {
+                    stored.push(s);
+                }
+            }
+        }
+        let bytes = self.backend.shadow_bytes(&stored);
+        if bytes > self.stats.peak_shadow_bytes {
+            self.stats.peak_shadow_bytes = bytes;
+        }
+        if self.mem.len() > self.stats.peak_tracked_words {
+            self.stats.peak_tracked_words = self.mem.len();
+        }
+    }
+}
+
+impl<B: LineageBackend> Tool for LineageEngine<B> {
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        let tid = fx.tid;
+        self.ensure_tid(tid);
+        let t = tid as usize;
+        self.stats.instrs += 1;
+        m.charge(costs::LINEAGE_PER_INSN);
+
+        // Source label.
+        let out_set = if let Opcode::In { .. } = fx.insn.op {
+            let idx = self.inputs_seen;
+            self.inputs_seen += 1;
+            self.backend.singleton(idx)
+        } else {
+            // Union of data sources.
+            let mut acc = self.backend.empty();
+            for r in &fx.insn.data_uses() {
+                let s = self.regs[t][r.index()].clone();
+                if !self.backend.is_empty(&s) {
+                    let (u, c) = self.backend.union(&acc, &s);
+                    acc = u;
+                    self.stats.unions += 1;
+                    m.charge(c);
+                }
+            }
+            if let Some((addr, _)) = fx.mem_read {
+                if let Some(s) = self.mem.get(&addr).cloned() {
+                    let (u, c) = self.backend.union(&acc, &s);
+                    acc = u;
+                    self.stats.unions += 1;
+                    m.charge(c);
+                }
+            }
+            acc
+        };
+
+        if let Some((r, _, _)) = fx.reg_write {
+            self.regs[t][r.index()] = out_set.clone();
+        }
+        if let Some((addr, _, _)) = fx.mem_write {
+            if self.backend.is_empty(&out_set) {
+                self.mem.remove(&addr);
+            } else {
+                self.mem.insert(addr, out_set.clone());
+            }
+        }
+
+        if let Some((ch, _)) = fx.output {
+            let idx = self.out_counts.entry(ch).or_insert(0);
+            let set = fx
+                .insn
+                .data_uses()
+                .as_slice()
+                .first()
+                .map(|r| self.regs[t][r.index()].clone())
+                .unwrap_or_else(|| self.backend.empty());
+            let elems = self.backend.elements(&set);
+            self.stats.max_output_set = self.stats.max_output_set.max(elems.len() as u64);
+            self.outputs.push((ch, *idx, elems));
+            *idx += 1;
+        }
+
+        if self.stats.instrs % self.sample_every == 0 {
+            self.sample_memory();
+        }
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
+        self.sample_memory();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BddBackend, NaiveBackend};
+    use dift_dbi::Engine;
+    use dift_workloads::science::{self, SciencePipeline};
+
+    fn run_pipeline<B: LineageBackend>(
+        p: &SciencePipeline,
+        backend: B,
+    ) -> (LineageEngine<B>, u64) {
+        let m = p.workload.machine();
+        let mut eng = LineageEngine::new(backend);
+        let mut dbi = Engine::new(m);
+        let r = dbi.run_tool(&mut eng);
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        (eng, r.cycles)
+    }
+
+    #[test]
+    fn binning_lineage_matches_ground_truth_bdd() {
+        let p = science::binning(32, 8);
+        let (eng, _) = run_pipeline(&p, BddBackend::new(16));
+        for (k, want) in p.expected_lineage.iter().enumerate() {
+            let got = eng.output_lineage(0, k as u64).expect("output traced");
+            assert_eq!(got, want.as_slice(), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn binning_lineage_matches_ground_truth_naive() {
+        let p = science::binning(32, 8);
+        let (eng, _) = run_pipeline(&p, NaiveBackend::new());
+        for (k, want) in p.expected_lineage.iter().enumerate() {
+            let got = eng.output_lineage(0, k as u64).expect("output traced");
+            assert_eq!(got, want.as_slice(), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn window_lineage_matches_ground_truth() {
+        let p = science::sliding_window(24, 4);
+        let (eng, _) = run_pipeline(&p, BddBackend::new(16));
+        for (k, want) in p.expected_lineage.iter().enumerate() {
+            let got = eng.output_lineage(0, k as u64).expect("output traced");
+            assert_eq!(got, want.as_slice(), "window {k}");
+        }
+    }
+
+    #[test]
+    fn scatter_lineage_matches_ground_truth() {
+        let p = science::scatter_sum(48, 8);
+        let (eng, _) = run_pipeline(&p, BddBackend::new(16));
+        for (k, want) in p.expected_lineage.iter().enumerate() {
+            let got = eng.output_lineage(0, k as u64).expect("output traced");
+            assert_eq!(got, want.as_slice(), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn prefix_sum_lineage_matches_ground_truth() {
+        let p = science::prefix_sum(24);
+        let (eng, _) = run_pipeline(&p, BddBackend::new(16));
+        for (k, want) in p.expected_lineage.iter().enumerate() {
+            let got = eng.output_lineage(0, k as u64).expect("output traced");
+            assert_eq!(got, want.as_slice(), "cell {k}");
+        }
+    }
+
+    #[test]
+    fn bdd_backend_uses_less_peak_memory_on_resident_overlap() {
+        // prefix_sum keeps {0..=k} resident per cell: the naive backend
+        // pays O(n^2) words while roBDD ranges share structure.
+        let p = science::prefix_sum(96);
+        let (bdd, _) = run_pipeline(&p, BddBackend::new(16));
+        let p2 = science::prefix_sum(96);
+        let (naive, _) = run_pipeline(&p2, NaiveBackend::new());
+        assert!(
+            bdd.stats().peak_shadow_bytes * 2 < naive.stats().peak_shadow_bytes,
+            "bdd {} vs naive {}",
+            bdd.stats().peak_shadow_bytes,
+            naive.stats().peak_shadow_bytes
+        );
+    }
+
+    #[test]
+    fn bdd_backend_is_cheaper_in_cycles_on_large_sets() {
+        let p = science::prefix_sum(96);
+        let (_, bdd_cycles) = run_pipeline(&p, BddBackend::new(16));
+        let p2 = science::prefix_sum(96);
+        let (_, naive_cycles) = run_pipeline(&p2, NaiveBackend::new());
+        assert!(bdd_cycles < naive_cycles, "{bdd_cycles} vs {naive_cycles}");
+    }
+
+    #[test]
+    fn slowdown_is_bounded() {
+        // The paper: typical slowdown < 40x with infrastructure overhead
+        // discounted. Our whole-stack factor must stay in that regime.
+        let p = science::binning(64, 8);
+        let native = p.workload.machine().run().cycles;
+        let (_, traced) = run_pipeline(&p, BddBackend::new(16));
+        let factor = traced as f64 / native as f64;
+        assert!(factor < 40.0, "slowdown {factor:.1}x");
+        assert!(factor > 1.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The helper-thread DIFT runner.
+
+use crate::channel::{ChannelModel, QueueSim};
+use crossbeam::channel as xbeam;
+use dift_dbi::{Engine, Tool};
+use dift_taint::{TaintEngine, TaintLabel, TaintPolicy};
+use dift_vm::{Machine, RunResult, StepEffects};
+use std::thread;
+
+/// Outcome of a DIFT run (inline or offloaded).
+pub struct DiftRun<T: TaintLabel> {
+    /// The taint engine with its final shadow state and alerts.
+    pub engine: TaintEngine<T>,
+    pub result: RunResult,
+    pub stats: MulticoreStats,
+}
+
+/// Timing breakdown of an offloaded run.
+#[derive(Clone, Debug, Default)]
+pub struct MulticoreStats {
+    /// Main-core cycles (application + enqueue + stalls).
+    pub main_cycles: u64,
+    /// Helper-core busy cycles.
+    pub helper_busy: u64,
+    /// Producer stalls caused by a full queue.
+    pub stall_cycles: u64,
+    /// Messages shipped main→helper.
+    pub messages: u64,
+    /// End-to-end completion: main finish vs helper drain, whichever is
+    /// later.
+    pub completion_cycles: u64,
+}
+
+impl MulticoreStats {
+    /// Main-thread overhead factor relative to a native run.
+    pub fn overhead_vs(&self, native_cycles: u64) -> f64 {
+        if native_cycles == 0 {
+            0.0
+        } else {
+            self.completion_cycles as f64 / native_cycles as f64
+        }
+    }
+}
+
+/// Tool that ships every instruction record to the helper thread and
+/// accounts the communication in the timing model.
+struct Offloader<T: TaintLabel> {
+    tx: Option<xbeam::Sender<StepEffects>>,
+    queue: QueueSim,
+    model: ChannelModel,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: TaintLabel> Tool for Offloader<T> {
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        // Producer cost: the enqueue itself plus any stall for a full
+        // queue, charged to the main core's clock.
+        m.charge(self.model.enqueue_cycles);
+        let stall = self.queue.enqueue(m.cycles());
+        if stall > 0 {
+            m.charge(stall);
+        }
+        if let Some(tx) = &self.tx {
+            // The helper genuinely runs on another core.
+            let _ = tx.send(fx.clone());
+        }
+    }
+}
+
+/// Run `machine` with taint tracking offloaded to a helper thread over
+/// the given channel model.
+pub fn run_helper_dift<T: TaintLabel + Send + 'static>(
+    machine: Machine,
+    model: ChannelModel,
+    policy: TaintPolicy,
+) -> DiftRun<T> {
+    let (tx, rx) = xbeam::bounded::<StepEffects>(model.queue_depth.max(16));
+    let mut helper_policy = policy;
+    helper_policy.charge_cycles = false; // the timing model owns the cost
+    let handle = thread::spawn(move || {
+        let mut engine = TaintEngine::<T>::new(helper_policy);
+        while let Ok(fx) = rx.recv() {
+            engine.process(&fx);
+        }
+        engine
+    });
+
+    let mut offloader = Offloader::<T> {
+        tx: Some(tx),
+        queue: QueueSim::new(model),
+        model,
+        _marker: std::marker::PhantomData,
+    };
+    let mut dbi = Engine::new(machine);
+    let result = dbi.run_tool(&mut offloader);
+    // Close the channel so the helper drains and exits.
+    offloader.tx.take();
+    let engine = handle.join().expect("helper thread completes");
+
+    let main_cycles = result.cycles;
+    let stats = MulticoreStats {
+        main_cycles,
+        helper_busy: offloader.queue.helper_busy,
+        stall_cycles: offloader.queue.stall_cycles,
+        messages: offloader.queue.messages,
+        completion_cycles: main_cycles.max(offloader.queue.helper_clock),
+    };
+    DiftRun { engine, result, stats }
+}
+
+/// Baseline: the same taint tracking performed inline on the main core
+/// (the single-core software DIFT the paper improves on).
+pub fn run_inline_dift<T: TaintLabel>(machine: Machine, policy: TaintPolicy) -> DiftRun<T> {
+    let mut engine = TaintEngine::<T>::new(policy);
+    let mut dbi = Engine::new(machine);
+    let result = dbi.run_tool(&mut engine);
+    let stats = MulticoreStats {
+        main_cycles: result.cycles,
+        completion_cycles: result.cycles,
+        messages: 0,
+        helper_busy: 0,
+        stall_cycles: 0,
+    };
+    DiftRun { engine, result, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+    use dift_taint::BitTaint;
+    use dift_vm::MachineConfig;
+    use std::sync::Arc;
+
+    fn taint_workload() -> (Arc<dift_isa::Program>, Vec<u64>) {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.li(Reg(2), 0);
+        b.li(Reg(3), 500);
+        b.label("loop");
+        b.add(Reg(2), Reg(2), Reg(1));
+        b.bini(BinOp::Rem, Reg(4), Reg(2), 97);
+        b.li(Reg(5), 300);
+        b.store(Reg(4), Reg(5), 0);
+        b.load(Reg(6), Reg(5), 0);
+        b.bini(BinOp::Sub, Reg(3), Reg(3), 1);
+        b.branch(BranchCond::Ne, Reg(3), Reg(0), "loop");
+        b.output(Reg(2), 0);
+        b.halt();
+        (Arc::new(b.build().unwrap()), vec![7])
+    }
+
+    fn machine(p: &Arc<dift_isa::Program>, inputs: &[u64]) -> Machine {
+        let mut m = Machine::new(p.clone(), MachineConfig::small());
+        m.feed_input(0, inputs);
+        m
+    }
+
+    #[test]
+    fn helper_produces_same_taint_as_inline() {
+        let (p, inputs) = taint_workload();
+        let inline =
+            run_inline_dift::<BitTaint>(machine(&p, &inputs), TaintPolicy::propagate_only());
+        let offload = run_helper_dift::<BitTaint>(
+            machine(&p, &inputs),
+            ChannelModel::hardware(),
+            TaintPolicy::propagate_only(),
+        );
+        assert_eq!(inline.engine.output_labels.len(), offload.engine.output_labels.len());
+        for (a, b) in inline.engine.output_labels.iter().zip(&offload.engine.output_labels) {
+            assert_eq!(a, b, "helper must compute identical labels");
+        }
+        assert_eq!(inline.engine.tainted_words(), offload.engine.tainted_words());
+    }
+
+    #[test]
+    fn hardware_offload_is_cheaper_than_inline() {
+        let (p, inputs) = taint_workload();
+        let native = machine(&p, &inputs).run().cycles;
+        let inline =
+            run_inline_dift::<BitTaint>(machine(&p, &inputs), TaintPolicy::propagate_only());
+        let hw = run_helper_dift::<BitTaint>(
+            machine(&p, &inputs),
+            ChannelModel::hardware(),
+            TaintPolicy::propagate_only(),
+        );
+        let inline_oh = inline.stats.overhead_vs(native);
+        let hw_oh = hw.stats.overhead_vs(native);
+        assert!(hw_oh < inline_oh, "offload must beat inline: {hw_oh:.2} vs {inline_oh:.2}");
+        assert!(hw_oh > 1.0);
+    }
+
+    #[test]
+    fn software_channel_costs_more_than_hardware() {
+        let (p, inputs) = taint_workload();
+        let native = machine(&p, &inputs).run().cycles;
+        let sw = run_helper_dift::<BitTaint>(
+            machine(&p, &inputs),
+            ChannelModel::software(),
+            TaintPolicy::propagate_only(),
+        );
+        let hw = run_helper_dift::<BitTaint>(
+            machine(&p, &inputs),
+            ChannelModel::hardware(),
+            TaintPolicy::propagate_only(),
+        );
+        assert!(
+            sw.stats.overhead_vs(native) > hw.stats.overhead_vs(native),
+            "sw {} vs hw {}",
+            sw.stats.overhead_vs(native),
+            hw.stats.overhead_vs(native)
+        );
+        assert_eq!(sw.stats.messages, hw.stats.messages);
+    }
+
+    #[test]
+    fn stalls_appear_when_helper_is_saturated() {
+        let (p, inputs) = taint_workload();
+        // Pathologically slow helper with a tiny queue.
+        let model = ChannelModel { enqueue_cycles: 1, helper_per_msg: 50, queue_depth: 4 };
+        let run = run_helper_dift::<BitTaint>(
+            machine(&p, &inputs),
+            model,
+            TaintPolicy::propagate_only(),
+        );
+        assert!(run.stats.stall_cycles > 0, "backpressure must stall the producer");
+        assert!(run.stats.completion_cycles >= run.stats.main_cycles);
+    }
+
+    #[test]
+    fn alerts_work_across_the_offload() {
+        // PC-taint attack detection on the helper core (§3.3 + §2.1).
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.addi(Reg(2), Reg(1), 100);
+        b.li(Reg(3), 1);
+        b.store(Reg(3), Reg(2), 0); // tainted store address -> alert
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let run = run_helper_dift::<dift_taint::PcTaint>(
+            machine(&p, &[4]),
+            ChannelModel::hardware(),
+            TaintPolicy::default(),
+        );
+        assert_eq!(run.engine.alerts.len(), 1);
+        assert_eq!(run.engine.alerts[0].label.pc(), Some(1), "addi is the last writer");
+    }
+}

@@ -1,0 +1,370 @@
+//! The happens-before race detector.
+
+use crate::vc::VectorClock;
+use dift_dbi::Tool;
+use dift_isa::{MemAddr, Opcode, StmtId};
+use dift_tm::SyncDetector;
+use dift_vm::{Machine, RunResult, StepEffects, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+/// Detector mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Happens-before from spawn/join only (what a sync-oblivious tool
+    /// sees): reports benign sync races and infeasible races.
+    Naive,
+    /// Dynamic synchronization recognition feeds release→acquire edges
+    /// into happens-before and suppresses races on sync words.
+    SyncAware,
+}
+
+/// One access in a reported race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    pub tid: ThreadId,
+    pub step: u64,
+    pub stmt: StmtId,
+    pub is_write: bool,
+}
+
+/// A reported data race: two unordered conflicting accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    pub addr: MemAddr,
+    pub prior: Access,
+    pub current: Access,
+}
+
+/// Detector statistics (the E10 row).
+#[derive(Clone, Debug, Default)]
+pub struct RaceStats {
+    pub reported: usize,
+    /// Races suppressed because they were on recognized sync variables.
+    pub sync_word_filtered: usize,
+    pub sync_vars: usize,
+}
+
+#[derive(Default)]
+struct WordState {
+    last_write: Option<(ThreadId, u64, u64, StmtId)>, // tid, clock, step, stmt
+    /// Reads since the last write: (tid, clock, step, stmt).
+    reads: Vec<(ThreadId, u64, u64, StmtId)>,
+}
+
+/// The detector tool.
+pub struct RaceDetector {
+    mode: Mode,
+    sync: SyncDetector,
+    vcs: Vec<VectorClock>,
+    /// Release clocks per sync word.
+    released: HashMap<MemAddr, VectorClock>,
+    /// Exit clocks of finished threads (for join edges).
+    exit_vc: HashMap<ThreadId, VectorClock>,
+    words: HashMap<MemAddr, WordState>,
+    races: Vec<Race>,
+    dedup: HashSet<(MemAddr, StmtId, StmtId)>,
+}
+
+impl RaceDetector {
+    pub fn new(mode: Mode) -> RaceDetector {
+        RaceDetector {
+            mode,
+            sync: SyncDetector::new(),
+            vcs: Vec::new(),
+            released: HashMap::new(),
+            exit_vc: HashMap::new(),
+            words: HashMap::new(),
+            races: Vec::new(),
+            dedup: HashSet::new(),
+        }
+    }
+
+    fn vc(&mut self, tid: ThreadId) -> &mut VectorClock {
+        while self.vcs.len() <= tid as usize {
+            self.vcs.push(VectorClock::new());
+        }
+        &mut self.vcs[tid as usize]
+    }
+
+    fn report(&mut self, addr: MemAddr, prior: Access, current: Access) {
+        let key =
+            (addr, prior.stmt.min(current.stmt), prior.stmt.max(current.stmt));
+        if self.dedup.insert(key) {
+            self.races.push(Race { addr, prior, current });
+        }
+    }
+
+    /// Final race list; in sync-aware mode, races on words recognized as
+    /// sync variables (possibly classified *after* an early report) are
+    /// dropped.
+    pub fn races(&self) -> Vec<Race> {
+        self.races
+            .iter()
+            .filter(|r| self.mode == Mode::Naive || !self.sync.is_sync(r.addr))
+            .copied()
+            .collect()
+    }
+
+    pub fn stats(&self) -> RaceStats {
+        let kept = self.races().len();
+        RaceStats {
+            reported: kept,
+            sync_word_filtered: self.races.len() - kept,
+            sync_vars: self.sync.vars().count(),
+        }
+    }
+}
+
+impl Tool for RaceDetector {
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        let tid = fx.tid;
+
+        // Thread lifecycle edges (both modes).
+        if let Some(child) = fx.spawned {
+            let parent_vc = self.vc(tid).clone();
+            self.vc(child).join(&parent_vc);
+            self.vc(child).tick(child);
+            self.vc(tid).tick(tid);
+        }
+        match fx.insn.op {
+            Opcode::Join { rs } => {
+                let target = m.reg(tid, rs);
+                if let Some(evc) = self.exit_vc.get(&target).cloned() {
+                    self.vc(tid).join(&evc);
+                }
+            }
+            Opcode::Halt | Opcode::Exit { .. } => {
+                let vc = self.vc(tid).clone();
+                self.exit_vc.insert(tid, vc);
+            }
+            _ => {}
+        }
+
+        let sync_aware = self.mode == Mode::SyncAware;
+        if sync_aware {
+            self.sync.observe(fx);
+        }
+
+        // Memory accesses.
+        let read = fx.mem_read.map(|(a, _)| a);
+        let write = fx.mem_write.map(|(a, _, _)| a);
+        for (addr, is_write) in read
+            .map(|a| (a, false))
+            .into_iter()
+            .chain(write.map(|a| (a, true)))
+        {
+            let is_sync_word = sync_aware && self.sync.is_sync(addr);
+            if is_sync_word {
+                // Release→acquire edges instead of race checks.
+                if !is_write {
+                    if let Some(rel) = self.released.get(&addr).cloned() {
+                        self.vc(tid).join(&rel);
+                    }
+                } else {
+                    let vc = self.vc(tid).clone();
+                    self.released
+                        .entry(addr)
+                        .and_modify(|v| v.join(&vc))
+                        .or_insert(vc);
+                    self.vc(tid).tick(tid);
+                }
+                continue;
+            }
+
+            let clock = self.vc(tid).tick(tid);
+            let me = Access { tid, step: fx.step, stmt: fx.insn.stmt, is_write };
+            let my_vc = self.vc(tid).clone();
+            let state = self.words.entry(addr).or_default();
+
+            let mut found: Vec<(Access, Access)> = Vec::new();
+            if let Some((wt, wc, wstep, wstmt)) = state.last_write {
+                if wt != tid && !my_vc.covers(wt, wc) {
+                    found.push((
+                        Access { tid: wt, step: wstep, stmt: wstmt, is_write: true },
+                        me,
+                    ));
+                }
+            }
+            if is_write {
+                for &(rt, rc, rstep, rstmt) in &state.reads {
+                    if rt != tid && !my_vc.covers(rt, rc) {
+                        found.push((
+                            Access { tid: rt, step: rstep, stmt: rstmt, is_write: false },
+                            me,
+                        ));
+                    }
+                }
+                state.last_write = Some((tid, clock, fx.step, fx.insn.stmt));
+                state.reads.clear();
+            } else {
+                state.reads.push((tid, clock, fx.step, fx.insn.stmt));
+            }
+            for (prior, current) in found {
+                self.report(addr, prior, current);
+            }
+        }
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_dbi::Engine;
+    use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg};
+    use dift_vm::MachineConfig;
+    use std::sync::Arc;
+
+    fn run(p: &Arc<Program>, mode: Mode, quantum: u32) -> RaceDetector {
+        let m = Machine::new(p.clone(), MachineConfig::small().with_quantum(quantum));
+        let mut det = RaceDetector::new(mode);
+        let mut e = Engine::new(m);
+        let r = e.run_tool(&mut det);
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        det
+    }
+
+    /// A genuine race: two threads increment a shared counter unprotected.
+    fn racy_program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "w", Reg(1));
+        b.spawn(Reg(6), "w", Reg(1));
+        b.join(Reg(5));
+        b.join(Reg(6));
+        b.halt();
+        b.func("w");
+        b.li(Reg(1), 700);
+        b.li(Reg(2), 20);
+        b.label("loop");
+        b.load(Reg(3), Reg(1), 0);
+        b.addi(Reg(3), Reg(3), 1);
+        b.store(Reg(3), Reg(1), 0);
+        b.bini(BinOp::Sub, Reg(2), Reg(2), 1);
+        b.branch(BranchCond::Ne, Reg(2), Reg(0), "loop");
+        b.halt();
+        Arc::new(b.build().unwrap())
+    }
+
+    /// Flag-synchronized producer/consumer: NO data race on the payload —
+    /// but a naive tool reports both the flag word and the payload.
+    fn flag_sync_program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "producer", Reg(1));
+        b.li(Reg(2), 900);
+        b.label("spin");
+        b.load(Reg(3), Reg(2), 0);
+        b.branch(BranchCond::Ne, Reg(3), Reg(0), "go");
+        b.jump("spin");
+        b.label("go");
+        b.li(Reg(6), 901);
+        b.load(Reg(7), Reg(6), 0); // consume payload AFTER flag observed
+        b.output(Reg(7), 0);
+        b.join(Reg(5));
+        b.halt();
+        b.func("producer");
+        // Realistic work before publication (gives the consumer time to
+        // spin long enough for the sync detector to classify the flag).
+        b.li(Reg(8), 8);
+        b.label("work");
+        b.bini(BinOp::Sub, Reg(8), Reg(8), 1);
+        b.branch(BranchCond::Ne, Reg(8), Reg(0), "work");
+        b.li(Reg(1), 901);
+        b.li(Reg(2), 42);
+        b.store(Reg(2), Reg(1), 0); // payload
+        b.li(Reg(3), 900);
+        b.li(Reg(4), 1);
+        b.store(Reg(4), Reg(3), 0); // flag publication
+        b.halt();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn genuine_race_is_reported_in_both_modes() {
+        let p = racy_program();
+        for mode in [Mode::Naive, Mode::SyncAware] {
+            let det = run(&p, mode, 2);
+            let races = det.races();
+            assert!(
+                races.iter().any(|r| r.addr == 700),
+                "{mode:?} must report the counter race: {races:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_reports_sync_and_infeasible_races_on_flag_program() {
+        let p = flag_sync_program();
+        let det = run(&p, Mode::Naive, 3);
+        let races = det.races();
+        let addrs: Vec<MemAddr> = races.iter().map(|r| r.addr).collect();
+        assert!(addrs.contains(&900), "benign race on the flag word reported");
+        assert!(addrs.contains(&901), "infeasible race on the payload reported");
+    }
+
+    #[test]
+    fn sync_aware_filters_flag_program_races() {
+        let p = flag_sync_program();
+        let det = run(&p, Mode::SyncAware, 3);
+        let races = det.races();
+        assert!(
+            races.is_empty(),
+            "sync-aware must filter benign + infeasible races, got {races:?}"
+        );
+        assert!(det.stats().sync_vars >= 1);
+    }
+
+    #[test]
+    fn spawn_join_edges_prevent_false_races() {
+        // Parent writes before spawn; child reads; parent reads after
+        // join: all ordered, no race in either mode.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 800);
+        b.li(Reg(2), 7);
+        b.store(Reg(2), Reg(1), 0);
+        b.li(Reg(3), 0);
+        b.spawn(Reg(5), "child", Reg(3));
+        b.join(Reg(5));
+        b.load(Reg(4), Reg(1), 0);
+        b.halt();
+        b.func("child");
+        b.li(Reg(1), 800);
+        b.load(Reg(2), Reg(1), 0);
+        b.addi(Reg(2), Reg(2), 1);
+        b.store(Reg(2), Reg(1), 0);
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        for mode in [Mode::Naive, Mode::SyncAware] {
+            let det = run(&p, mode, 2);
+            assert!(det.races().is_empty(), "{mode:?}: {:?}", det.races());
+        }
+    }
+
+    #[test]
+    fn sync_aware_reports_fewer_than_naive() {
+        let p = flag_sync_program();
+        let naive = run(&p, Mode::Naive, 3).races().len();
+        let aware = run(&p, Mode::SyncAware, 3).races().len();
+        assert!(aware < naive, "{aware} !< {naive}");
+    }
+
+    #[test]
+    fn race_dedup_reports_each_stmt_pair_once() {
+        let p = racy_program();
+        let det = run(&p, Mode::Naive, 2);
+        let races = det.races();
+        let mut keys: Vec<_> = races
+            .iter()
+            .map(|r| (r.addr, r.prior.stmt.min(r.current.stmt), r.prior.stmt.max(r.current.stmt)))
+            .collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(n, keys.len(), "duplicates must be deduped");
+    }
+}

@@ -1,0 +1,25 @@
+//! # dift-race — data race detection with synchronization awareness
+//!
+//! Reproduces the race-detection thread of §3.1: dynamic slicing extended
+//! with WAR/WAW dependences surfaces races in slices (`dift-ddg` +
+//! `dift-slicing` provide that), and a **dynamic synchronization-aware
+//! race detector** "greatly reduces the number of data races reported to
+//! the user as many benign synchronization races and infeasible races
+//! reported by other tools are filtered out".
+//!
+//! * [`vc`] — vector clocks.
+//! * [`detect`] — the happens-before detector (FastTrack-style epochs for
+//!   reads/writes per word) as a DBI tool. In [`Mode::Naive`] only
+//!   spawn/join edges order threads: accesses to flag/lock words
+//!   themselves are reported (benign *synchronization races*) and
+//!   flag-protected data is reported too (*infeasible races*, since the
+//!   sync ordering actually prevents them). In [`Mode::SyncAware`] the
+//!   dynamic sync detector (`dift-tm`) classifies sync variables on the
+//!   fly; their release→acquire edges enter the happens-before relation
+//!   and races on the sync words themselves are suppressed.
+
+pub mod detect;
+pub mod vc;
+
+pub use detect::{Mode, Race, RaceDetector, RaceStats};
+pub use vc::VectorClock;

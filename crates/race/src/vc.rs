@@ -1,0 +1,95 @@
+//! Vector clocks.
+
+use dift_vm::ThreadId;
+
+/// A grow-on-demand vector clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: Vec<u64>,
+}
+
+impl VectorClock {
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    #[inline]
+    pub fn get(&self, tid: ThreadId) -> u64 {
+        self.clocks.get(tid as usize).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    pub fn set(&mut self, tid: ThreadId, v: u64) {
+        let i = tid as usize;
+        if self.clocks.len() <= i {
+            self.clocks.resize(i + 1, 0);
+        }
+        self.clocks[i] = v;
+    }
+
+    /// Advance this thread's component.
+    #[inline]
+    pub fn tick(&mut self, tid: ThreadId) -> u64 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Pointwise maximum (join) with another clock.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.clocks.len() < other.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (i, &c) in other.clocks.iter().enumerate() {
+            if self.clocks[i] < c {
+                self.clocks[i] = c;
+            }
+        }
+    }
+
+    /// Does the epoch `(tid, clock)` happen before (or equal) this clock?
+    #[inline]
+    pub fn covers(&self, tid: ThreadId, clock: u64) -> bool {
+        self.get(tid) >= clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.get(3), 0);
+        assert_eq!(vc.tick(3), 1);
+        assert_eq!(vc.tick(3), 2);
+        assert_eq!(vc.get(3), 2);
+        assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 5);
+        a.set(1, 1);
+        let mut b = VectorClock::new();
+        b.set(1, 7);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 2);
+    }
+
+    #[test]
+    fn covers_is_happens_before() {
+        let mut vc = VectorClock::new();
+        vc.set(1, 4);
+        assert!(vc.covers(1, 3));
+        assert!(vc.covers(1, 4));
+        assert!(!vc.covers(1, 5));
+        assert!(!vc.covers(2, 1));
+        assert!(vc.covers(2, 0), "zero epoch is always covered");
+    }
+}

@@ -1,0 +1,29 @@
+//! # dift-replay — checkpointing, logging, replay, execution reduction
+//!
+//! Reproduces §2.2 (scaling DIFT to long-running multithreaded programs)
+//! and §3.2 (fault avoidance through environment patches):
+//!
+//! * [`log`] — the **logging phase**: run normally with lightweight event
+//!   logging (scheduling decisions, inputs, periodic checkpoints). The
+//!   charged overhead lands near the paper's ~2× (for MySQL, 14.8 s →
+//!   16.8 s ≈ 1.14×).
+//! * [`reduce`] — the **execution reduction phase**: when a failure
+//!   raises the need for DIFT, the replay log is analyzed to find the
+//!   execution region relevant to the failure (the segment from the last
+//!   checkpoint that still precedes it), and the **replay phase** re-runs
+//!   only that region deterministically with fine-grained tracing on.
+//!   The dependence count collapses from hundreds of millions to
+//!   thousands — the paper's 976 M → 3175.
+//! * [`patch`] — **fault avoidance**: environment faults (atomicity
+//!   violations, heap buffer overflows, malformed requests) are avoided
+//!   by replaying an *altered* log (changed scheduling, padded
+//!   allocations, filtered requests); the working alteration is persisted
+//!   as an *environment patch* consulted by future runs.
+
+pub mod log;
+pub mod patch;
+pub mod reduce;
+
+pub use log::{record, CheckpointEntry, LogStats, RecordedRun, ReplayLog, RunSpec, CHECKPOINT_CYCLES, LOG_PER_EVENT};
+pub use patch::{apply_patches, avoid_fault, avoid_fault_hinted, EnvPatch, PatchFile, PatchOutcome};
+pub use reduce::{reduce, replay_full, replay_reduced_with_tracing, ReducedPlan, ReducedTrace};

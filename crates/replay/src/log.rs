@@ -1,0 +1,254 @@
+//! The logging phase: checkpointing & lightweight event logging.
+
+use dift_isa::Program;
+use dift_vm::machine::Checkpoint;
+use dift_vm::{
+    Arrival, ExitStatus, Fault, Machine, MachineConfig, RunResult, SchedDecision, SchedPolicy,
+    ThreadId,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Cycles charged per logged nondeterministic event (I/O, spawn/join,
+/// scheduling switch). Only events are logged — instruction execution is
+/// untouched — which is why logging is cheap (~1.1–2×).
+pub const LOG_PER_EVENT: u64 = 40;
+/// Cycles charged per periodic checkpoint (copy-on-write snapshot cost).
+pub const CHECKPOINT_CYCLES: u64 = 4_000;
+
+/// A reproducible run request: program + config + pre-seeded inputs.
+/// Everything the replay system needs to reconstruct a machine.
+#[derive(Clone)]
+pub struct RunSpec {
+    pub program: Arc<Program>,
+    pub config: MachineConfig,
+    pub inputs: Vec<(u16, Vec<u64>)>,
+}
+
+impl RunSpec {
+    pub fn new(program: Arc<Program>, config: MachineConfig) -> RunSpec {
+        RunSpec { program, config, inputs: Vec::new() }
+    }
+
+    pub fn with_input(mut self, channel: u16, values: Vec<u64>) -> RunSpec {
+        self.inputs.push((channel, values));
+        self
+    }
+
+    /// Construct a fresh machine for this spec.
+    pub fn machine(&self) -> Machine {
+        let mut m = Machine::new(self.program.clone(), self.config.clone());
+        for (ch, vals) in &self.inputs {
+            m.feed_input(*ch, vals);
+        }
+        m
+    }
+
+    /// Same spec with a different scheduling policy (replay, patching).
+    pub fn with_sched(&self, sched: SchedPolicy) -> RunSpec {
+        let mut s = self.clone();
+        s.config.sched = sched;
+        s
+    }
+}
+
+/// One periodic checkpoint in the log.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// Global step at which the checkpoint was taken.
+    pub step: u64,
+    /// Scheduler decisions already consumed at that point.
+    pub decisions_made: usize,
+    pub snapshot: Checkpoint,
+}
+
+/// The replay log: everything needed to re-execute deterministically.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplayLog {
+    /// The recorded scheduling decision stream.
+    pub sched: Vec<SchedDecision>,
+    /// Input arrivals as configured (already deterministic by step).
+    pub arrivals: Vec<Arrival>,
+    /// Periodic snapshots, in step order (a checkpoint at step 0 is
+    /// always present).
+    pub checkpoints: Vec<CheckpointEntry>,
+    /// Steps of nondeterministic events, for reduction analysis:
+    /// `(step, tid, channel)` of every input consumption.
+    pub input_events: Vec<(u64, ThreadId, u16)>,
+}
+
+impl ReplayLog {
+    /// The last checkpoint at or before `step`.
+    pub fn checkpoint_before(&self, step: u64) -> &CheckpointEntry {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.step <= step)
+            .expect("checkpoint 0 always exists")
+    }
+
+    /// Serialized size of the log (bytes) — the logging-phase space cost.
+    pub fn size_bytes(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// Statistics of a logged run.
+#[derive(Clone, Debug)]
+pub struct LogStats {
+    /// Cycles of the run including logging charges.
+    pub cycles: u64,
+    pub steps: u64,
+    pub events_logged: u64,
+    pub checkpoints: usize,
+}
+
+/// A completed logging-phase run.
+pub struct RecordedRun {
+    pub log: ReplayLog,
+    pub result: RunResult,
+    pub stats: LogStats,
+    /// First fault observed, with the step at which it fired.
+    pub fault: Option<(ThreadId, u32, Fault, u64)>,
+    /// Output captured on channel 0 (for divergence checks).
+    pub output0: Vec<u64>,
+}
+
+/// Run the spec with checkpointing & logging on. `checkpoint_interval`
+/// is in steps.
+pub fn record(spec: &RunSpec, checkpoint_interval: u64) -> RecordedRun {
+    let mut m = spec.machine();
+    let mut checkpoints = vec![CheckpointEntry {
+        step: 0,
+        decisions_made: 0,
+        snapshot: m.checkpoint(),
+    }];
+    let mut input_events = Vec::new();
+    let mut events_logged = 0u64;
+    let mut next_cp = checkpoint_interval;
+    let mut fault = None;
+
+    loop {
+        let status = m.step();
+        let fx = m.last_step().clone();
+        let is_event = fx.input.is_some()
+            || fx.output.is_some()
+            || fx.spawned.is_some()
+            || fx.insn.is_sync_point();
+        if let Some((ch, _)) = fx.input {
+            input_events.push((fx.step, fx.tid, ch));
+        }
+        if is_event {
+            events_logged += 1;
+            m.charge(LOG_PER_EVENT);
+        }
+        if fault.is_none() {
+            if let Some(f) = fx.fault {
+                fault = Some((fx.tid, fx.addr, f, fx.step));
+            }
+        }
+        if m.steps() >= next_cp && status == ExitStatus::Running {
+            m.charge(CHECKPOINT_CYCLES);
+            checkpoints.push(CheckpointEntry {
+                step: m.steps(),
+                decisions_made: m.sched_trace().len(),
+                snapshot: m.checkpoint(),
+            });
+            next_cp += checkpoint_interval;
+        }
+        if status != ExitStatus::Running {
+            break;
+        }
+    }
+
+    let result = RunResult {
+        status: m.status(),
+        steps: m.steps(),
+        cycles: m.cycles(),
+        threads: m.threads().len(),
+        sched_decisions: m.sched_trace().len(),
+    };
+    if fault.is_none() {
+        if let Some((tid, at, f)) = m.first_fault() {
+            fault = Some((tid, at, f, m.steps()));
+        }
+    }
+    let stats = LogStats {
+        cycles: result.cycles,
+        steps: result.steps,
+        events_logged,
+        checkpoints: checkpoints.len(),
+    };
+    RecordedRun {
+        log: ReplayLog {
+            sched: m.sched_trace().to_vec(),
+            arrivals: spec.config.arrivals.clone(),
+            checkpoints,
+            input_events,
+        },
+        result,
+        stats,
+        fault,
+        output0: m.output(0).to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+
+    fn spec() -> RunSpec {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.li(Reg(2), 0);
+        b.label("loop");
+        b.add(Reg(2), Reg(2), Reg(1));
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+        b.output(Reg(2), 0);
+        b.halt();
+        RunSpec::new(Arc::new(b.build().unwrap()), MachineConfig::small())
+            .with_input(0, vec![50])
+    }
+
+    #[test]
+    fn record_produces_checkpoints_and_events() {
+        let rec = record(&spec(), 40);
+        assert!(rec.result.status.is_clean());
+        assert!(rec.stats.checkpoints >= 3, "got {}", rec.stats.checkpoints);
+        assert_eq!(rec.log.checkpoints[0].step, 0);
+        assert_eq!(rec.log.input_events.len(), 1);
+        assert!(rec.stats.events_logged >= 2, "input + output");
+        assert_eq!(rec.output0, vec![(1..=50).sum::<u64>()]);
+    }
+
+    #[test]
+    fn logging_overhead_is_modest() {
+        let s = spec();
+        let native = s.machine().run().cycles;
+        let rec = record(&s, 1_000_000);
+        let overhead = rec.stats.cycles as f64 / native as f64;
+        assert!(overhead < 2.0, "logging must stay cheap, got {overhead:.2}×");
+        assert!(overhead > 1.0);
+    }
+
+    #[test]
+    fn checkpoint_before_selects_latest() {
+        let rec = record(&spec(), 30);
+        let cp = rec.log.checkpoint_before(65);
+        assert!(cp.step <= 65);
+        assert!(rec.log.checkpoints.iter().all(|c| c.step > 65 || c.step <= cp.step));
+    }
+
+    #[test]
+    fn log_serializes() {
+        let rec = record(&spec(), 50);
+        assert!(rec.log.size_bytes() > 0);
+        let json = serde_json::to_string(&rec.log).unwrap();
+        let back: ReplayLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sched.len(), rec.log.sched.len());
+        assert_eq!(back.checkpoints.len(), rec.log.checkpoints.len());
+    }
+}

@@ -1,0 +1,208 @@
+//! Execution reduction + the tracing replay phase.
+
+use crate::log::{ReplayLog, RunSpec};
+use dift_dbi::Engine;
+use dift_ddg::{DdgGraph, OnTrac, OnTracConfig, OnTracStats};
+use dift_vm::{ExitStatus, Machine, RunResult, SchedPolicy};
+
+/// The part of the execution the failure needs: replay starts from
+/// checkpoint `cp_index` and follows the recorded decisions from
+/// `decisions_from`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReducedPlan {
+    pub cp_index: usize,
+    pub decisions_from: usize,
+    /// Steps the reduced replay must execute (fault step − checkpoint
+    /// step), for reporting.
+    pub replay_steps: u64,
+    /// Steps of the full execution up to the fault.
+    pub full_steps: u64,
+}
+
+impl ReducedPlan {
+    /// Fraction of the execution the replay phase re-runs.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.full_steps == 0 {
+            1.0
+        } else {
+            self.replay_steps as f64 / self.full_steps as f64
+        }
+    }
+}
+
+/// Analyze the log and pick the relevant region for a failure observed at
+/// `fault_step`: the segment from the last checkpoint preceding it.
+pub fn reduce(log: &ReplayLog, fault_step: u64) -> ReducedPlan {
+    let (idx, cp) = log
+        .checkpoints
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, c)| c.step <= fault_step)
+        .expect("checkpoint 0 always exists");
+    ReducedPlan {
+        cp_index: idx,
+        decisions_from: cp.decisions_made,
+        replay_steps: fault_step - cp.step,
+        full_steps: fault_step,
+    }
+}
+
+/// Deterministically replay the *whole* recorded run (validation path).
+/// Returns the machine in its final state.
+pub fn replay_full(spec: &RunSpec, log: &ReplayLog) -> (Machine, RunResult) {
+    let spec = spec.with_sched(SchedPolicy::Scripted { decisions: log.sched.clone() });
+    let mut m = spec.machine();
+    let r = m.run();
+    (m, r)
+}
+
+/// Result of the tracing replay phase.
+pub struct ReducedTrace {
+    pub stats: OnTracStats,
+    pub graph: DdgGraph,
+    pub result: RunResult,
+    /// Machine status when the replay stopped (normally the reproduced
+    /// fault).
+    pub status: ExitStatus,
+}
+
+/// The replay phase: restore the plan's checkpoint, re-execute the
+/// relevant region with the recorded schedule and fine-grained tracing
+/// on, stopping shortly after the fault step.
+pub fn replay_reduced_with_tracing(
+    spec: &RunSpec,
+    log: &ReplayLog,
+    plan: &ReducedPlan,
+    tracer_cfg: OnTracConfig,
+) -> ReducedTrace {
+    let cp = &log.checkpoints[plan.cp_index];
+    let spec = spec.with_sched(SchedPolicy::Scripted {
+        decisions: log.sched[plan.decisions_from.min(log.sched.len())..].to_vec(),
+    });
+    let mut m = spec.machine();
+    m.restore(&cp.snapshot);
+
+    let program = m.program().clone();
+    let mem_words = m.config().mem_words;
+    let mut tracer = OnTrac::new(&program, mem_words, tracer_cfg);
+    let mut engine = Engine::new(m);
+    // Drive until the machine stops (the fault reproduces, or the program
+    // ends if the fault was at the very end).
+    let result = engine.run_tool(&mut tracer);
+    let graph = tracer.graph(&program);
+    let status = result.status;
+    ReducedTrace { stats: tracer.stats(), graph, result, status }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::record;
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+    use dift_vm::{Fault, MachineConfig};
+    use std::sync::Arc;
+
+    /// A long-ish run that faults near the end (div by zero computed from
+    /// input), preceded by a lot of failure-irrelevant work.
+    fn faulting_spec() -> RunSpec {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        // Irrelevant prelude: big busy loop.
+        b.li(Reg(1), 2000);
+        b.label("busy");
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "busy");
+        // Relevant tail: read input, divide by (input - 7) -> faults when
+        // input == 7.
+        b.input(Reg(2), 0);
+        b.bini(BinOp::Sub, Reg(3), Reg(2), 7);
+        b.li(Reg(4), 100);
+        b.bin(BinOp::Div, Reg(5), Reg(4), Reg(3));
+        b.output(Reg(5), 0);
+        b.halt();
+        RunSpec::new(Arc::new(b.build().unwrap()), MachineConfig::small())
+            .with_input(0, vec![7])
+    }
+
+    #[test]
+    fn full_replay_reproduces_fault_deterministically() {
+        let spec = faulting_spec();
+        let rec = record(&spec, 500);
+        assert!(rec.fault.is_some());
+        let (m, r) = replay_full(&spec, &rec.log);
+        assert_eq!(r.status, rec.result.status, "same fault status");
+        assert_eq!(m.steps(), rec.result.steps, "same instruction count");
+    }
+
+    #[test]
+    fn reduction_picks_late_checkpoint() {
+        let spec = faulting_spec();
+        let rec = record(&spec, 500);
+        let (_, _, _, fstep) = rec.fault.unwrap();
+        let plan = reduce(&rec.log, fstep);
+        assert!(plan.cp_index > 0, "a later checkpoint must exist");
+        assert!(plan.replay_steps < plan.full_steps / 4, "small relevant region");
+        assert!(plan.reduction_ratio() < 0.25);
+    }
+
+    #[test]
+    fn reduced_replay_reproduces_fault_with_tiny_trace() {
+        let spec = faulting_spec();
+        let rec = record(&spec, 500);
+        let (_, _, fault, fstep) = rec.fault.unwrap();
+        assert_eq!(fault, Fault::DivByZero);
+        let plan = reduce(&rec.log, fstep);
+
+        let reduced =
+            replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
+        assert!(
+            matches!(reduced.status, ExitStatus::Faulted { fault: Fault::DivByZero, .. }),
+            "fault reproduces in the reduced replay: {:?}",
+            reduced.status
+        );
+        // The traced region is a small fraction of the full run.
+        assert!(reduced.stats.instrs <= plan.replay_steps + 4);
+        assert!(reduced.stats.instrs < rec.result.steps / 4);
+
+        // The dependence graph of the region still contains the fault's
+        // cause: the div (it faulted, so it appears as a user of the
+        // subtraction's result).
+        assert!(reduced.graph.dep_count() > 0);
+    }
+
+    #[test]
+    fn tracing_whole_run_is_much_bigger_than_reduced() {
+        let spec = faulting_spec();
+        let rec = record(&spec, 500);
+        let (_, _, _, fstep) = rec.fault.unwrap();
+        let plan = reduce(&rec.log, fstep);
+
+        // Whole-run tracing (what you'd do without reduction).
+        let mut m = spec.machine();
+        let program = m.program().clone();
+        let mem = m.config().mem_words;
+        let mut full_tracer = OnTrac::new(&program, mem, OnTracConfig::unoptimized(1 << 24));
+        let mut engine = Engine::new(m);
+        engine.run_tool(&mut full_tracer);
+        let full_deps = full_tracer.stats().deps_recorded;
+
+        let reduced =
+            replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
+        let red_deps = reduced.stats.deps_recorded;
+        assert!(
+            red_deps * 10 < full_deps,
+            "dependence count must collapse: {red_deps} vs {full_deps}"
+        );
+    }
+
+    #[test]
+    fn reduce_with_no_late_checkpoint_falls_back_to_start() {
+        let spec = faulting_spec();
+        let rec = record(&spec, 1_000_000); // only checkpoint 0
+        let (_, _, _, fstep) = rec.fault.unwrap();
+        let plan = reduce(&rec.log, fstep);
+        assert_eq!(plan.cp_index, 0);
+        assert_eq!(plan.replay_steps, plan.full_steps);
+    }
+}

@@ -1,0 +1,553 @@
+//! # dift-robdd — reduced ordered binary decision diagrams
+//!
+//! The representation behind the paper's lineage tracing (§3.4, VLDB'07):
+//! lineage sets — sets of input identifiers — are stored as roBDDs over
+//! the binary encoding of the identifiers. Two properties of real lineage
+//! data make this efficient, and the encoding is chosen to exploit both:
+//!
+//! * **Overlap** — lineage sets of neighbouring values share most
+//!   elements; hash-consing makes shared subsets shared subgraphs.
+//! * **Clustering** — if an input is in a set, its neighbours in the
+//!   input stream usually are too; with the most-significant bit as the
+//!   top variable, contiguous identifier ranges collapse into tiny
+//!   subgraphs.
+//!
+//! The manager ([`BddManager`]) owns the node store, the unique
+//! (hash-cons) table and the apply cache; set handles are plain
+//! [`NodeId`]s. Canonicity: equal sets have equal node ids, so set
+//! equality is pointer equality — tested by the property suite.
+
+use std::collections::HashMap;
+
+/// Node handle. `FALSE` (empty set) and `TRUE` (all-accepting) are the
+/// terminal nodes.
+pub type NodeId = u32;
+
+/// The empty set / false terminal.
+pub const FALSE: NodeId = 0;
+/// The universal acceptor / true terminal.
+pub const TRUE: NodeId = 1;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Op {
+    Union,
+    Intersect,
+    Diff,
+}
+
+/// Manager for one family of BDD sets over `nvars`-bit identifiers.
+pub struct BddManager {
+    nvars: u32,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    cache: HashMap<(Op, NodeId, NodeId), NodeId>,
+}
+
+impl BddManager {
+    /// A manager for sets of identifiers in `[0, 2^nvars)`. `nvars ≤ 64`.
+    pub fn new(nvars: u32) -> BddManager {
+        assert!(nvars <= 64, "at most 64-bit identifiers");
+        BddManager {
+            nvars,
+            // Slots 0/1 are terminals; var = nvars is the terminal level.
+            nodes: vec![
+                Node { var: nvars, lo: FALSE, hi: FALSE },
+                Node { var: nvars, lo: TRUE, hi: TRUE },
+            ],
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    pub fn nvars(&self) -> u32 {
+        self.nvars
+    }
+
+    #[inline]
+    fn var(&self, n: NodeId) -> u32 {
+        self.nodes[n as usize].var
+    }
+
+    fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The empty set.
+    pub fn empty(&self) -> NodeId {
+        FALSE
+    }
+
+    /// Bit of `value` at BDD level `var` (var 0 = most significant bit).
+    #[inline]
+    fn bit(&self, value: u64, var: u32) -> bool {
+        (value >> (self.nvars - 1 - var)) & 1 == 1
+    }
+
+    /// The singleton set `{value}`.
+    pub fn singleton(&mut self, value: u64) -> NodeId {
+        debug_assert!(self.nvars == 64 || value < (1u64 << self.nvars));
+        let mut node = TRUE;
+        for var in (0..self.nvars).rev() {
+            node = if self.bit(value, var) {
+                self.mk(var, FALSE, node)
+            } else {
+                self.mk(var, node, FALSE)
+            };
+        }
+        node
+    }
+
+    /// The set `{lo..=hi}` built directly (clustering fast path).
+    pub fn range(&mut self, lo: u64, hi: u64) -> NodeId {
+        if lo > hi {
+            return FALSE;
+        }
+        self.range_rec(0, 0, lo, hi)
+    }
+
+    fn range_rec(&mut self, var: u32, prefix: u64, lo: u64, hi: u64) -> NodeId {
+        let width = self.nvars - var; // bits remaining
+        let span = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let lo_node = prefix;
+        let hi_node = prefix.saturating_add(span);
+        if hi_node < lo || lo_node > hi {
+            return FALSE;
+        }
+        if lo_node >= lo && hi_node <= hi {
+            return TRUE; // fully inside: all remaining assignments accepted
+        }
+        // Single points (width 0) are fully decided by the checks above,
+        // so reaching here implies at least one variable remains.
+        debug_assert!(width >= 1);
+        let half = 1u64 << (width - 1);
+        let l = self.range_rec(var + 1, prefix, lo, hi);
+        let h = self.range_rec(var + 1, prefix + half, lo, hi);
+        self.mk(var, l, h)
+    }
+
+    fn apply(&mut self, op: Op, a: NodeId, b: NodeId) -> NodeId {
+        // Terminal rules.
+        match op {
+            Op::Union => {
+                if a == TRUE || b == TRUE {
+                    return TRUE;
+                }
+                if a == FALSE {
+                    return b;
+                }
+                if b == FALSE || a == b {
+                    return a;
+                }
+            }
+            Op::Intersect => {
+                if a == FALSE || b == FALSE {
+                    return FALSE;
+                }
+                if a == TRUE {
+                    return b;
+                }
+                if b == TRUE || a == b {
+                    return a;
+                }
+            }
+            Op::Diff => {
+                if a == FALSE || b == TRUE || a == b {
+                    return FALSE;
+                }
+                if b == FALSE {
+                    return a;
+                }
+            }
+        }
+        let key = match op {
+            Op::Union | Op::Intersect if a > b => (op, b, a), // commutative: canonical order
+            _ => (op, a, b),
+        };
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (va, vb) = (self.var(a), self.var(b));
+        let v = va.min(vb);
+        let (alo, ahi) = if va == v {
+            (self.nodes[a as usize].lo, self.nodes[a as usize].hi)
+        } else {
+            (a, a)
+        };
+        let (blo, bhi) = if vb == v {
+            (self.nodes[b as usize].lo, self.nodes[b as usize].hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.apply(op, alo, blo);
+        let hi = self.apply(op, ahi, bhi);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Set union.
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Union, a, b)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Intersect, a, b)
+    }
+
+    /// Set difference `a \ b`.
+    pub fn difference(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Diff, a, b)
+    }
+
+    /// Insert one element (union with a singleton).
+    pub fn insert(&mut self, set: NodeId, value: u64) -> NodeId {
+        let s = self.singleton(value);
+        self.union(set, s)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, set: NodeId, value: u64) -> bool {
+        let mut node = set;
+        loop {
+            if node == FALSE {
+                return false;
+            }
+            if node == TRUE {
+                return true;
+            }
+            let n = self.nodes[node as usize];
+            node = if self.bit(value, n.var) { n.hi } else { n.lo };
+        }
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self, set: NodeId) -> u64 {
+        let mut memo: HashMap<NodeId, u64> = HashMap::new();
+        self.count_rec(set, 0, &mut memo)
+    }
+
+    fn count_rec(&self, node: NodeId, level: u32, memo: &mut HashMap<NodeId, u64>) -> u64 {
+        // Count assignments of variables level.. that reach TRUE.
+        let var = self.var(node);
+        debug_assert!(var >= level);
+        let below = if node == FALSE {
+            0
+        } else if node == TRUE {
+            1u64.checked_shl(self.nvars - var).map(|_| 1).unwrap_or(1) // placeholder, handled by skip factor
+        } else if let Some(&c) = memo.get(&node) {
+            c
+        } else {
+            let n = self.nodes[node as usize];
+            let lo = self.count_rec(n.lo, n.var + 1, memo);
+            let hi = self.count_rec(n.hi, n.var + 1, memo);
+            let c = lo + hi;
+            memo.insert(node, c);
+            c
+        };
+        // Terminal TRUE represents all assignments of remaining vars.
+        let below = if node == TRUE {
+            1u64 << (self.nvars - var).min(63)
+        } else {
+            below
+        };
+        // Skipped variables between `level` and `var` double the count.
+        below << (var - level).min(63)
+    }
+
+    /// Enumerate the set's elements (ascending). Intended for reporting
+    /// and tests; cost is proportional to the output size.
+    pub fn elements(&self, set: NodeId) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.enumerate(set, 0, 0, &mut out);
+        out
+    }
+
+    fn enumerate(&self, node: NodeId, level: u32, prefix: u64, out: &mut Vec<u64>) {
+        if node == FALSE {
+            return;
+        }
+        let var = self.var(node);
+        // Expand skipped variables (both assignments reach `node`).
+        if var > level {
+            self.enumerate_skip(node, level, var, prefix, out);
+            return;
+        }
+        if node == TRUE {
+            debug_assert_eq!(level, self.nvars);
+            out.push(prefix);
+            return;
+        }
+        let n = self.nodes[node as usize];
+        self.enumerate(n.lo, level + 1, prefix << 1, out);
+        self.enumerate(n.hi, level + 1, (prefix << 1) | 1, out);
+    }
+
+    fn enumerate_skip(&self, node: NodeId, level: u32, var: u32, prefix: u64, out: &mut Vec<u64>) {
+        if level == var {
+            self.enumerate(node, level, prefix, out);
+            return;
+        }
+        self.enumerate_skip(node, level + 1, var, prefix << 1, out);
+        self.enumerate_skip(node, level + 1, var, (prefix << 1) | 1, out);
+    }
+
+    /// Total nodes allocated by the manager (shared across all sets).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes reachable from `set` (its private size if nothing were
+    /// shared).
+    pub fn set_nodes(&self, set: NodeId) -> usize {
+        self.reachable(&[set])
+    }
+
+    /// Nodes reachable from any of `roots` — the store a garbage-collected
+    /// manager would retain for these live sets (shared nodes counted
+    /// once).
+    pub fn reachable(&self, roots: &[NodeId]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if n == FALSE || n == TRUE || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        seen.len()
+    }
+
+    /// Bytes used by the node store (16 B per node: packed var/lo/hi plus
+    /// the unique-table slot).
+    pub fn bytes(&self) -> usize {
+        self.nodes.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_contains_only_its_element() {
+        let mut m = BddManager::new(8);
+        let s = m.singleton(42);
+        assert!(m.contains(s, 42));
+        for v in [0u64, 1, 41, 43, 255] {
+            assert!(!m.contains(s, v), "{v}");
+        }
+        assert_eq!(m.count(s), 1);
+        assert_eq!(m.elements(s), vec![42]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut m = BddManager::new(8);
+        let a = m.singleton(1);
+        let b = m.singleton(2);
+        let ab = m.union(a, b);
+        assert_eq!(m.count(ab), 2);
+        assert_eq!(m.elements(ab), vec![1, 2]);
+        let i = m.intersect(ab, a);
+        assert_eq!(i, a, "canonicity: equal sets are identical nodes");
+        let empty = m.intersect(a, b);
+        assert_eq!(empty, FALSE);
+    }
+
+    #[test]
+    fn difference_removes_elements() {
+        let mut m = BddManager::new(8);
+        let mut s = m.empty();
+        for v in [3u64, 4, 5] {
+            s = m.insert(s, v);
+        }
+        let b = m.singleton(4);
+        let d = m.difference(s, b);
+        assert_eq!(m.elements(d), vec![3, 5]);
+    }
+
+    #[test]
+    fn range_equals_repeated_insertion() {
+        let mut m = BddManager::new(10);
+        let r = m.range(100, 131);
+        let mut s = m.empty();
+        for v in 100..=131 {
+            s = m.insert(s, v);
+        }
+        assert_eq!(r, s, "canonical representation must coincide");
+        assert_eq!(m.count(r), 32);
+    }
+
+    #[test]
+    fn clustered_range_is_tiny() {
+        let mut m = BddManager::new(20);
+        // An aligned contiguous range of 2^12 elements...
+        let r = m.range(1 << 12, (1 << 13) - 1);
+        assert_eq!(m.count(r), 1 << 12);
+        // ...costs only ~nvars nodes, not 4096.
+        assert!(m.set_nodes(r) <= 20, "got {}", m.set_nodes(r));
+    }
+
+    #[test]
+    fn overlapping_sets_share_structure() {
+        let mut m = BddManager::new(16);
+        let base = m.range(0, 1023);
+        let before = m.node_count();
+        // Ten sets overlapping in the shared 1024-element base.
+        let mut handles = Vec::new();
+        for k in 0..10u64 {
+            let extra = m.singleton(2000 + k);
+            handles.push(m.union(base, extra));
+        }
+        let grown = m.node_count() - before;
+        // Each overlapping set costs O(nvars) fresh nodes (the singleton
+        // chain plus the union spine), NOT O(|set|): 10 sets of 1025
+        // elements grow the store by well under 10 × 2 × nvars nodes.
+        assert!(grown < 10 * 2 * 16, "sharing failed: grew {grown}");
+        for (k, &h) in handles.iter().enumerate() {
+            assert!(m.contains(h, 2000 + k as u64));
+            assert!(m.contains(h, 512));
+            assert_eq!(m.count(h), 1025);
+        }
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let mut m = BddManager::new(8);
+        let e = m.empty();
+        assert_eq!(m.count(e), 0);
+        assert!(m.elements(e).is_empty());
+        let s = m.singleton(5);
+        assert_eq!(m.union(e, s), s);
+        assert_eq!(m.intersect(e, s), FALSE);
+    }
+
+    #[test]
+    fn range_inverted_bounds_is_empty() {
+        let mut m = BddManager::new(8);
+        assert_eq!(m.range(10, 5), FALSE);
+    }
+
+    #[test]
+    fn full_width_64bit_ids() {
+        let mut m = BddManager::new(64);
+        let s = m.singleton(u64::MAX - 1);
+        assert!(m.contains(s, u64::MAX - 1));
+        assert!(!m.contains(s, u64::MAX));
+    }
+
+    #[test]
+    fn idempotent_and_commutative_union() {
+        let mut m = BddManager::new(8);
+        let a = m.range(0, 7);
+        let b = m.range(4, 12);
+        let ab = m.union(a, b);
+        let ba = m.union(b, a);
+        assert_eq!(ab, ba);
+        assert_eq!(m.union(ab, ab), ab);
+        assert_eq!(m.count(ab), 13);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn naive(vals: &[u64]) -> BTreeSet<u64> {
+        vals.iter().copied().collect()
+    }
+
+    proptest! {
+        #[test]
+        fn union_matches_naive(a in proptest::collection::vec(0u64..4096, 0..60),
+                               b in proptest::collection::vec(0u64..4096, 0..60)) {
+            let mut m = BddManager::new(12);
+            let mut sa = m.empty();
+            for &v in &a { sa = m.insert(sa, v); }
+            let mut sb = m.empty();
+            for &v in &b { sb = m.insert(sb, v); }
+            let su = m.union(sa, sb);
+            let want: Vec<u64> = naive(&a).union(&naive(&b)).copied().collect();
+            prop_assert_eq!(m.elements(su), want);
+            prop_assert_eq!(m.count(su) as usize, naive(&a).union(&naive(&b)).count());
+        }
+
+        #[test]
+        fn intersect_matches_naive(a in proptest::collection::vec(0u64..256, 0..40),
+                                   b in proptest::collection::vec(0u64..256, 0..40)) {
+            let mut m = BddManager::new(8);
+            let mut sa = m.empty();
+            for &v in &a { sa = m.insert(sa, v); }
+            let mut sb = m.empty();
+            for &v in &b { sb = m.insert(sb, v); }
+            let si = m.intersect(sa, sb);
+            let want: Vec<u64> = naive(&a).intersection(&naive(&b)).copied().collect();
+            prop_assert_eq!(m.elements(si), want);
+        }
+
+        #[test]
+        fn difference_matches_naive(a in proptest::collection::vec(0u64..256, 0..40),
+                                    b in proptest::collection::vec(0u64..256, 0..40)) {
+            let mut m = BddManager::new(8);
+            let mut sa = m.empty();
+            for &v in &a { sa = m.insert(sa, v); }
+            let mut sb = m.empty();
+            for &v in &b { sb = m.insert(sb, v); }
+            let sd = m.difference(sa, sb);
+            let want: Vec<u64> = naive(&a).difference(&naive(&b)).copied().collect();
+            prop_assert_eq!(m.elements(sd), want);
+        }
+
+        #[test]
+        fn canonicity_same_set_same_node(mut vals in proptest::collection::vec(0u64..512, 1..30)) {
+            let mut m = BddManager::new(9);
+            let mut s1 = m.empty();
+            for &v in &vals { s1 = m.insert(s1, v); }
+            // Insert in a different order — the node id must be identical.
+            vals.reverse();
+            let mut s2 = m.empty();
+            for &v in &vals { s2 = m.insert(s2, v); }
+            prop_assert_eq!(s1, s2);
+        }
+
+        #[test]
+        fn contains_matches_membership(vals in proptest::collection::vec(0u64..1024, 0..50),
+                                       probe in 0u64..1024) {
+            let mut m = BddManager::new(10);
+            let mut s = m.empty();
+            for &v in &vals { s = m.insert(s, v); }
+            prop_assert_eq!(m.contains(s, probe), naive(&vals).contains(&probe));
+        }
+
+        #[test]
+        fn range_matches_naive(lo in 0u64..500, len in 0u64..100) {
+            let mut m = BddManager::new(10);
+            let hi = (lo + len).min(1023);
+            let r = m.range(lo, hi);
+            let want: Vec<u64> = (lo..=hi).collect();
+            prop_assert_eq!(m.elements(r), want);
+        }
+    }
+}

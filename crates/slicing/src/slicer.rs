@@ -1,0 +1,230 @@
+//! Backward and forward dynamic slicing.
+
+use dift_ddg::{DdgGraph, DepKind};
+use dift_isa::{Addr, StmtId};
+use std::collections::BTreeSet;
+
+/// Which dependence kinds a slice traverses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KindMask {
+    pub reg_data: bool,
+    pub mem_data: bool,
+    pub control: bool,
+    pub war: bool,
+    pub waw: bool,
+}
+
+impl KindMask {
+    /// Classic single-threaded slicing: data + control.
+    pub fn classic() -> KindMask {
+        KindMask { reg_data: true, mem_data: true, control: true, war: false, waw: false }
+    }
+
+    /// Data dependences only.
+    pub fn data_only() -> KindMask {
+        KindMask { reg_data: true, mem_data: true, control: false, war: false, waw: false }
+    }
+
+    /// Multithreaded extension: include WAR/WAW so data races surface in
+    /// slices (§3.1).
+    pub fn multithreaded() -> KindMask {
+        KindMask { reg_data: true, mem_data: true, control: true, war: true, waw: true }
+    }
+
+    pub fn allows(&self, k: DepKind) -> bool {
+        match k {
+            DepKind::RegData => self.reg_data,
+            DepKind::MemData => self.mem_data,
+            DepKind::Control => self.control,
+            DepKind::War => self.war,
+            DepKind::Waw => self.waw,
+        }
+    }
+}
+
+/// A computed slice: the set of dynamic steps, plus source-level views.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Slice {
+    pub steps: BTreeSet<u64>,
+    pub addrs: BTreeSet<Addr>,
+    pub stmts: BTreeSet<StmtId>,
+}
+
+impl Slice {
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    pub fn contains_step(&self, step: u64) -> bool {
+        self.steps.contains(&step)
+    }
+
+    pub fn contains_stmt(&self, stmt: StmtId) -> bool {
+        self.stmts.contains(&stmt)
+    }
+
+    pub fn contains_addr(&self, addr: Addr) -> bool {
+        self.addrs.contains(&addr)
+    }
+}
+
+/// Slicing engine over one dependence graph.
+pub struct Slicer<'g> {
+    graph: &'g DdgGraph,
+}
+
+impl<'g> Slicer<'g> {
+    pub fn new(graph: &'g DdgGraph) -> Slicer<'g> {
+        Slicer { graph }
+    }
+
+    fn collect(&self, steps: BTreeSet<u64>) -> Slice {
+        let mut s = Slice { steps, ..Default::default() };
+        for &step in &s.steps {
+            if let Some(m) = self.graph.meta(step) {
+                s.addrs.insert(m.addr);
+                s.stmts.insert(m.stmt);
+            }
+        }
+        s
+    }
+
+    /// Backward dynamic slice: every step the criterion steps
+    /// (transitively) depend on, criterion included.
+    pub fn backward(&self, criterion: &[u64], mask: KindMask) -> Slice {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut work: Vec<u64> = criterion.to_vec();
+        while let Some(step) = work.pop() {
+            if !seen.insert(step) {
+                continue;
+            }
+            for d in self.graph.defs_of(step) {
+                if mask.allows(d.kind) && !seen.contains(&d.def) {
+                    work.push(d.def);
+                }
+            }
+        }
+        self.collect(seen)
+    }
+
+    /// Forward dynamic slice: every step (transitively) affected by the
+    /// criterion steps, criterion included.
+    pub fn forward(&self, criterion: &[u64], mask: KindMask) -> Slice {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut work: Vec<u64> = criterion.to_vec();
+        while let Some(step) = work.pop() {
+            if !seen.insert(step) {
+                continue;
+            }
+            for d in self.graph.users_of(step) {
+                if mask.allows(d.kind) && !seen.contains(&d.user) {
+                    work.push(d.user);
+                }
+            }
+        }
+        self.collect(seen)
+    }
+
+    /// Backward slice seeded with every dynamic instance of a program
+    /// address (e.g. "slice from the failing output instruction").
+    pub fn backward_from_addr(&self, addr: Addr, mask: KindMask) -> Slice {
+        let steps = self.graph.steps_at_addr(addr);
+        self.backward(&steps, mask)
+    }
+
+    /// The graph being sliced.
+    pub fn graph(&self) -> &DdgGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_ddg::{Dependence, StepMeta};
+
+    fn meta(step: u64, addr: u32) -> StepMeta {
+        StepMeta { step, addr, stmt: addr * 10, tid: 0 }
+    }
+
+    /// Graph: 1 -> 3 (reg), 2 -> 3 (mem), 3 -> 5 (reg), 4 -> 5 (control),
+    /// 5 -> 6 (war).
+    fn graph() -> DdgGraph {
+        DdgGraph::from_deps(
+            vec![
+                Dependence::new(3, 1, DepKind::RegData),
+                Dependence::new(3, 2, DepKind::MemData),
+                Dependence::new(5, 3, DepKind::RegData),
+                Dependence::new(5, 4, DepKind::Control),
+                Dependence::new(6, 5, DepKind::War),
+            ],
+            (1..=6).map(|s| meta(s, s as u32)).collect(),
+        )
+    }
+
+    #[test]
+    fn backward_transitive_closure() {
+        let g = graph();
+        let s = Slicer::new(&g).backward(&[5], KindMask::classic());
+        assert_eq!(s.steps, [1, 2, 3, 4, 5].into_iter().collect());
+        assert!(s.contains_addr(4));
+        assert!(s.contains_stmt(40));
+    }
+
+    #[test]
+    fn data_only_excludes_control() {
+        let g = graph();
+        let s = Slicer::new(&g).backward(&[5], KindMask::data_only());
+        assert_eq!(s.steps, [1, 2, 3, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn multithreaded_mask_traverses_war() {
+        let g = graph();
+        let classic = Slicer::new(&g).backward(&[6], KindMask::classic());
+        assert_eq!(classic.steps, [6].into_iter().collect(), "war edge hidden");
+        let mt = Slicer::new(&g).backward(&[6], KindMask::multithreaded());
+        assert!(mt.contains_step(5) && mt.contains_step(1));
+    }
+
+    #[test]
+    fn forward_slice_mirrors_backward() {
+        let g = graph();
+        let f = Slicer::new(&g).forward(&[1], KindMask::classic());
+        assert_eq!(f.steps, [1, 3, 5].into_iter().collect());
+        let f2 = Slicer::new(&g).forward(&[4], KindMask::classic());
+        assert_eq!(f2.steps, [4, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn backward_from_addr_uses_all_instances() {
+        // Two instances at the same address.
+        let g = DdgGraph::from_deps(
+            vec![
+                Dependence::new(10, 1, DepKind::RegData),
+                Dependence::new(20, 2, DepKind::RegData),
+            ],
+            vec![meta(1, 7), meta(2, 8), meta(10, 9), meta(20, 9)],
+        );
+        let s = Slicer::new(&g).backward_from_addr(9, KindMask::classic());
+        assert_eq!(s.steps, [1, 2, 10, 20].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_criterion_empty_slice() {
+        let g = graph();
+        let s = Slicer::new(&g).backward(&[], KindMask::classic());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn criterion_without_deps_is_singleton() {
+        let g = graph();
+        let s = Slicer::new(&g).backward(&[2], KindMask::classic());
+        assert_eq!(s.steps, [2].into_iter().collect());
+    }
+}

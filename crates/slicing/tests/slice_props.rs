@@ -1,0 +1,106 @@
+//! Property tests on slicing: closure, duality, and agreement with the
+//! tracer on randomly generated programs.
+
+use dift_ddg::{DdgGraph, DepKind, Dependence, StepMeta};
+use dift_slicing::{chop, KindMask, Slicer};
+use proptest::prelude::*;
+
+fn kind(i: u8) -> DepKind {
+    match i % 3 {
+        0 => DepKind::RegData,
+        1 => DepKind::MemData,
+        _ => DepKind::Control,
+    }
+}
+
+/// Random DAG over steps 0..n (edges always point backwards).
+fn random_graph(edges: &[(u64, u64, u8)]) -> DdgGraph {
+    let deps: Vec<Dependence> = edges
+        .iter()
+        .filter(|(u, d, _)| d < u)
+        .map(|(u, d, k)| Dependence::new(*u, *d, kind(*k)))
+        .collect();
+    let metas: Vec<StepMeta> = (0..64)
+        .map(|s| StepMeta { step: s, addr: s as u32 % 16, stmt: s as u32 % 8, tid: 0 })
+        .collect();
+    DdgGraph::from_deps(deps, metas)
+}
+
+proptest! {
+    /// Backward slices are closed under traversable dependences.
+    #[test]
+    fn backward_slice_is_closed(
+        edges in proptest::collection::vec((1u64..60, 0u64..59, 0u8..3), 1..80),
+        crit in 0u64..60,
+    ) {
+        let g = random_graph(&edges);
+        let s = Slicer::new(&g).backward(&[crit], KindMask::classic());
+        for &step in &s.steps {
+            for d in g.defs_of(step) {
+                prop_assert!(s.contains_step(d.def));
+            }
+        }
+    }
+
+    /// Duality: t ∈ backward(s) ⟺ s ∈ forward(t).
+    #[test]
+    fn backward_forward_duality(
+        edges in proptest::collection::vec((1u64..40, 0u64..39, 0u8..3), 1..60),
+        s in 0u64..40,
+        t in 0u64..40,
+    ) {
+        let g = random_graph(&edges);
+        let slicer = Slicer::new(&g);
+        let b = slicer.backward(&[s], KindMask::classic());
+        let f = slicer.forward(&[t], KindMask::classic());
+        prop_assert_eq!(b.contains_step(t), f.contains_step(s));
+    }
+
+    /// The chop equals forward ∩ backward for arbitrary source/sink sets.
+    #[test]
+    fn chop_is_exact_intersection(
+        edges in proptest::collection::vec((1u64..40, 0u64..39, 0u8..3), 1..60),
+        sources in proptest::collection::vec(0u64..40, 1..4),
+        sinks in proptest::collection::vec(0u64..40, 1..4),
+    ) {
+        let g = random_graph(&edges);
+        let slicer = Slicer::new(&g);
+        let c = chop(&g, &sources, &sinks, KindMask::classic());
+        let f = slicer.forward(&sources, KindMask::classic());
+        let b = slicer.backward(&sinks, KindMask::classic());
+        for step in 0..40u64 {
+            prop_assert_eq!(
+                c.contains_step(step),
+                f.contains_step(step) && b.contains_step(step),
+                "step {}", step
+            );
+        }
+    }
+
+    /// Restricting the kind mask never grows a slice.
+    #[test]
+    fn mask_restriction_shrinks_slices(
+        edges in proptest::collection::vec((1u64..40, 0u64..39, 0u8..3), 1..60),
+        crit in 0u64..40,
+    ) {
+        let g = random_graph(&edges);
+        let slicer = Slicer::new(&g);
+        let full = slicer.backward(&[crit], KindMask::classic());
+        let data = slicer.backward(&[crit], KindMask::data_only());
+        prop_assert!(data.steps.is_subset(&full.steps));
+    }
+
+    /// Slices grow monotonically with the criterion set.
+    #[test]
+    fn criterion_monotonicity(
+        edges in proptest::collection::vec((1u64..40, 0u64..39, 0u8..3), 1..60),
+        a in 0u64..40,
+        b in 0u64..40,
+    ) {
+        let g = random_graph(&edges);
+        let slicer = Slicer::new(&g);
+        let sa = slicer.backward(&[a], KindMask::classic());
+        let sab = slicer.backward(&[a, b], KindMask::classic());
+        prop_assert!(sa.steps.is_subset(&sab.steps));
+    }
+}

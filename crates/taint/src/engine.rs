@@ -1,0 +1,405 @@
+//! The generic DIFT engine (a DBI tool).
+
+use crate::costs;
+use crate::label::{LabelCtx, TaintLabel};
+use crate::policy::TaintPolicy;
+use dift_dbi::Tool;
+use dift_isa::{Addr, MemAddr, Opcode, Reg, NUM_REGS};
+use dift_vm::{Machine, RunResult, StepEffects, ThreadId};
+use std::collections::HashMap;
+
+/// Why an alert fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Tainted value used as a load address.
+    TaintedLoadAddr,
+    /// Tainted value used as a store address.
+    TaintedStoreAddr,
+    /// Tainted value used as an indirect jump/call target.
+    TaintedControl,
+}
+
+/// One attack-detection alert.
+#[derive(Clone, Debug)]
+pub struct TaintAlert<T> {
+    pub step: u64,
+    pub tid: ThreadId,
+    /// Instruction that performed the suspicious use.
+    pub at: Addr,
+    pub kind: AlertKind,
+    /// The offending label — for [`crate::PcTaint`] this carries the PC
+    /// of the instruction that last wrote the tainted value, i.e. the
+    /// root-cause candidate.
+    pub label: T,
+    /// When the offending register was produced by a load, the memory
+    /// cell it came from and that cell's label *at alert time*. For a
+    /// memory-overwrite attack this is the paper's root-cause pointer:
+    /// the most recent instruction that wrote the corrupted location
+    /// (e.g. the overflowing store).
+    pub origin: Option<(MemAddr, T)>,
+}
+
+/// Engine statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TaintStats {
+    pub instrs: u64,
+    /// Instructions that touched at least one tainted value.
+    pub tainted_instrs: u64,
+    /// Taint sources created (input words read).
+    pub sources: u64,
+    /// Peak count of tainted memory words.
+    pub peak_tainted_words: usize,
+    /// Peak shadow bytes across tainted memory words.
+    pub peak_shadow_bytes: usize,
+}
+
+/// The DIFT engine, generic over the label lattice.
+pub struct TaintEngine<T: TaintLabel> {
+    policy: TaintPolicy,
+    regs: Vec<Vec<T>>,
+    /// Per (tid, reg): the memory cell a register was most recently
+    /// loaded from (None after any non-load definition).
+    origins: Vec<Vec<Option<MemAddr>>>,
+    mem: HashMap<MemAddr, T>,
+    input_counts: HashMap<u16, u64>,
+    pub alerts: Vec<TaintAlert<T>>,
+    /// Labels observed at `Out` instructions: `(channel, emit index,
+    /// label)` — the lineage of each output word.
+    pub output_labels: Vec<(u16, u64, T)>,
+    output_counts: HashMap<u16, u64>,
+    stats: TaintStats,
+}
+
+impl<T: TaintLabel> TaintEngine<T> {
+    pub fn new(policy: TaintPolicy) -> TaintEngine<T> {
+        TaintEngine {
+            policy,
+            regs: Vec::new(),
+            origins: Vec::new(),
+            mem: HashMap::new(),
+            input_counts: HashMap::new(),
+            alerts: Vec::new(),
+            output_labels: Vec::new(),
+            output_counts: HashMap::new(),
+            stats: TaintStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &TaintStats {
+        &self.stats
+    }
+
+    fn ensure_tid(&mut self, tid: ThreadId) {
+        while self.regs.len() <= tid as usize {
+            self.regs.push(vec![T::default(); NUM_REGS]);
+            self.origins.push(vec![None; NUM_REGS]);
+        }
+    }
+
+    /// Label of a register.
+    pub fn reg_label(&mut self, tid: ThreadId, r: Reg) -> &T {
+        self.ensure_tid(tid);
+        &self.regs[tid as usize][r.index()]
+    }
+
+    /// Label of a memory word (clean if never written tainted).
+    pub fn mem_label(&self, addr: MemAddr) -> T {
+        self.mem.get(&addr).cloned().unwrap_or_default()
+    }
+
+    fn set_mem_label(&mut self, addr: MemAddr, label: T) {
+        if label.is_clean() {
+            self.mem.remove(&addr);
+        } else {
+            self.mem.insert(addr, label);
+        }
+        if self.mem.len() > self.stats.peak_tainted_words {
+            self.stats.peak_tainted_words = self.mem.len();
+            self.stats.peak_shadow_bytes =
+                self.mem.values().map(|l| l.shadow_bytes()).sum();
+        }
+    }
+
+    /// Externally taint a register (tests, attack setup).
+    pub fn taint_reg(&mut self, tid: ThreadId, r: Reg, label: T) {
+        self.ensure_tid(tid);
+        self.regs[tid as usize][r.index()] = label;
+    }
+
+    /// Number of currently tainted memory words.
+    pub fn tainted_words(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Process one step's effects — also callable outside the Tool
+    /// interface (the multicore helper thread drives this directly).
+    pub fn process(&mut self, fx: &StepEffects) {
+        let tid = fx.tid;
+        self.ensure_tid(tid);
+        self.stats.instrs += 1;
+        let ctx = LabelCtx { addr: fx.addr, step: fx.step, stmt: fx.insn.stmt };
+
+        // Gather source labels.
+        let t = tid as usize;
+        let mut sources: Vec<T> = Vec::with_capacity(4);
+        for r in &fx.insn.data_uses() {
+            sources.push(self.regs[t][r.index()].clone());
+        }
+        if self.policy.propagate_through_addr {
+            for r in &fx.insn.addr_uses() {
+                sources.push(self.regs[t][r.index()].clone());
+            }
+        }
+        if let Some((addr, _)) = fx.mem_read {
+            sources.push(self.mem_label(addr));
+        }
+        let any_tainted = sources.iter().any(|s| !s.is_clean());
+
+        // Checks (before the write-side update).
+        if self.policy.check_mem_addr || self.policy.check_control {
+            for r in &fx.insn.addr_uses() {
+                let label = &self.regs[t][r.index()];
+                if label.is_clean() {
+                    continue;
+                }
+                let kind = match fx.insn.op {
+                    Opcode::Load { .. } => AlertKind::TaintedLoadAddr,
+                    Opcode::Store { .. } | Opcode::Atomic { .. } | Opcode::Cas { .. } => {
+                        AlertKind::TaintedStoreAddr
+                    }
+                    Opcode::JumpInd { .. } | Opcode::CallInd { .. } => AlertKind::TaintedControl,
+                    _ => continue,
+                };
+                let wanted = match kind {
+                    AlertKind::TaintedControl => self.policy.check_control,
+                    _ => self.policy.check_mem_addr,
+                };
+                if wanted {
+                    let origin = self.origins[t][r.index()]
+                        .map(|cell| (cell, self.mem.get(&cell).cloned().unwrap_or_default()));
+                    self.alerts.push(TaintAlert {
+                        step: fx.step,
+                        tid,
+                        at: fx.addr,
+                        kind,
+                        label: label.clone(),
+                        origin,
+                    });
+                }
+            }
+        }
+
+        // Write-side propagation.
+        let is_source = matches!(fx.insn.op, Opcode::In { .. });
+        let out_label = if is_source {
+            let (ch, _) = fx.input.expect("In always has an input effect");
+            let idx = self.input_counts.entry(ch).or_insert(0);
+            let l = T::source(&ctx, ch, *idx);
+            *idx += 1;
+            self.stats.sources += 1;
+            l
+        } else {
+            let refs: Vec<&T> = sources.iter().collect();
+            T::propagate(&refs, &ctx)
+        };
+
+        if any_tainted || is_source {
+            self.stats.tainted_instrs += 1;
+        }
+
+        if let Some((r, _, _)) = fx.reg_write {
+            self.regs[t][r.index()] = out_label.clone();
+            self.origins[t][r.index()] = match fx.insn.op {
+                Opcode::Load { .. } => fx.mem_read.map(|(a, _)| a),
+                _ => None,
+            };
+        }
+        if let Some((addr, _, _)) = fx.mem_write {
+            self.set_mem_label(addr, out_label.clone());
+        }
+
+        // Output sink labels.
+        if let Some((ch, _)) = fx.output {
+            let idx = self.output_counts.entry(ch).or_insert(0);
+            let label = fx
+                .insn
+                .data_uses()
+                .as_slice()
+                .first()
+                .map(|r| self.regs[t][r.index()].clone())
+                .unwrap_or_default();
+            self.output_labels.push((ch, *idx, label));
+            *idx += 1;
+        }
+    }
+}
+
+impl<T: TaintLabel> Tool for TaintEngine<T> {
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        if self.policy.charge_cycles {
+            let mut c = costs::TAINT_PER_INSN;
+            if fx.mem_read.is_some() || fx.mem_write.is_some() {
+                c += costs::TAINT_PER_MEM;
+            }
+            m.charge(c);
+        }
+        self.process(fx);
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{BitTaint, PcTaint};
+    use dift_dbi::Engine;
+    use dift_isa::{BinOp, Program, ProgramBuilder};
+    use dift_vm::MachineConfig;
+    use std::sync::Arc;
+
+    fn run<T: TaintLabel>(
+        p: &Arc<Program>,
+        policy: TaintPolicy,
+        inputs: &[u64],
+    ) -> (TaintEngine<T>, dift_vm::RunResult) {
+        let mut m = Machine::new(p.clone(), MachineConfig::small());
+        m.feed_input(0, inputs);
+        let mut engine = Engine::new(m);
+        let mut taint = TaintEngine::<T>::new(policy);
+        let r = engine.run_tool(&mut taint);
+        (taint, r)
+    }
+
+    #[test]
+    fn taint_flows_input_to_output() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.bini(BinOp::Mul, Reg(2), Reg(1), 3);
+        b.output(Reg(2), 0);
+        b.li(Reg(3), 7); // clean
+        b.output(Reg(3), 0);
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let (t, r) = run::<BitTaint>(&p, TaintPolicy::propagate_only(), &[5]);
+        assert!(r.status.is_clean());
+        assert_eq!(t.output_labels.len(), 2);
+        assert!(!t.output_labels[0].2.is_clean(), "derived from input");
+        assert!(t.output_labels[1].2.is_clean(), "constant");
+        assert_eq!(t.stats().sources, 1);
+    }
+
+    #[test]
+    fn taint_flows_through_memory() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.li(Reg(2), 200);
+        b.store(Reg(1), Reg(2), 0); // mem[200] tainted
+        b.load(Reg(3), Reg(2), 0);
+        b.output(Reg(3), 0);
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let (t, _) = run::<BitTaint>(&p, TaintPolicy::propagate_only(), &[9]);
+        assert!(!t.output_labels[0].2.is_clean());
+        assert_eq!(t.tainted_words(), 1);
+        assert_eq!(t.stats().peak_tainted_words, 1);
+    }
+
+    #[test]
+    fn overwrite_with_clean_value_untaints() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.li(Reg(2), 200);
+        b.store(Reg(1), Reg(2), 0); // tainted
+        b.li(Reg(3), 0);
+        b.store(Reg(3), Reg(2), 0); // clean overwrite
+        b.load(Reg(4), Reg(2), 0);
+        b.output(Reg(4), 0);
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let (t, _) = run::<BitTaint>(&p, TaintPolicy::propagate_only(), &[9]);
+        assert!(t.output_labels[0].2.is_clean());
+        assert_eq!(t.tainted_words(), 0);
+    }
+
+    #[test]
+    fn tainted_indirect_call_raises_control_alert() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0); // attacker-controlled
+        b.call_ind(Reg(1)); // jump through tainted pointer
+        b.halt();
+        b.func("gadget");
+        b.ret();
+        let p = Arc::new(b.build().unwrap());
+        // Input value = address of `gadget` so the run stays clean.
+        let gadget = p.func_by_name("gadget").unwrap();
+        let entry = p.funcs()[gadget as usize].entry as u64;
+        let (t, r) = run::<BitTaint>(&p, TaintPolicy::default(), &[entry]);
+        assert!(r.status.is_clean());
+        assert_eq!(t.alerts.len(), 1);
+        assert_eq!(t.alerts[0].kind, AlertKind::TaintedControl);
+    }
+
+    #[test]
+    fn tainted_store_address_raises_alert_with_pc_label() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0); // 0: tainted index
+        b.addi(Reg(2), Reg(1), 100); // 1: tainted address  <- last writer
+        b.li(Reg(3), 7);
+        b.store(Reg(3), Reg(2), 0); // 3: alert here
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let (t, _) = run::<PcTaint>(&p, TaintPolicy::default(), &[4]);
+        assert_eq!(t.alerts.len(), 1);
+        let a = &t.alerts[0];
+        assert_eq!(a.kind, AlertKind::TaintedStoreAddr);
+        assert_eq!(a.at, 3);
+        // The PC label names the most recent writer of the tainted value
+        // — the addi at address 1, the root-cause candidate.
+        assert_eq!(a.label.pc(), Some(1));
+    }
+
+    #[test]
+    fn pointer_taint_policy_propagates_through_addresses() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0); // tainted index
+        b.li(Reg(2), 100);
+        b.add(Reg(3), Reg(2), Reg(1));
+        b.load(Reg(4), Reg(3), 0); // value from tainted address
+        b.output(Reg(4), 0);
+        b.halt();
+        b.data(105, 11);
+        let p = Arc::new(b.build().unwrap());
+
+        let mut pol = TaintPolicy::propagate_only();
+        let (t, _) = run::<BitTaint>(&p, pol, &[5]);
+        assert!(t.output_labels[0].2.is_clean(), "no pointer taint by default");
+
+        pol.propagate_through_addr = true;
+        let (t2, _) = run::<BitTaint>(&p, pol, &[5]);
+        assert!(!t2.output_labels[0].2.is_clean(), "pointer taint flows");
+    }
+
+    #[test]
+    fn charging_increases_cycles() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 5);
+        b.li(Reg(2), 6);
+        b.add(Reg(3), Reg(1), Reg(2));
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let mut bare = Machine::new(p.clone(), MachineConfig::small());
+        let native = bare.run().cycles;
+        let (_, r) = run::<BitTaint>(&p, TaintPolicy::default(), &[]);
+        assert!(r.cycles > native);
+    }
+
+    use dift_isa::Reg;
+}

@@ -1,0 +1,135 @@
+//! Taint label lattices.
+
+use dift_isa::{Addr, StmtId};
+
+/// Context available when a label is created or propagated.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelCtx {
+    /// Address of the executing instruction.
+    pub addr: Addr,
+    /// Global step of the executing instruction.
+    pub step: u64,
+    /// Source statement of the executing instruction.
+    pub stmt: StmtId,
+}
+
+/// A taint label. `Default` must be the clean (bottom) element.
+pub trait TaintLabel: Clone + PartialEq + Default + std::fmt::Debug {
+    /// True for the clean/bottom label.
+    fn is_clean(&self) -> bool;
+
+    /// Label of a value produced from `sources` by the instruction at
+    /// `ctx`. Must return clean when every source is clean.
+    fn propagate(sources: &[&Self], ctx: &LabelCtx) -> Self;
+
+    /// Label created at a taint source (an `In` instruction): `index` is
+    /// the running count of words read from `channel`.
+    fn source(ctx: &LabelCtx, channel: u16, index: u64) -> Self;
+
+    /// Approximate shadow bytes one stored label costs (memory-overhead
+    /// accounting; E7 reports this for lineage sets).
+    fn shadow_bytes(&self) -> usize;
+}
+
+/// Boolean taint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitTaint(pub bool);
+
+impl TaintLabel for BitTaint {
+    fn is_clean(&self) -> bool {
+        !self.0
+    }
+
+    fn propagate(sources: &[&Self], _ctx: &LabelCtx) -> Self {
+        BitTaint(sources.iter().any(|s| s.0))
+    }
+
+    fn source(_ctx: &LabelCtx, _channel: u16, _index: u64) -> Self {
+        BitTaint(true)
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        1
+    }
+}
+
+/// PC taint (§3.3): zero = untainted; non-zero = `1 + PC` of the most
+/// recent instruction that wrote the (tainted) location. On an attack
+/// alert this PC points at a root-cause candidate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PcTaint(pub u32);
+
+impl PcTaint {
+    /// The tainted-writer PC, if tainted.
+    pub fn pc(&self) -> Option<Addr> {
+        (self.0 != 0).then(|| self.0 - 1)
+    }
+
+    pub fn at(addr: Addr) -> PcTaint {
+        PcTaint(addr + 1)
+    }
+}
+
+impl TaintLabel for PcTaint {
+    fn is_clean(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn propagate(sources: &[&Self], ctx: &LabelCtx) -> Self {
+        if sources.iter().any(|s| s.0 != 0) {
+            // The new value is tainted; its label is the PC of the
+            // instruction writing it — the paper's key twist.
+            PcTaint::at(ctx.addr)
+        } else {
+            PcTaint(0)
+        }
+    }
+
+    fn source(ctx: &LabelCtx, _channel: u16, _index: u64) -> Self {
+        PcTaint::at(ctx.addr)
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(addr: Addr) -> LabelCtx {
+        LabelCtx { addr, step: 0, stmt: 0 }
+    }
+
+    #[test]
+    fn bit_taint_or_semantics() {
+        let t = BitTaint(true);
+        let c = BitTaint(false);
+        assert!(c.is_clean());
+        assert!(!BitTaint::propagate(&[&c, &c], &ctx(1)).0);
+        assert!(BitTaint::propagate(&[&c, &t], &ctx(1)).0);
+        assert!(BitTaint::source(&ctx(1), 0, 0).0);
+    }
+
+    #[test]
+    fn pc_taint_tracks_most_recent_writer() {
+        let t = PcTaint::at(10);
+        let c = PcTaint(0);
+        assert_eq!(t.pc(), Some(10));
+        assert!(c.is_clean());
+        // Propagation stamps the *current* PC, not the source's.
+        let out = PcTaint::propagate(&[&t, &c], &ctx(55));
+        assert_eq!(out.pc(), Some(55));
+        // Clean sources stay clean.
+        assert!(PcTaint::propagate(&[&c], &ctx(55)).is_clean());
+        // PC 0 is representable (shifted encoding).
+        assert_eq!(PcTaint::at(0).pc(), Some(0));
+    }
+
+    #[test]
+    fn shadow_bytes() {
+        assert_eq!(BitTaint(true).shadow_bytes(), 1);
+        assert_eq!(PcTaint::at(3).shadow_bytes(), 4);
+    }
+}

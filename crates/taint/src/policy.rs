@@ -1,0 +1,58 @@
+//! Propagation and checking policy.
+
+/// What flows taint and what raises alerts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaintPolicy {
+    /// Propagate through address registers of loads (pointer taint):
+    /// `x = a[i]` taints `x` when `i` is tainted. Off by default — the
+    /// paper's detector uses tainted addresses as *alerts*, not flows.
+    pub propagate_through_addr: bool,
+    /// Alert when a tainted value is used as a load/store address.
+    pub check_mem_addr: bool,
+    /// Alert when a tainted value is an indirect jump/call target.
+    pub check_control: bool,
+    /// Charge instrumentation cycles to the machine (off when the engine
+    /// is driven by the multicore helper, which has its own cost model).
+    pub charge_cycles: bool,
+}
+
+impl Default for TaintPolicy {
+    fn default() -> Self {
+        TaintPolicy {
+            propagate_through_addr: false,
+            check_mem_addr: true,
+            check_control: true,
+            charge_cycles: true,
+        }
+    }
+}
+
+impl TaintPolicy {
+    /// Pure propagation, no checks, no charges — lineage tracing mode.
+    pub fn propagate_only() -> TaintPolicy {
+        TaintPolicy {
+            propagate_through_addr: false,
+            check_mem_addr: false,
+            check_control: false,
+            charge_cycles: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_checks_both_sinks() {
+        let p = TaintPolicy::default();
+        assert!(p.check_mem_addr && p.check_control);
+        assert!(!p.propagate_through_addr);
+    }
+
+    #[test]
+    fn propagate_only_disables_checks() {
+        let p = TaintPolicy::propagate_only();
+        assert!(!p.check_mem_addr && !p.check_control);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests on taint propagation.
+
+use dift_dbi::Engine;
+use dift_isa::{BinOp, Program, ProgramBuilder, Reg};
+use dift_taint::{BitTaint, PcTaint, TaintEngine, TaintLabel, TaintPolicy};
+use dift_vm::{Machine, MachineConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const OPS: [BinOp; 6] = [BinOp::Add, BinOp::Xor, BinOp::Mul, BinOp::And, BinOp::Min, BinOp::Shl];
+
+#[derive(Clone, Debug)]
+enum Step {
+    Alu { op: usize, rd: u8, rs1: u8, rs2: u8 },
+    Store { rs: u8, slot: u8 },
+    Load { rd: u8, slot: u8 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..OPS.len(), 1u8..10, 1u8..10, 1u8..10)
+            .prop_map(|(op, rd, rs1, rs2)| Step::Alu { op, rd, rs1, rs2 }),
+        (1u8..10, 0u8..8).prop_map(|(rs, slot)| Step::Store { rs, slot }),
+        (1u8..10, 0u8..8).prop_map(|(rd, slot)| Step::Load { rd, slot }),
+    ]
+}
+
+/// Build a program reading `ninputs` words then applying `steps`, then
+/// emitting r1..r9 on channel 1.
+fn build(ninputs: usize, steps: &[Step]) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    for i in 0..ninputs {
+        b.input(Reg(i as u8 + 1), 0);
+    }
+    b.li(Reg(11), 500); // slot base
+    for s in steps {
+        match s {
+            Step::Alu { op, rd, rs1, rs2 } => {
+                b.bin(OPS[*op], Reg(*rd), Reg(*rs1), Reg(*rs2));
+            }
+            Step::Store { rs, slot } => {
+                b.store(Reg(*rs), Reg(11), *slot as i64);
+            }
+            Step::Load { rd, slot } => {
+                b.load(Reg(*rd), Reg(11), *slot as i64);
+            }
+        }
+    }
+    for i in 1..10u8 {
+        b.output(Reg(i), 1);
+    }
+    b.halt();
+    Arc::new(b.build().unwrap())
+}
+
+fn run_bits(p: &Arc<Program>, inputs: &[u64]) -> Vec<bool> {
+    let mut m = Machine::new(p.clone(), MachineConfig::small());
+    m.feed_input(0, inputs);
+    let mut t = TaintEngine::<BitTaint>::new(TaintPolicy::propagate_only());
+    let mut e = Engine::new(m);
+    let r = e.run_tool(&mut t);
+    assert!(r.status.is_clean());
+    t.output_labels.iter().map(|(_, _, l)| !l.is_clean()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Monotonicity: reading MORE tainted inputs never reduces the set of
+    /// tainted outputs (compare 1-input vs 3-input programs with the same
+    /// step suffix — the extra reads only add taint).
+    #[test]
+    fn more_inputs_never_untaint_outputs(steps in proptest::collection::vec(step(), 1..30)) {
+        let p1 = build(1, &steps);
+        let p3 = build(3, &steps);
+        let o1 = run_bits(&p1, &[7]);
+        let o3 = run_bits(&p3, &[7, 8, 9]);
+        // Registers r2, r3 start tainted in p3 (inputs) instead of clean:
+        // anything tainted in the 1-input run must stay tainted in the
+        // 3-input run.
+        for (i, (&a, &b)) in o1.iter().zip(&o3).enumerate() {
+            prop_assert!(!a || b, "output {i} lost taint when inputs grew");
+        }
+    }
+
+    /// Bit taint and PC taint have identical *taintedness*: a value is
+    /// PC-tainted iff it is bit-tainted, for any program.
+    #[test]
+    fn pc_and_bit_taintedness_coincide(steps in proptest::collection::vec(step(), 1..30)) {
+        let p = build(2, &steps);
+        let bits = run_bits(&p, &[3, 4]);
+        let mut m = Machine::new(p, MachineConfig::small());
+        m.feed_input(0, &[3, 4]);
+        let mut t = TaintEngine::<PcTaint>::new(TaintPolicy::propagate_only());
+        let mut e = Engine::new(m);
+        e.run_tool(&mut t);
+        let pcs: Vec<bool> = t.output_labels.iter().map(|(_, _, l)| !l.is_clean()).collect();
+        prop_assert_eq!(bits, pcs);
+    }
+
+    /// A program with no inputs has no taint anywhere, ever.
+    #[test]
+    fn no_inputs_no_taint(steps in proptest::collection::vec(step(), 1..30)) {
+        let p = build(0, &steps);
+        let outs = run_bits(&p, &[]);
+        prop_assert!(outs.iter().all(|t| !t));
+    }
+}

@@ -1,0 +1,385 @@
+//! The transactional monitoring layer.
+//!
+//! Each thread's current dynamic basic block runs as one transaction that
+//! must atomically apply the application's accesses *and* the monitor's
+//! metadata updates (the metadata word for address `a` conflicts exactly
+//! when `a` does, so data-word ownership models both). Ownership is
+//! eager: a transaction owns the words it touched until it commits at its
+//! block boundary; conflicting requests are resolved immediately by the
+//! [`ConflictPolicy`].
+//!
+//! **Livelock model.** The execution substrate is serialized and stores
+//! are immediately visible, so a true abort/retry duel cannot be
+//! *executed*; it is instead *detected*: a read that is part of a
+//! recognized synchronization spin hitting a word owned by another
+//! thread's uncommitted write is exactly the situation where the naive
+//! requester-wins policy duels forever (the spinner re-acquires the word
+//! each retry, the writer can never commit). The naive policy books a
+//! livelock episode with its modeled cost; the sync-aware policy lets the
+//! spinner yield (nearly free) and the writer proceed — the paper's fix.
+
+use crate::costs;
+use crate::sync::SyncDetector;
+use dift_dbi::Tool;
+use dift_isa::{Addr, MemAddr};
+use dift_vm::{Machine, RunResult, StepEffects, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+/// Conflict-resolution policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// Naive requester-wins: the requesting access aborts the current
+    /// owner. Livelocks on synchronization idioms.
+    Naive,
+    /// Synchronization-aware: recognized spinning readers yield to
+    /// writers on sync variables; everything else is requester-wins.
+    SyncAware,
+}
+
+/// Monitoring statistics for the E5 table.
+#[derive(Clone, Debug, Default)]
+pub struct TmStats {
+    pub instrs: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    /// Spinning readers that yielded to a writer (sync-aware only).
+    pub yields: u64,
+    /// Livelock episodes (naive only).
+    pub livelocks: u64,
+    /// Sync variables recognized.
+    pub sync_vars: usize,
+    /// Cycles charged for retries/livelocks (waste, excluded from useful
+    /// monitoring work).
+    pub wasted_cycles: u64,
+}
+
+/// The TM monitoring tool.
+pub struct TmMonitor {
+    policy: ConflictPolicy,
+    detector: SyncDetector,
+    owner_w: HashMap<MemAddr, ThreadId>,
+    owner_r: HashMap<MemAddr, HashSet<ThreadId>>,
+    owned: HashMap<ThreadId, HashSet<MemAddr>>,
+    tx_len: HashMap<ThreadId, u64>,
+    tx_block: HashMap<ThreadId, Addr>,
+    /// Transaction granularity in basic blocks (DBT tools batch several
+    /// blocks per transaction to amortize instrumentation; larger windows
+    /// increase conflict exposure — and livelock risk).
+    window: u32,
+    blocks_seen: HashMap<ThreadId, u32>,
+    stats: TmStats,
+}
+
+impl TmMonitor {
+    pub fn new(policy: ConflictPolicy) -> TmMonitor {
+        TmMonitor::with_window(policy, 1)
+    }
+
+    /// Monitor with transactions spanning `window` basic blocks.
+    pub fn with_window(policy: ConflictPolicy, window: u32) -> TmMonitor {
+        TmMonitor {
+            policy,
+            detector: SyncDetector::new(),
+            owner_w: HashMap::new(),
+            owner_r: HashMap::new(),
+            owned: HashMap::new(),
+            tx_len: HashMap::new(),
+            tx_block: HashMap::new(),
+            window: window.max(1),
+            blocks_seen: HashMap::new(),
+            stats: TmStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> TmStats {
+        let mut s = self.stats.clone();
+        s.sync_vars = self.detector.vars().count();
+        s
+    }
+
+    pub fn detector(&self) -> &SyncDetector {
+        &self.detector
+    }
+
+    fn release_all(&mut self, tid: ThreadId) {
+        if let Some(addrs) = self.owned.remove(&tid) {
+            for a in addrs {
+                if self.owner_w.get(&a) == Some(&tid) {
+                    self.owner_w.remove(&a);
+                }
+                if let Some(rs) = self.owner_r.get_mut(&a) {
+                    rs.remove(&tid);
+                    if rs.is_empty() {
+                        self.owner_r.remove(&a);
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self, tid: ThreadId) {
+        if self.tx_len.get(&tid).copied().unwrap_or(0) > 0 {
+            self.stats.commits += 1;
+        }
+        self.release_all(tid);
+        self.tx_len.insert(tid, 0);
+    }
+
+    fn abort(&mut self, m: &mut Machine, victim: ThreadId) {
+        let len = self.tx_len.get(&victim).copied().unwrap_or(0);
+        let cost = len * costs::TM_RETRY_PER_INSN;
+        m.charge(cost);
+        self.stats.wasted_cycles += cost;
+        self.stats.aborts += 1;
+        self.release_all(victim);
+        self.tx_len.insert(victim, 0);
+    }
+
+    fn own_read(&mut self, tid: ThreadId, addr: MemAddr) {
+        self.owner_r.entry(addr).or_default().insert(tid);
+        self.owned.entry(tid).or_default().insert(addr);
+    }
+
+    fn own_write(&mut self, tid: ThreadId, addr: MemAddr) {
+        self.owner_w.insert(addr, tid);
+        self.owned.entry(tid).or_default().insert(addr);
+    }
+}
+
+impl Tool for TmMonitor {
+    fn on_block(&mut self, _m: &mut Machine, tid: ThreadId, entry: Addr, _is_new: bool) {
+        let seen = self.blocks_seen.entry(tid).or_insert(0);
+        *seen += 1;
+        if *seen >= self.window {
+            *seen = 0;
+            self.commit(tid);
+            self.tx_block.insert(tid, entry);
+        }
+    }
+
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        let tid = fx.tid;
+        self.stats.instrs += 1;
+        m.charge(costs::TM_PER_INSN);
+        self.detector.observe(fx);
+        *self.tx_len.entry(tid).or_insert(0) += 1;
+
+        // Read-side conflicts.
+        if let Some((addr, _)) = fx.mem_read {
+            if let Some(&writer) = self.owner_w.get(&addr) {
+                if writer != tid {
+                    let spinning = self.detector.is_sync(addr);
+                    match (self.policy, spinning) {
+                        (ConflictPolicy::SyncAware, true) => {
+                            // The spinner yields; the writer's transaction
+                            // survives and will commit.
+                            m.charge(costs::TM_SPIN_YIELD);
+                            self.stats.yields += 1;
+                        }
+                        (ConflictPolicy::Naive, true) => {
+                            // Abort duel: the spinner and the writer keep
+                            // killing each other. One episode is booked
+                            // per dueling waiter; the writer's ownership
+                            // persists (it perpetually retries and
+                            // re-acquires), so every further waiter that
+                            // collides duels too.
+                            self.stats.livelocks += 1;
+                            m.charge(costs::TM_LIVELOCK_PENALTY);
+                            self.stats.wasted_cycles += costs::TM_LIVELOCK_PENALTY;
+                        }
+                        (_, false) => {
+                            // Ordinary conflict: requester wins.
+                            self.abort(m, writer);
+                            self.own_read(tid, addr);
+                        }
+                    }
+                } else {
+                    self.own_read(tid, addr);
+                }
+            } else {
+                self.own_read(tid, addr);
+            }
+        }
+
+        // Write-side conflicts.
+        if let Some((addr, _, _)) = fx.mem_write {
+            if let Some(&writer) = self.owner_w.get(&addr) {
+                if writer != tid {
+                    self.abort(m, writer);
+                }
+            }
+            let readers: Vec<ThreadId> = self
+                .owner_r
+                .get(&addr)
+                .map(|s| s.iter().copied().filter(|&r| r != tid).collect())
+                .unwrap_or_default();
+            for r in readers {
+                if self.policy == ConflictPolicy::SyncAware && self.detector.is_sync(addr) {
+                    // Writer wins on sync vars; waiting readers re-spin for
+                    // free.
+                    m.charge(costs::TM_SPIN_YIELD);
+                    self.stats.yields += 1;
+                    self.release_reader(r, addr);
+                } else {
+                    self.abort(m, r);
+                }
+            }
+            self.own_write(tid, addr);
+        }
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
+        let tids: Vec<ThreadId> = self.tx_len.keys().copied().collect();
+        for t in tids {
+            self.commit(t);
+        }
+    }
+}
+
+impl TmMonitor {
+    fn release_reader(&mut self, tid: ThreadId, addr: MemAddr) {
+        if let Some(rs) = self.owner_r.get_mut(&addr) {
+            rs.remove(&tid);
+            if rs.is_empty() {
+                self.owner_r.remove(&addr);
+            }
+        }
+        if let Some(set) = self.owned.get_mut(&tid) {
+            set.remove(&addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_dbi::Engine;
+    use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg};
+    use dift_vm::{Machine, MachineConfig};
+    use std::sync::Arc;
+
+    /// Flag synchronization: a worker computes (a long straight-line
+    /// block), publishes a flag; the main thread spin-waits on the flag.
+    fn flag_sync_program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "worker", Reg(1));
+        // Spin until mem[900] == 1.
+        b.li(Reg(2), 900);
+        b.label("spin");
+        b.load(Reg(3), Reg(2), 0);
+        b.branch(BranchCond::Ne, Reg(3), Reg(0), "go");
+        b.jump("spin");
+        b.label("go");
+        b.join(Reg(5));
+        b.li(Reg(6), 901);
+        b.load(Reg(7), Reg(6), 0);
+        b.output(Reg(7), 0);
+        b.halt();
+        b.func("worker");
+        // A long straight-line block: result store + flag publication stay
+        // inside one open transaction for a while.
+        b.li(Reg(1), 901);
+        b.li(Reg(2), 0);
+        for i in 1..=8 {
+            b.bini(BinOp::Add, Reg(2), Reg(2), i);
+        }
+        b.store(Reg(2), Reg(1), 0); // result
+        b.li(Reg(3), 900);
+        b.li(Reg(4), 1);
+        b.store(Reg(4), Reg(3), 0); // flag = 1 (publication)
+        for i in 1..=10 {
+            b.bini(BinOp::Add, Reg(2), Reg(2), i); // tail keeps the tx open
+        }
+        b.halt();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn run_tm(p: &Arc<Program>, policy: ConflictPolicy, quantum: u32) -> (TmStats, u64) {
+        let m = Machine::new(p.clone(), MachineConfig::small().with_quantum(quantum));
+        let mut tm = TmMonitor::new(policy);
+        let mut e = Engine::new(m);
+        let r = e.run_tool(&mut tm);
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        (tm.stats(), r.cycles)
+    }
+
+    fn native_cycles(p: &Arc<Program>, quantum: u32) -> u64 {
+        Machine::new(p.clone(), MachineConfig::small().with_quantum(quantum)).run().cycles
+    }
+
+    #[test]
+    fn naive_policy_livelocks_on_flag_sync() {
+        let p = flag_sync_program();
+        let (stats, _) = run_tm(&p, ConflictPolicy::Naive, 3);
+        assert!(stats.livelocks > 0, "flag publication must duel with the spinner");
+        assert!(stats.sync_vars >= 1, "the flag is recognized");
+    }
+
+    #[test]
+    fn sync_aware_policy_avoids_livelock() {
+        let p = flag_sync_program();
+        let (stats, _) = run_tm(&p, ConflictPolicy::SyncAware, 3);
+        assert_eq!(stats.livelocks, 0);
+        assert!(stats.yields > 0, "spinner yields instead");
+    }
+
+    #[test]
+    fn sync_aware_is_cheaper_than_naive() {
+        let p = flag_sync_program();
+        let native = native_cycles(&p, 3);
+        let (naive_stats, naive_cycles) = run_tm(&p, ConflictPolicy::Naive, 3);
+        let (aware_stats, aware_cycles) = run_tm(&p, ConflictPolicy::SyncAware, 3);
+        assert!(
+            aware_cycles < naive_cycles,
+            "sync-aware must reduce monitoring overhead: {aware_cycles} vs {naive_cycles}"
+        );
+        assert!(aware_stats.wasted_cycles < naive_stats.wasted_cycles);
+        assert!(aware_cycles > native, "monitoring still costs something");
+    }
+
+    #[test]
+    fn single_threaded_run_has_no_conflicts() {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 100);
+        b.li(Reg(2), 5);
+        b.store(Reg(2), Reg(1), 0);
+        b.load(Reg(3), Reg(1), 0);
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let (stats, _) = run_tm(&p, ConflictPolicy::Naive, 4);
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(stats.livelocks, 0);
+        assert!(stats.commits > 0);
+    }
+
+    #[test]
+    fn unsynchronized_sharing_aborts_but_does_not_livelock() {
+        // Two threads hammer the same counter without synchronization:
+        // ordinary conflicts (aborts), no livelock under either policy.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "w", Reg(1));
+        b.spawn(Reg(6), "w", Reg(1));
+        b.join(Reg(5));
+        b.join(Reg(6));
+        b.halt();
+        b.func("w");
+        b.li(Reg(1), 700);
+        b.li(Reg(2), 40);
+        b.label("loop");
+        b.load(Reg(3), Reg(1), 0);
+        b.addi(Reg(3), Reg(3), 1);
+        b.store(Reg(3), Reg(1), 0);
+        b.bini(BinOp::Sub, Reg(2), Reg(2), 1);
+        b.branch(BranchCond::Ne, Reg(2), Reg(0), "loop");
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let (stats, _) = run_tm(&p, ConflictPolicy::Naive, 2);
+        assert!(stats.aborts > 0, "unsynchronized sharing must conflict");
+        assert_eq!(stats.livelocks, 0, "no sync idiom, no livelock");
+    }
+}

@@ -1,0 +1,291 @@
+//! Dynamic recognition of synchronization operations.
+//!
+//! The detector watches each thread's retired instructions for the three
+//! idioms the paper names (flag synchronization, locks, barriers) and
+//! classifies the memory words involved as *sync variables*:
+//!
+//! * **Flag spin** — consecutive loads of the same address separated only
+//!   by ALU/branch instructions (a read-only spin body).
+//! * **Lock acquire** — repeated failed `Cas` on the same address.
+//! * **Barrier** — a `FetchAdd` on an address followed by a flag-spin on
+//!   the same address (arrive + wait).
+
+use dift_isa::{MemAddr, Opcode};
+use dift_vm::{StepEffects, ThreadId};
+use std::collections::HashMap;
+
+/// What kind of synchronization a variable was classified as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncKind {
+    Flag,
+    Lock,
+    Barrier,
+}
+
+#[derive(Default, Clone)]
+struct ThreadWatch {
+    /// Address of the load the thread appears to be spinning on, with a
+    /// consecutive-iteration count.
+    spin_addr: Option<MemAddr>,
+    spin_count: u32,
+    /// Address of a repeatedly failing CAS with its count.
+    cas_addr: Option<MemAddr>,
+    cas_fail_count: u32,
+    /// Address this thread recently FetchAdd-ed (barrier arrival).
+    last_fetch_add: Option<MemAddr>,
+    /// Whether anything other than load/alu/branch happened since the
+    /// current spin candidate started.
+    dirty: bool,
+}
+
+/// The online synchronization detector.
+pub struct SyncDetector {
+    threads: HashMap<ThreadId, ThreadWatch>,
+    vars: HashMap<MemAddr, SyncKind>,
+    /// Consecutive spin iterations before classification.
+    spin_threshold: u32,
+    /// Consecutive CAS failures before classification.
+    cas_threshold: u32,
+}
+
+impl SyncDetector {
+    pub fn new() -> SyncDetector {
+        SyncDetector {
+            threads: HashMap::new(),
+            vars: HashMap::new(),
+            spin_threshold: 3,
+            cas_threshold: 3,
+        }
+    }
+
+    /// Classification (if any) of a memory word.
+    pub fn kind_of(&self, addr: MemAddr) -> Option<SyncKind> {
+        self.vars.get(&addr).copied()
+    }
+
+    /// True when `addr` is a recognized sync variable.
+    pub fn is_sync(&self, addr: MemAddr) -> bool {
+        self.vars.contains_key(&addr)
+    }
+
+    /// All classified variables.
+    pub fn vars(&self) -> impl Iterator<Item = (MemAddr, SyncKind)> + '_ {
+        self.vars.iter().map(|(&a, &k)| (a, k))
+    }
+
+    /// Feed one retired instruction.
+    pub fn observe(&mut self, fx: &StepEffects) {
+        let w = self.threads.entry(fx.tid).or_default();
+        match fx.insn.op {
+            Opcode::Load { .. } => {
+                if let Some((addr, _)) = fx.mem_read {
+                    if w.spin_addr == Some(addr) && !w.dirty {
+                        w.spin_count += 1;
+                        if w.spin_count >= self.spin_threshold {
+                            let kind = if w.last_fetch_add == Some(addr) {
+                                SyncKind::Barrier
+                            } else {
+                                SyncKind::Flag
+                            };
+                            self.vars.entry(addr).or_insert(kind);
+                        }
+                    } else {
+                        w.spin_addr = Some(addr);
+                        w.spin_count = 1;
+                    }
+                    w.dirty = false;
+                }
+            }
+            Opcode::Branch { .. }
+            | Opcode::Jump { .. }
+            | Opcode::Bin { .. }
+            | Opcode::BinImm { .. }
+            | Opcode::Li { .. }
+            | Opcode::Mov { .. }
+            | Opcode::Nop
+            | Opcode::Yield => {
+                // Pure spin-body instructions (including the loop-closing
+                // jump) keep the candidate alive.
+            }
+            Opcode::Cas { .. } => {
+                if let Some((addr, _)) = fx.mem_read {
+                    let succeeded = fx.mem_write.is_some();
+                    if succeeded {
+                        if w.cas_addr == Some(addr) && w.cas_fail_count >= 1 {
+                            // Failure run ending in success: lock acquire.
+                            self.vars.entry(addr).or_insert(SyncKind::Lock);
+                        }
+                        w.cas_addr = None;
+                        w.cas_fail_count = 0;
+                    } else if w.cas_addr == Some(addr) {
+                        w.cas_fail_count += 1;
+                        if w.cas_fail_count >= self.cas_threshold {
+                            self.vars.entry(addr).or_insert(SyncKind::Lock);
+                        }
+                    } else {
+                        w.cas_addr = Some(addr);
+                        w.cas_fail_count = 1;
+                    }
+                }
+                w.spin_addr = None;
+                w.spin_count = 0;
+            }
+            Opcode::Atomic { op: dift_isa::AtomicOp::FetchAdd, .. } => {
+                if let Some((addr, _, _)) = fx.mem_write {
+                    w.last_fetch_add = Some(addr);
+                }
+                w.spin_addr = None;
+                w.spin_count = 0;
+            }
+            _ => {
+                // Anything else breaks the spin pattern.
+                w.spin_addr = None;
+                w.spin_count = 0;
+                w.dirty = false;
+            }
+        }
+    }
+}
+
+impl Default for SyncDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_isa::{BranchCond, Instruction, Reg};
+
+    fn load_fx(tid: ThreadId, step: u64, addr: MemAddr, value: u64) -> StepEffects {
+        StepEffects {
+            tid,
+            step,
+            addr: 10,
+            insn: Instruction::new(Opcode::Load { rd: Reg(1), base: Reg(2), offset: 0 }, 0),
+            mem_read: Some((addr, value)),
+            ..Default::default()
+        }
+    }
+
+    fn branch_fx(tid: ThreadId, step: u64) -> StepEffects {
+        StepEffects {
+            tid,
+            step,
+            addr: 11,
+            insn: Instruction::new(
+                Opcode::Branch { cond: BranchCond::Eq, rs1: Reg(1), rs2: Reg(0), target: 10 },
+                0,
+            ),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn flag_spin_is_detected() {
+        let mut d = SyncDetector::new();
+        for i in 0..4 {
+            d.observe(&load_fx(0, i * 2, 500, 0));
+            d.observe(&branch_fx(0, i * 2 + 1));
+        }
+        assert_eq!(d.kind_of(500), Some(SyncKind::Flag));
+    }
+
+    #[test]
+    fn ordinary_loads_are_not_sync() {
+        let mut d = SyncDetector::new();
+        // Loads of different addresses: no spin.
+        for i in 0..10 {
+            d.observe(&load_fx(0, i, 500 + i, 0));
+        }
+        assert!(!d.is_sync(505));
+        // Loads of the same address with a store between: broken pattern.
+        let mut store = load_fx(0, 100, 700, 0);
+        store.insn = Instruction::new(Opcode::Store { rs: Reg(1), base: Reg(2), offset: 0 }, 0);
+        store.mem_read = None;
+        store.mem_write = Some((700, 0, 1));
+        d.observe(&load_fx(0, 101, 600, 0));
+        d.observe(&store);
+        d.observe(&load_fx(0, 102, 600, 0));
+        d.observe(&store.clone());
+        d.observe(&load_fx(0, 103, 600, 0));
+        assert!(!d.is_sync(600));
+    }
+
+    fn cas_fx(tid: ThreadId, step: u64, addr: MemAddr, success: bool) -> StepEffects {
+        StepEffects {
+            tid,
+            step,
+            addr: 20,
+            insn: Instruction::new(
+                Opcode::Cas { rd: Reg(1), base: Reg(2), expected: Reg(3), new: Reg(4) },
+                0,
+            ),
+            mem_read: Some((addr, 1)),
+            mem_write: success.then_some((addr, 1, 0)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn failing_cas_run_is_a_lock() {
+        let mut d = SyncDetector::new();
+        for i in 0..3 {
+            d.observe(&cas_fx(1, i, 640, false));
+        }
+        assert_eq!(d.kind_of(640), Some(SyncKind::Lock));
+    }
+
+    #[test]
+    fn short_fail_then_success_is_a_lock_too() {
+        let mut d = SyncDetector::new();
+        d.observe(&cas_fx(1, 0, 640, false));
+        d.observe(&cas_fx(1, 1, 640, true));
+        assert_eq!(d.kind_of(640), Some(SyncKind::Lock));
+    }
+
+    #[test]
+    fn immediately_successful_cas_is_not_a_lock() {
+        let mut d = SyncDetector::new();
+        d.observe(&cas_fx(1, 0, 640, true));
+        assert!(!d.is_sync(640));
+    }
+
+    #[test]
+    fn fetch_add_then_spin_is_a_barrier() {
+        let mut d = SyncDetector::new();
+        let mut fa = load_fx(2, 0, 800, 0);
+        fa.insn = Instruction::new(
+            Opcode::Atomic {
+                op: dift_isa::AtomicOp::FetchAdd,
+                rd: Reg(1),
+                base: Reg(2),
+                rs: Reg(3),
+            },
+            0,
+        );
+        fa.mem_read = Some((800, 0));
+        fa.mem_write = Some((800, 0, 1));
+        d.observe(&fa);
+        for i in 1..5 {
+            d.observe(&load_fx(2, i * 2, 800, 1));
+            d.observe(&branch_fx(2, i * 2 + 1));
+        }
+        assert_eq!(d.kind_of(800), Some(SyncKind::Barrier));
+    }
+
+    #[test]
+    fn per_thread_patterns_are_independent() {
+        let mut d = SyncDetector::new();
+        // Interleaved loads from two threads on different addrs must not
+        // merge into one spin pattern.
+        for i in 0..3 {
+            d.observe(&load_fx(0, i * 2, 111, 0));
+            d.observe(&load_fx(1, i * 2 + 1, 222, 0));
+        }
+        // Each thread saw consecutive loads of its own address.
+        assert!(d.is_sync(111));
+        assert!(d.is_sync(222));
+    }
+}

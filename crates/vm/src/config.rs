@@ -1,0 +1,159 @@
+//! Machine configuration: memory layout, scheduling, cycle costs, input
+//! arrivals.
+
+use crate::sched::SchedDecision;
+use dift_isa::MemAddr;
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy for the machine's thread interleaving.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Cycle through runnable threads in tid order.
+    RoundRobin,
+    /// Pick a runnable thread pseudo-randomly (xorshift64, seeded) at each
+    /// decision point. Distinct seeds give distinct interleavings — the
+    /// source of the "non-deterministic failures" the replay system
+    /// tames.
+    Seeded { seed: u64 },
+    /// Follow a recorded decision list exactly (replay mode). Each entry
+    /// names the thread chosen at one decision point. When the script is
+    /// exhausted the machine falls back to round-robin.
+    Scripted { decisions: Vec<SchedDecision> },
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy::RoundRobin
+    }
+}
+
+/// Per-operation cycle costs. The defaults are loosely modeled on a
+/// simple in-order core and only their *ratios* matter for the
+/// experiments.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CycleModel {
+    pub alu: u64,
+    pub mul: u64,
+    pub div: u64,
+    pub mem: u64,
+    pub branch: u64,
+    pub taken_extra: u64,
+    pub call: u64,
+    pub atomic: u64,
+    pub io: u64,
+    pub alloc: u64,
+    pub spawn: u64,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel {
+            alu: 1,
+            mul: 3,
+            div: 20,
+            mem: 3,
+            branch: 1,
+            taken_extra: 1,
+            call: 2,
+            atomic: 8,
+            io: 30,
+            alloc: 60,
+            spawn: 150,
+        }
+    }
+}
+
+/// A timed input arrival: at global step `at_step`, `value` becomes
+/// available on `channel`. Models request traffic reaching a server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    pub at_step: u64,
+    pub channel: u16,
+    pub value: u64,
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Data memory size in words.
+    pub mem_words: usize,
+    /// First address served by the heap allocator; addresses below it are
+    /// globals/static data.
+    pub heap_base: MemAddr,
+    /// Scheduler quantum in instructions.
+    pub quantum: u32,
+    pub sched: SchedPolicy,
+    /// Safety fuse: machine stops with [`ExitStatus::StepLimit`]
+    /// (`crate::ExitStatus::StepLimit`) after this many steps.
+    pub max_steps: u64,
+    pub cycles: CycleModel,
+    /// Extra words appended to every heap allocation. Environment patches
+    /// (`dift-replay`) use this to pad allocations past overflow bugs.
+    pub alloc_padding: u64,
+    /// Timed input arrivals, sorted by `at_step` (enforced at start).
+    pub arrivals: Vec<Arrival>,
+    /// Stop the whole machine on the first thread fault (default). When
+    /// false, the faulting thread parks and others continue — servers
+    /// keep serving, as MySQL does after a worker crash is contained.
+    pub stop_on_fault: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem_words: 1 << 20,
+            heap_base: 1 << 16,
+            quantum: 64,
+            sched: SchedPolicy::default(),
+            max_steps: 200_000_000,
+            cycles: CycleModel::default(),
+            alloc_padding: 0,
+            arrivals: Vec::new(),
+            stop_on_fault: true,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Small-memory configuration for unit tests.
+    pub fn small() -> Self {
+        MachineConfig { mem_words: 1 << 12, heap_base: 1 << 10, ..Default::default() }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sched = SchedPolicy::Seeded { seed };
+        self
+    }
+
+    pub fn with_quantum(mut self, quantum: u32) -> Self {
+        self.quantum = quantum;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MachineConfig::default();
+        assert!(c.heap_base < c.mem_words as u64);
+        assert!(c.quantum > 0);
+        assert!(c.stop_on_fault);
+    }
+
+    #[test]
+    fn cycle_model_ratios() {
+        let m = CycleModel::default();
+        assert!(m.div > m.mul && m.mul > m.alu);
+        assert!(m.io > m.mem);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = MachineConfig::small().with_seed(7).with_quantum(3);
+        assert!(matches!(c.sched, SchedPolicy::Seeded { seed: 7 }));
+        assert_eq!(c.quantum, 3);
+    }
+}

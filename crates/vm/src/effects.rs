@@ -1,0 +1,151 @@
+//! Architectural effects of one executed instruction.
+//!
+//! This is the observation interface every analysis consumes: a DBI tool
+//! registered with `dift-dbi` receives a [`StepEffects`] after each
+//! instruction, carrying old/new values for each architectural update —
+//! the same facts an `INS_InsertCall`-style Pin tool would extract.
+
+use dift_isa::{Addr, Instruction, MemAddr, Reg};
+use serde::{Deserialize, Serialize};
+
+/// Why a thread (or the machine) trapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Memory access outside configured data memory.
+    OutOfBoundsMemory { addr: MemAddr },
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Control transfer to an address outside the program.
+    BadJump { target: u64 },
+    /// `Ret` with an empty call stack.
+    CallStackUnderflow,
+    /// `Assert` with a zero operand.
+    AssertFailed { msg: u32 },
+    /// `Free` of an address that is not a live allocation.
+    BadFree { addr: MemAddr },
+    /// Heap exhausted.
+    OutOfMemory,
+    /// `Join` on an unknown thread id.
+    BadJoin { tid: u64 },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::OutOfBoundsMemory { addr } => write!(f, "out-of-bounds memory access @{addr}"),
+            Fault::DivByZero => write!(f, "division by zero"),
+            Fault::BadJump { target } => write!(f, "jump to invalid address {target}"),
+            Fault::CallStackUnderflow => write!(f, "return with empty call stack"),
+            Fault::AssertFailed { msg } => write!(f, "assertion #{msg} failed"),
+            Fault::BadFree { addr } => write!(f, "free of non-allocated address {addr}"),
+            Fault::OutOfMemory => write!(f, "heap exhausted"),
+            Fault::BadJoin { tid } => write!(f, "join on unknown thread {tid}"),
+        }
+    }
+}
+
+/// Control-flow outcome of a control instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlEffect {
+    /// Conditional branch evaluated; `taken` tells the outcome.
+    Branch { taken: bool, target: Addr },
+    /// Unconditional or indirect jump.
+    Jump { target: Addr },
+    /// Call; `ret_to` is the pushed return address.
+    Call { target: Addr, ret_to: Addr },
+    /// Return to `target`.
+    Ret { target: Addr },
+}
+
+/// Everything one instruction did to the architectural state.
+///
+/// At most one of each effect kind occurs per instruction in this ISA
+/// (atomics produce both a `mem_read` and a `mem_write`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StepEffects {
+    pub tid: u64,
+    /// Address of the executed instruction.
+    pub addr: Addr,
+    /// The instruction itself (copied; instructions are small).
+    pub insn: Instruction,
+    /// Global step index of this instruction (0-based).
+    pub step: u64,
+    /// `(reg, old, new)` for the destination register, if any.
+    pub reg_write: Option<(Reg, u64, u64)>,
+    /// `(addr, value)` for a memory read.
+    pub mem_read: Option<(MemAddr, u64)>,
+    /// `(addr, old, new)` for a memory write.
+    pub mem_write: Option<(MemAddr, u64, u64)>,
+    pub control: Option<ControlEffect>,
+    /// `(channel, value)` consumed by `In`.
+    pub input: Option<(u16, u64)>,
+    /// `(channel, value)` emitted by `Out`.
+    pub output: Option<(u16, u64)>,
+    /// `(base_addr, user_size)` returned by `Alloc`.
+    pub alloc: Option<(MemAddr, u64)>,
+    /// Address released by `Free`.
+    pub free: Option<MemAddr>,
+    /// Tid created by `Spawn`.
+    pub spawned: Option<u64>,
+    /// Fault raised by this instruction (the thread stops).
+    pub fault: Option<Fault>,
+    /// Cycles charged for this instruction by the cost model.
+    pub cycles: u64,
+}
+
+impl StepEffects {
+    pub(crate) fn reset(&mut self, tid: u64, addr: Addr, insn: Instruction, step: u64) {
+        *self = StepEffects {
+            tid,
+            addr,
+            insn,
+            step,
+            ..Default::default()
+        };
+    }
+
+    /// The memory address this instruction touched, if any.
+    pub fn mem_addr(&self) -> Option<MemAddr> {
+        self.mem_write.map(|(a, _, _)| a).or(self.mem_read.map(|(a, _)| a))
+    }
+
+    /// True when this step was a taken conditional branch.
+    pub fn branch_taken(&self) -> bool {
+        matches!(self.control, Some(ControlEffect::Branch { taken: true, .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_isa::Opcode;
+
+    #[test]
+    fn reset_clears_previous_effects() {
+        let mut e = StepEffects::default();
+        e.reg_write = Some((Reg(1), 0, 5));
+        e.cycles = 10;
+        e.reset(2, 7, Instruction::new(Opcode::Nop, 0), 42);
+        assert_eq!(e.tid, 2);
+        assert_eq!(e.addr, 7);
+        assert_eq!(e.step, 42);
+        assert!(e.reg_write.is_none());
+        assert_eq!(e.cycles, 0);
+    }
+
+    #[test]
+    fn mem_addr_prefers_write() {
+        let mut e = StepEffects::default();
+        assert_eq!(e.mem_addr(), None);
+        e.mem_read = Some((10, 1));
+        assert_eq!(e.mem_addr(), Some(10));
+        e.mem_write = Some((20, 0, 2));
+        assert_eq!(e.mem_addr(), Some(20));
+    }
+
+    #[test]
+    fn fault_display() {
+        assert_eq!(Fault::DivByZero.to_string(), "division by zero");
+        assert!(Fault::OutOfBoundsMemory { addr: 9 }.to_string().contains('9'));
+    }
+}

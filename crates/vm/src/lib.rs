@@ -1,0 +1,60 @@
+//! # dift-vm — the deterministic execution substrate
+//!
+//! An interpreting virtual machine for the `dift-isa` instruction set,
+//! playing the role that a real processor + OS plays for Pin/Valgrind in
+//! the IPDPS'08 systems. Design goals, in order:
+//!
+//! 1. **Full observability** — every architectural effect of every
+//!    executed instruction is exposed as a [`StepEffects`] record, which
+//!    is exactly the information a DBI tool extracts with instrumentation
+//!    callbacks. Analyses never re-decode semantics.
+//! 2. **Determinism** — execution is a pure function of (program, config,
+//!    inputs, scheduler decisions). The scheduler's decision sequence can
+//!    be recorded and scripted back ([`SchedPolicy::Scripted`]), which is
+//!    the foundation of the checkpointing/logging/replay system
+//!    (`dift-replay`).
+//! 3. **A cost model instead of wall-clock** — the machine accrues
+//!    *cycles* from a configurable [`CycleModel`]; instrumentation charges
+//!    extra cycles explicitly. All of the paper's overhead factors are
+//!    ratios of cycle counts, which makes the experiments reproducible on
+//!    any host.
+//!
+//! Threads are interpreted with a global interleaving (one instruction at
+//! a time, sequentially consistent memory) under a quantum-based
+//! preemptive scheduler — the same execution model Pin enforces when it
+//! serializes threads for analysis correctness (§2.2 of the paper).
+//!
+//! ```
+//! use dift_isa::{ProgramBuilder, Reg, BinOp};
+//! use dift_vm::{Machine, MachineConfig};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.func("main");
+//! b.input(Reg(1), 0);
+//! b.bini(BinOp::Mul, Reg(2), Reg(1), 3);
+//! b.output(Reg(2), 0);
+//! b.halt();
+//! let prog = b.build().unwrap();
+//!
+//! let mut m = Machine::new(prog.into(), MachineConfig::default());
+//! m.feed_input(0, &[14]);
+//! let result = m.run();
+//! assert!(result.status.is_clean());
+//! assert_eq!(m.output(0), &[42]);
+//! ```
+
+pub mod config;
+pub mod effects;
+pub mod machine;
+pub mod memory;
+pub mod result;
+pub mod sched;
+pub mod thread;
+
+pub use config::{Arrival, CycleModel, MachineConfig, SchedPolicy};
+pub use effects::{ControlEffect, Fault, StepEffects};
+pub use machine::{Checkpoint, Machine, Pending};
+pub use memory::{AllocError, Allocator, Memory};
+pub use result::{ExitStatus, RunResult};
+pub use sched::{SchedDecision, Scheduler};
+pub use thread::{ThreadId, ThreadState, ThreadStatus};

@@ -1,0 +1,626 @@
+use super::*;
+use crate::config::Arrival;
+use dift_isa::{BranchCond, ProgramBuilder};
+
+fn run_program(build: impl FnOnce(&mut ProgramBuilder)) -> (Machine, RunResult) {
+    let mut b = ProgramBuilder::new();
+    build(&mut b);
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    let r = m.run();
+    (m, r)
+}
+
+#[test]
+fn arithmetic_and_output() {
+    let (m, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 6);
+        b.li(Reg(2), 7);
+        b.bin(BinOp::Mul, Reg(3), Reg(1), Reg(2));
+        b.output(Reg(3), 0);
+        b.halt();
+    });
+    assert!(r.status.is_clean());
+    assert_eq!(m.output(0), &[42]);
+    assert_eq!(r.steps, 5);
+}
+
+#[test]
+fn cycles_follow_cost_model() {
+    let (_, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 1); // alu = 1
+        b.bini(BinOp::Div, Reg(2), Reg(1), 1); // div = 20
+        b.halt(); // alu = 1
+    });
+    assert_eq!(r.cycles, 1 + 20 + 1);
+}
+
+#[test]
+fn div_by_zero_faults() {
+    let (m, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 5);
+        b.li(Reg(2), 0);
+        b.bin(BinOp::Div, Reg(3), Reg(1), Reg(2));
+        b.halt();
+    });
+    assert!(matches!(r.status, ExitStatus::Faulted { fault: Fault::DivByZero, at: 2, .. }));
+    assert_eq!(m.first_fault().unwrap().2, Fault::DivByZero);
+}
+
+#[test]
+fn loop_and_branch() {
+    // Sum 1..=10 with a loop.
+    let (m, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 10); // counter
+        b.li(Reg(2), 0); // acc
+        b.label("loop");
+        b.add(Reg(2), Reg(2), Reg(1));
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+        b.output(Reg(2), 1);
+        b.halt();
+    });
+    assert!(r.status.is_clean());
+    assert_eq!(m.output(1), &[55]);
+}
+
+#[test]
+fn call_and_ret() {
+    let (m, _) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(4), 20);
+        b.call("double");
+        b.output(Reg(2), 0);
+        b.halt();
+        b.func("double");
+        b.add(Reg(2), Reg(4), Reg(4));
+        b.ret();
+    });
+    assert_eq!(m.output(0), &[40]);
+}
+
+#[test]
+fn ret_without_call_faults() {
+    let (_, r) = run_program(|b| {
+        b.func("main");
+        b.ret();
+    });
+    assert!(matches!(
+        r.status,
+        ExitStatus::Faulted { fault: Fault::CallStackUnderflow, .. }
+    ));
+}
+
+#[test]
+fn memory_load_store() {
+    let (m, _) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 100);
+        b.li(Reg(2), 77);
+        b.store(Reg(2), Reg(1), 5); // mem[105] = 77
+        b.load(Reg(3), Reg(1), 5);
+        b.output(Reg(3), 0);
+        b.halt();
+    });
+    assert_eq!(m.output(0), &[77]);
+    assert_eq!(m.mem_read(105), 77);
+}
+
+#[test]
+fn oob_store_faults() {
+    let (_, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 1 << 20); // beyond small() memory
+        b.store(Reg(1), Reg(1), 0);
+        b.halt();
+    });
+    assert!(matches!(
+        r.status,
+        ExitStatus::Faulted { fault: Fault::OutOfBoundsMemory { .. }, .. }
+    ));
+}
+
+#[test]
+fn data_image_is_loaded() {
+    let (m, _) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 50);
+        b.load(Reg(2), Reg(1), 0);
+        b.output(Reg(2), 0);
+        b.halt();
+        b.data(50, 1234);
+    });
+    assert_eq!(m.output(0), &[1234]);
+}
+
+#[test]
+fn input_blocks_until_arrival_then_resumes() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.input(Reg(1), 3);
+    b.output(Reg(1), 0);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut cfg = MachineConfig::small();
+    cfg.arrivals = vec![Arrival { at_step: 100, channel: 3, value: 9 }];
+    let mut m = Machine::new(p, cfg);
+    let r = m.run();
+    assert!(r.status.is_clean());
+    assert_eq!(m.output(0), &[9]);
+}
+
+#[test]
+fn input_starvation_is_deadlock() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.input(Reg(1), 3);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    assert_eq!(m.run().status, ExitStatus::Deadlock);
+}
+
+#[test]
+fn alloc_free_round_trip() {
+    let (m, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 16);
+        b.alloc(Reg(2), Reg(1));
+        b.li(Reg(3), 5);
+        b.store(Reg(3), Reg(2), 0);
+        b.load(Reg(4), Reg(2), 0);
+        b.output(Reg(4), 0);
+        b.free(Reg(2));
+        b.halt();
+    });
+    assert!(r.status.is_clean());
+    assert_eq!(m.output(0), &[5]);
+    assert_eq!(m.allocator().live_count(), 0);
+}
+
+#[test]
+fn double_free_faults() {
+    let (_, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 4);
+        b.alloc(Reg(2), Reg(1));
+        b.free(Reg(2));
+        b.free(Reg(2));
+        b.halt();
+    });
+    assert!(matches!(r.status, ExitStatus::Faulted { fault: Fault::BadFree { .. }, .. }));
+}
+
+#[test]
+fn spawn_join_and_shared_memory() {
+    // Main spawns a child that writes 42 to address 200, joins, reads it.
+    let (m, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "child", Reg(1));
+        b.join(Reg(5));
+        b.li(Reg(6), 200);
+        b.load(Reg(7), Reg(6), 0);
+        b.output(Reg(7), 0);
+        b.halt();
+        b.func("child");
+        b.li(Reg(1), 200);
+        b.li(Reg(2), 42);
+        b.store(Reg(2), Reg(1), 0);
+        b.halt();
+    });
+    assert!(r.status.is_clean());
+    assert_eq!(m.output(0), &[42]);
+    assert_eq!(r.threads, 2);
+}
+
+#[test]
+fn spawn_passes_arg_in_r4() {
+    let (m, _) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 31);
+        b.spawn(Reg(5), "child", Reg(1));
+        b.join(Reg(5));
+        b.halt();
+        b.func("child");
+        b.output(Reg(4), 2);
+        b.halt();
+    });
+    assert_eq!(m.output(2), &[31]);
+}
+
+#[test]
+fn fetch_add_is_atomic_under_any_schedule() {
+    // Two threads each fetch-add 1000 times; result must be 2000 under
+    // every seed because the op is indivisible.
+    for seed in [1u64, 7, 99] {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "worker", Reg(1));
+        b.spawn(Reg(6), "worker", Reg(1));
+        b.join(Reg(5));
+        b.join(Reg(6));
+        b.li(Reg(7), 300);
+        b.load(Reg(8), Reg(7), 0);
+        b.output(Reg(8), 0);
+        b.halt();
+        b.func("worker");
+        b.li(Reg(1), 300); // counter addr
+        b.li(Reg(2), 1000); // iterations
+        b.li(Reg(3), 1);
+        b.label("w_loop");
+        b.fetch_add(Reg(9), Reg(1), Reg(3));
+        b.bini(BinOp::Sub, Reg(2), Reg(2), 1);
+        b.branch(BranchCond::Ne, Reg(2), Reg(0), "w_loop");
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let mut m = Machine::new(p, MachineConfig::small().with_seed(seed).with_quantum(3));
+        let r = m.run();
+        assert!(r.status.is_clean(), "seed {seed}: {:?}", r.status);
+        assert_eq!(m.output(0), &[2000], "seed {seed}");
+    }
+}
+
+#[test]
+fn unsynchronized_increment_races_under_some_schedule() {
+    // The same counter incremented with load/add/store (non-atomic) must
+    // lose updates under at least one seed with a tiny quantum.
+    let mut lost = false;
+    for seed in 1..20u64 {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "worker", Reg(1));
+        b.spawn(Reg(6), "worker", Reg(1));
+        b.join(Reg(5));
+        b.join(Reg(6));
+        b.li(Reg(7), 300);
+        b.load(Reg(8), Reg(7), 0);
+        b.output(Reg(8), 0);
+        b.halt();
+        b.func("worker");
+        b.li(Reg(1), 300);
+        b.li(Reg(2), 200);
+        b.label("w_loop");
+        b.load(Reg(3), Reg(1), 0);
+        b.addi(Reg(3), Reg(3), 1);
+        b.store(Reg(3), Reg(1), 0);
+        b.bini(BinOp::Sub, Reg(2), Reg(2), 1);
+        b.branch(BranchCond::Ne, Reg(2), Reg(0), "w_loop");
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let mut m = Machine::new(p, MachineConfig::small().with_seed(seed).with_quantum(2));
+        m.run();
+        if m.output(0) != [400] {
+            lost = true;
+            break;
+        }
+    }
+    assert!(lost, "expected at least one seed to expose the race");
+}
+
+#[test]
+fn scripted_replay_reproduces_seeded_run_exactly() {
+    let build = |b: &mut ProgramBuilder| {
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.spawn(Reg(5), "w", Reg(1));
+        b.li(Reg(2), 50);
+        b.label("m_loop");
+        b.load(Reg(3), Reg(4), 100); // racing accesses to 100..
+        b.addi(Reg(3), Reg(3), 2);
+        b.store(Reg(3), Reg(4), 100);
+        b.bini(BinOp::Sub, Reg(2), Reg(2), 1);
+        b.branch(BranchCond::Ne, Reg(2), Reg(0), "m_loop");
+        b.join(Reg(5));
+        b.li(Reg(6), 100);
+        b.load(Reg(7), Reg(6), 0);
+        b.output(Reg(7), 0);
+        b.halt();
+        b.func("w");
+        b.li(Reg(2), 50);
+        b.label("w_loop");
+        b.load(Reg(3), Reg(4), 100);
+        b.addi(Reg(3), Reg(3), 3);
+        b.store(Reg(3), Reg(4), 100);
+        b.bini(BinOp::Sub, Reg(2), Reg(2), 1);
+        b.branch(BranchCond::Ne, Reg(2), Reg(0), "w_loop");
+        b.halt();
+    };
+    let mut b1 = ProgramBuilder::new();
+    build(&mut b1);
+    let p = Arc::new(b1.build().unwrap());
+
+    let mut rec = Machine::new(p.clone(), MachineConfig::small().with_seed(1234).with_quantum(2));
+    rec.run();
+    let recorded_out = rec.output(0).to_vec();
+    let script = rec.sched_trace().to_vec();
+
+    let mut cfg = MachineConfig::small().with_quantum(2);
+    cfg.sched = SchedPolicy::Scripted { decisions: script };
+    let mut rep = Machine::new(p, cfg);
+    let r = rep.run();
+    assert!(r.status.is_clean());
+    assert_eq!(rep.output(0), recorded_out.as_slice(), "replay must reproduce output");
+    assert_eq!(rep.steps(), rec.steps(), "replay must reproduce instruction count");
+}
+
+#[test]
+fn checkpoint_restore_resumes_identically() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 100);
+    b.li(Reg(2), 0);
+    b.label("loop");
+    b.add(Reg(2), Reg(2), Reg(1));
+    b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+    b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+    b.output(Reg(2), 0);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+
+    // Reference run.
+    let mut m1 = Machine::new(p.clone(), MachineConfig::small());
+    m1.run();
+    let want = m1.output(0).to_vec();
+
+    // Run halfway, checkpoint, keep running; then restore and re-run tail.
+    let mut m2 = Machine::new(p.clone(), MachineConfig::small());
+    for _ in 0..50 {
+        m2.step();
+    }
+    let cp = m2.checkpoint();
+    m2.run();
+    assert_eq!(m2.output(0), want.as_slice());
+
+    let mut m3 = Machine::new(p, MachineConfig::small());
+    m3.restore(&cp);
+    m3.run();
+    assert_eq!(m3.output(0), want.as_slice(), "restored run must match");
+}
+
+#[test]
+fn exit_code_propagates() {
+    let (_, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 3);
+        b.exit(Reg(1));
+    });
+    assert_eq!(r.status, ExitStatus::Exited(3));
+    assert!(!r.status.is_clean());
+}
+
+#[test]
+fn assert_failure_faults_with_message() {
+    let (_, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 0);
+        b.assert_(Reg(1), 77);
+        b.halt();
+    });
+    assert!(matches!(
+        r.status,
+        ExitStatus::Faulted { fault: Fault::AssertFailed { msg: 77 }, .. }
+    ));
+}
+
+#[test]
+fn step_limit_stops_infinite_loop() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.label("spin");
+    b.jump("spin");
+    let p = Arc::new(b.build().unwrap());
+    let mut cfg = MachineConfig::small();
+    cfg.max_steps = 1000;
+    let mut m = Machine::new(p, cfg);
+    assert_eq!(m.run().status, ExitStatus::StepLimit);
+}
+
+#[test]
+fn stop_on_fault_false_lets_other_threads_finish() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 0);
+    b.spawn(Reg(5), "crasher", Reg(1));
+    b.li(Reg(2), 11);
+    b.output(Reg(2), 0);
+    b.join(Reg(5));
+    b.halt();
+    b.func("crasher");
+    b.li(Reg(1), 1);
+    b.li(Reg(2), 0);
+    b.bin(BinOp::Div, Reg(3), Reg(1), Reg(2));
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut cfg = MachineConfig::small();
+    cfg.stop_on_fault = false;
+    let mut m = Machine::new(p, cfg);
+    let r = m.run();
+    // Main finished its work; overall status reports the contained fault.
+    assert_eq!(m.output(0), &[11]);
+    assert!(matches!(r.status, ExitStatus::Faulted { fault: Fault::DivByZero, .. }));
+}
+
+#[test]
+fn indirect_call_through_function_pointer() {
+    let (m, _) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 300);
+        b.load(Reg(2), Reg(1), 0); // fp = mem[300]
+        b.call_ind(Reg(2));
+        b.halt();
+        b.func("target");
+        b.li(Reg(3), 5);
+        b.output(Reg(3), 0);
+        b.ret();
+        b.data(300, 4); // address of `target`
+    });
+    assert_eq!(m.output(0), &[5]);
+}
+
+#[test]
+fn corrupted_function_pointer_faults_as_bad_jump() {
+    let (_, r) = run_program(|b| {
+        b.func("main");
+        b.li(Reg(1), 300);
+        b.load(Reg(2), Reg(1), 0);
+        b.call_ind(Reg(2));
+        b.halt();
+        b.data(300, 999_999); // wild pointer
+    });
+    assert!(matches!(r.status, ExitStatus::Faulted { fault: Fault::BadJump { .. }, .. }));
+}
+
+#[test]
+fn pending_exposes_next_instruction() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 9);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    let pe = m.pending().unwrap();
+    assert_eq!(pe.addr, 0);
+    assert!(matches!(pe.insn.op, Opcode::Li { .. }));
+    m.step();
+    m.step();
+    assert!(m.pending().is_none());
+}
+
+#[test]
+fn effects_report_old_and_new_values() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 10);
+    b.li(Reg(1), 20);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    m.step();
+    assert_eq!(m.last_step().reg_write, Some((Reg(1), 0, 10)));
+    m.step();
+    assert_eq!(m.last_step().reg_write, Some((Reg(1), 10, 20)));
+}
+
+#[test]
+fn charge_adds_instrumentation_cycles() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 1);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    m.step();
+    let before = m.cycles();
+    m.charge(500);
+    assert_eq!(m.cycles(), before + 500);
+}
+
+#[test]
+fn alloc_padding_config_spaces_blocks() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 8);
+    b.alloc(Reg(2), Reg(1));
+    b.alloc(Reg(3), Reg(1));
+    b.output(Reg(2), 0);
+    b.output(Reg(3), 0);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut cfg = MachineConfig::small();
+    cfg.alloc_padding = 32;
+    let mut m = Machine::new(p, cfg);
+    m.run();
+    let out = m.output(0);
+    assert_eq!(out[1] - out[0], 40, "8 words + 32 padding");
+}
+
+#[test]
+fn join_self_is_a_deadlock() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 0); // own tid
+    b.join(Reg(1));
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    assert_eq!(m.run().status, ExitStatus::Deadlock);
+}
+
+#[test]
+fn join_unknown_tid_faults() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 99);
+    b.join(Reg(1));
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    assert!(matches!(
+        m.run().status,
+        ExitStatus::Faulted { fault: Fault::BadJoin { tid: 99 }, .. }
+    ));
+}
+
+#[test]
+fn scripted_divergence_is_reported() {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 1);
+    b.li(Reg(2), 2);
+    b.halt();
+    let p = Arc::new(b.build().unwrap());
+    let mut cfg = MachineConfig::small();
+    cfg.sched = SchedPolicy::Scripted {
+        decisions: vec![crate::sched::SchedDecision { tid: 7 }],
+    };
+    let mut m = Machine::new(p, cfg);
+    assert_eq!(m.run().status, ExitStatus::ReplayDivergence);
+}
+
+#[test]
+fn deep_recursion_and_return_chain() {
+    // f(n): if n == 0 return 1 else return f(n-1) + 1, depth 200.
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(4), 200);
+    b.call("f");
+    b.output(Reg(2), 0);
+    b.halt();
+    b.func("f");
+    b.branch(BranchCond::Ne, Reg(4), Reg(0), "rec");
+    b.li(Reg(2), 1);
+    b.ret();
+    b.label("rec");
+    b.addi(Reg(4), Reg(4), -1);
+    b.call("f");
+    b.addi(Reg(2), Reg(2), 1);
+    b.ret();
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    let r = m.run();
+    assert!(r.status.is_clean(), "{:?}", r.status);
+    assert_eq!(m.output(0), &[201]);
+}
+
+#[test]
+fn out_of_code_fallthrough_is_a_bad_jump() {
+    // A function whose last instruction is not a terminator: falling off
+    // the end of the program is a BadJump fault.
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 1);
+    b.li(Reg(2), 2); // no halt
+    let p = Arc::new(b.build().unwrap());
+    let mut m = Machine::new(p, MachineConfig::small());
+    assert!(matches!(
+        m.run().status,
+        ExitStatus::Faulted { fault: Fault::BadJump { .. }, .. }
+    ));
+}

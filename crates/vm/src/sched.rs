@@ -1,0 +1,161 @@
+//! Thread scheduling: decision points, policies, and the recorded
+//! decision trace that makes executions replayable.
+
+use crate::config::SchedPolicy;
+use crate::thread::ThreadId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduling decision: the thread chosen at a decision point.
+/// Decision points themselves are deterministic (quantum expiry, blocking,
+/// thread exit), so the chosen-tid sequence fully determines the
+/// interleaving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedDecision {
+    pub tid: ThreadId,
+}
+
+/// The machine's scheduler. Records every decision it makes so the replay
+/// system can script it back.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    policy: SchedPolicy,
+    rng_state: u64,
+    script_pos: usize,
+    last: Option<ThreadId>,
+    /// Every decision made so far (the replay log's scheduling stream).
+    pub trace: Vec<SchedDecision>,
+}
+
+impl Scheduler {
+    pub fn new(policy: SchedPolicy) -> Scheduler {
+        let rng_state = match &policy {
+            SchedPolicy::Seeded { seed } => (*seed).max(1),
+            _ => 1,
+        };
+        Scheduler { policy, rng_state, script_pos: 0, last: None, trace: Vec::new() }
+    }
+
+    fn xorshift(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Pick the next thread among `runnable` (non-empty, ascending tids).
+    /// Returns `None` only when a scripted decision names a thread that is
+    /// not runnable — a replay divergence the caller must surface.
+    pub fn pick(&mut self, runnable: &[ThreadId]) -> Option<ThreadId> {
+        debug_assert!(!runnable.is_empty());
+        let choice = match &self.policy {
+            SchedPolicy::RoundRobin => Some(Self::round_robin(self.last, runnable)),
+            SchedPolicy::Seeded { .. } => {
+                let r = self.xorshift();
+                Some(runnable[(r % runnable.len() as u64) as usize])
+            }
+            SchedPolicy::Scripted { decisions } => {
+                if let Some(d) = decisions.get(self.script_pos) {
+                    self.script_pos += 1;
+                    if runnable.contains(&d.tid) {
+                        Some(d.tid)
+                    } else {
+                        None // divergence
+                    }
+                } else {
+                    // Script exhausted: fall back to round-robin.
+                    Some(Self::round_robin(self.last, runnable))
+                }
+            }
+        };
+        if let Some(tid) = choice {
+            self.last = Some(tid);
+            self.trace.push(SchedDecision { tid });
+        }
+        choice
+    }
+
+    fn round_robin(last: Option<ThreadId>, runnable: &[ThreadId]) -> ThreadId {
+        match last {
+            None => runnable[0],
+            Some(prev) => *runnable
+                .iter()
+                .find(|&&t| t > prev)
+                .unwrap_or(&runnable[0]),
+        }
+    }
+
+    /// Number of decisions consumed from a scripted policy.
+    pub fn script_pos(&self) -> usize {
+        self.script_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_in_tid_order() {
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin);
+        let r = vec![0, 1, 2];
+        assert_eq!(s.pick(&r), Some(0));
+        assert_eq!(s.pick(&r), Some(1));
+        assert_eq!(s.pick(&r), Some(2));
+        assert_eq!(s.pick(&r), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_missing_threads() {
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin);
+        assert_eq!(s.pick(&[0, 2]), Some(0));
+        assert_eq!(s.pick(&[0, 2]), Some(2));
+        assert_eq!(s.pick(&[0, 2]), Some(0));
+        // thread 0 blocks; only 2 runnable
+        assert_eq!(s.pick(&[2]), Some(2));
+    }
+
+    #[test]
+    fn seeded_is_deterministic_per_seed() {
+        let picks = |seed| {
+            let mut s = Scheduler::new(SchedPolicy::Seeded { seed });
+            (0..20).map(|_| s.pick(&[0, 1, 2, 3]).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn scripted_replays_and_detects_divergence() {
+        let mut rec = Scheduler::new(SchedPolicy::Seeded { seed: 3 });
+        for _ in 0..10 {
+            rec.pick(&[0, 1]);
+        }
+        let script = rec.trace.clone();
+        let mut rep = Scheduler::new(SchedPolicy::Scripted { decisions: script.clone() });
+        for d in &script {
+            assert_eq!(rep.pick(&[0, 1]), Some(d.tid));
+        }
+        // Divergence: scripted tid not runnable.
+        let mut bad = Scheduler::new(SchedPolicy::Scripted {
+            decisions: vec![SchedDecision { tid: 5 }],
+        });
+        assert_eq!(bad.pick(&[0, 1]), None);
+    }
+
+    #[test]
+    fn script_exhaustion_falls_back_to_round_robin() {
+        let mut s = Scheduler::new(SchedPolicy::Scripted { decisions: vec![] });
+        assert_eq!(s.pick(&[3, 4]), Some(3));
+        assert_eq!(s.pick(&[3, 4]), Some(4));
+    }
+
+    #[test]
+    fn trace_records_every_decision() {
+        let mut s = Scheduler::new(SchedPolicy::RoundRobin);
+        s.pick(&[0]);
+        s.pick(&[0, 1]);
+        assert_eq!(s.trace.len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Thread state.
+
+use crate::effects::Fault;
+use dift_isa::{Addr, Reg, NUM_REGS};
+use serde::{Deserialize, Serialize};
+
+/// Thread identifier. The main thread is tid 0.
+pub type ThreadId = u64;
+
+/// Lifecycle state of one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadStatus {
+    Runnable,
+    /// Waiting for the named thread to exit.
+    JoinWait(ThreadId),
+    /// Waiting for input on the named channel.
+    InputWait(u16),
+    /// Exited normally (`Halt`).
+    Exited,
+    /// Stopped by a fault.
+    Faulted(Fault),
+}
+
+impl ThreadStatus {
+    #[inline]
+    pub fn is_runnable(&self) -> bool {
+        matches!(self, ThreadStatus::Runnable)
+    }
+
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        matches!(self, ThreadStatus::Exited | ThreadStatus::Faulted(_))
+    }
+
+    #[inline]
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, ThreadStatus::JoinWait(_) | ThreadStatus::InputWait(_))
+    }
+}
+
+/// Full architectural state of one thread.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThreadState {
+    pub tid: ThreadId,
+    pub pc: Addr,
+    #[serde(with = "serde_regs")]
+    pub regs: [u64; NUM_REGS],
+    /// Return-address stack (hardware-managed in this ISA).
+    pub call_stack: Vec<Addr>,
+    pub status: ThreadStatus,
+    /// Instructions executed by this thread.
+    pub steps: u64,
+    /// Cycles accrued by this thread.
+    pub cycles: u64,
+}
+
+impl ThreadState {
+    pub fn new(tid: ThreadId, entry: Addr) -> ThreadState {
+        ThreadState {
+            tid,
+            pc: entry,
+            regs: [0; NUM_REGS],
+            call_stack: Vec::new(),
+            status: ThreadStatus::Runnable,
+            steps: 0,
+            cycles: 0,
+        }
+    }
+
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Current call depth (useful for call-stack-sensitive analyses).
+    #[inline]
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+}
+
+/// `[u64; 32]` lacks built-in serde impls on some versions; go through a
+/// Vec for checkpointing.
+mod serde_regs {
+    use dift_isa::NUM_REGS;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(regs: &[u64; NUM_REGS], s: S) -> Result<S::Ok, S::Error> {
+        regs.to_vec().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u64; NUM_REGS], D::Error> {
+        let v = Vec::<u64>::deserialize(d)?;
+        let mut regs = [0u64; NUM_REGS];
+        for (i, x) in v.into_iter().take(NUM_REGS).enumerate() {
+            regs[i] = x;
+        }
+        Ok(regs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_thread_is_runnable_at_entry() {
+        let t = ThreadState::new(3, 17);
+        assert_eq!(t.pc, 17);
+        assert!(t.status.is_runnable());
+        assert_eq!(t.reg(Reg(5)), 0);
+        assert_eq!(t.call_depth(), 0);
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(ThreadStatus::Runnable.is_runnable());
+        assert!(ThreadStatus::Exited.is_done());
+        assert!(ThreadStatus::Faulted(Fault::DivByZero).is_done());
+        assert!(ThreadStatus::JoinWait(1).is_blocked());
+        assert!(ThreadStatus::InputWait(0).is_blocked());
+        assert!(!ThreadStatus::Runnable.is_blocked());
+    }
+
+    #[test]
+    fn reg_set_get() {
+        let mut t = ThreadState::new(0, 0);
+        t.set_reg(Reg(4), 99);
+        assert_eq!(t.reg(Reg(4)), 99);
+    }
+
+    #[test]
+    fn thread_state_serde_round_trip() {
+        let mut t = ThreadState::new(1, 5);
+        t.set_reg(Reg(2), 42);
+        t.call_stack.push(9);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ThreadState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reg(Reg(2)), 42);
+        assert_eq!(back.call_stack, vec![9]);
+        assert_eq!(back.pc, 5);
+    }
+}

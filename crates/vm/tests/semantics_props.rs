@@ -1,0 +1,185 @@
+//! Property tests: the interpreter agrees with a host-side reference
+//! semantics on randomly generated straight-line programs.
+
+use dift_isa::{BinOp, Instruction, Opcode, Program, ProgramBuilder, Reg};
+use dift_vm::{ExitStatus, Machine, MachineConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Host-side reference for one ALU op (the spec the VM must match).
+fn reference(op: BinOp, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::Lt => ((a as i64) < (b as i64)) as u64,
+        BinOp::Le => ((a as i64) <= (b as i64)) as u64,
+        BinOp::Ltu => (a < b) as u64,
+        BinOp::Leu => (a <= b) as u64,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    })
+}
+
+const OPS: [BinOp; 19] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Sar,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Ltu,
+    BinOp::Leu,
+    BinOp::Min,
+    BinOp::Max,
+];
+
+#[derive(Clone, Debug)]
+struct AluStep {
+    op_idx: usize,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+}
+
+fn alu_step() -> impl Strategy<Value = AluStep> {
+    (0..OPS.len(), 1u8..12, 1u8..12, 1u8..12)
+        .prop_map(|(op_idx, rd, rs1, rs2)| AluStep { op_idx, rd, rs1, rs2 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A random straight-line ALU program produces exactly the register
+    /// file the reference semantics computes (or faults exactly when the
+    /// reference says "trap").
+    #[test]
+    fn alu_programs_match_reference(
+        seeds in proptest::collection::vec(0u64..1_000_000, 11),
+        steps in proptest::collection::vec(alu_step(), 1..40),
+    ) {
+        // Reference state.
+        let mut regs = [0u64; 32];
+        for (i, &s) in seeds.iter().enumerate() {
+            regs[i + 1] = s;
+        }
+        // Build the program mirroring the reference.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        for (i, &s) in seeds.iter().enumerate() {
+            b.li(Reg(i as u8 + 1), s as i64);
+        }
+        let mut trap_at: Option<usize> = None;
+        for (k, st) in steps.iter().enumerate() {
+            let op = OPS[st.op_idx];
+            b.bin(op, Reg(st.rd), Reg(st.rs1), Reg(st.rs2));
+            if trap_at.is_none() {
+                match reference(op, regs[st.rs1 as usize], regs[st.rs2 as usize]) {
+                    Some(v) => regs[st.rd as usize] = v,
+                    None => trap_at = Some(k),
+                }
+            }
+        }
+        b.halt();
+        let p: Arc<Program> = Arc::new(b.build().unwrap());
+        let mut m = Machine::new(p, MachineConfig::small());
+        let r = m.run();
+        match trap_at {
+            None => {
+                prop_assert!(r.status.is_clean());
+                for i in 1..12u8 {
+                    prop_assert_eq!(m.reg(0, Reg(i)), regs[i as usize], "r{}", i);
+                }
+            }
+            Some(k) => {
+                let fault_addr = (seeds.len() + k) as u32;
+                prop_assert!(
+                    matches!(r.status, ExitStatus::Faulted { at, .. } if at == fault_addr),
+                    "expected trap at {}, got {:?}", fault_addr, r.status
+                );
+            }
+        }
+    }
+
+    /// Store-then-load round-trips through memory for arbitrary addresses
+    /// in range and arbitrary values.
+    #[test]
+    fn memory_round_trips(addr in 0u64..4000, value: u64, offset in -16i64..16) {
+        let eff = addr as i64 + offset;
+        prop_assume!(eff >= 0 && (eff as u64) < 4096);
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), addr as i64);
+        b.li(Reg(2), value as i64); // i64 cast wraps; compare wrapped
+        b.store(Reg(2), Reg(1), offset);
+        b.load(Reg(3), Reg(1), offset);
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let mut m = Machine::new(p, MachineConfig::small());
+        let r = m.run();
+        prop_assert!(r.status.is_clean());
+        prop_assert_eq!(m.reg(0, Reg(3)), m.reg(0, Reg(2)));
+        prop_assert_eq!(m.mem_read(eff as u64), m.reg(0, Reg(2)));
+    }
+
+    /// The effects stream is exactly as long as the step count and every
+    /// executed address is in range.
+    #[test]
+    fn effects_stream_is_total(steps in proptest::collection::vec(alu_step(), 1..20)) {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        for st in &steps {
+            // Avoid traps: skip div/rem.
+            let op = match OPS[st.op_idx] {
+                BinOp::Div | BinOp::Rem => BinOp::Add,
+                other => other,
+            };
+            b.bin(op, Reg(st.rd), Reg(st.rs1), Reg(st.rs2));
+        }
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let len = p.len() as u32;
+        let mut m = Machine::new(p, MachineConfig::small());
+        let mut count = 0u64;
+        let mut insns: Vec<Instruction> = Vec::new();
+        while m.pending().is_some() {
+            m.step();
+            let fx = m.last_step();
+            prop_assert!(fx.addr < len);
+            prop_assert_eq!(fx.step, count);
+            insns.push(fx.insn);
+            count += 1;
+        }
+        prop_assert_eq!(count, (steps.len() + 1) as u64);
+        prop_assert!(matches!(insns.last().unwrap().op, Opcode::Halt));
+    }
+}

@@ -1,0 +1,258 @@
+//! Scientific pipelines for lineage tracing (§3.4).
+//!
+//! These programs read their data through `In` (so every word is a
+//! distinct lineage source) and compute outputs whose lineage sets have
+//! the structure the paper exploits:
+//!
+//! * [`binning`] — each output aggregates a *contiguous* run of inputs
+//!   (clustered lineage; roBDD ranges collapse).
+//! * [`sliding_window`] — adjacent outputs share most of their window
+//!   (overlapping lineage; hash-consing shares subgraphs).
+//! * [`scatter_sum`] — inputs scatter into bins by value (fragmented
+//!   lineage; the adversarial case where compression helps least).
+
+use crate::{Lcg, Workload};
+use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+use std::sync::Arc;
+
+const R: fn(u8) -> Reg = Reg;
+const BUF: u64 = 2_000;
+
+/// Ground-truth lineage for validation: `expected[k]` is the sorted input
+/// indices output `k` depends on.
+pub struct SciencePipeline {
+    pub workload: Workload,
+    pub expected_lineage: Vec<Vec<u64>>,
+}
+
+/// `binning(n, bin)`: read `n` inputs; output the sum of each consecutive
+/// `bin`-sized group. Output k depends on inputs [k*bin, (k+1)*bin).
+pub fn binning(n: u64, bin: u64) -> SciencePipeline {
+    assert!(n % bin == 0);
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), n as i64);
+    b.li(R(2), 0); // i
+    b.li(R(3), 0); // acc
+    b.li(R(4), bin as i64);
+    b.li(R(5), 0); // in-bin count
+    b.label("loop");
+    b.branch(BranchCond::Geu, R(2), R(1), "done");
+    b.input(R(6), 0);
+    b.add(R(3), R(3), R(6));
+    b.addi(R(5), R(5), 1);
+    b.addi(R(2), R(2), 1);
+    b.branch(BranchCond::Ne, R(5), R(4), "loop");
+    b.output(R(3), 0);
+    b.li(R(3), 0);
+    b.li(R(5), 0);
+    b.jump("loop");
+    b.label("done");
+    b.halt();
+
+    let mut rng = Lcg::new(8);
+    let inputs: Vec<u64> = (0..n).map(|_| rng.below(100)).collect();
+    let expected = (0..n / bin)
+        .map(|k| (k * bin..(k + 1) * bin).collect())
+        .collect();
+    SciencePipeline {
+        workload: Workload::new(format!("binning.n{n}b{bin}"), Arc::new(b.build().unwrap()))
+            .with_input(0, inputs),
+        expected_lineage: expected,
+    }
+}
+
+/// `sliding_window(n, w)`: read `n` inputs into a buffer, then output the
+/// sum of each length-`w` window. Output k depends on inputs [k, k+w).
+pub fn sliding_window(n: u64, w: u64) -> SciencePipeline {
+    assert!(w <= n);
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    // Fill buffer from input.
+    b.li(R(1), n as i64);
+    b.li(R(2), 0);
+    b.li(R(3), BUF as i64);
+    b.label("fill");
+    b.branch(BranchCond::Geu, R(2), R(1), "windows");
+    b.input(R(4), 0);
+    b.add(R(5), R(3), R(2));
+    b.store(R(4), R(5), 0);
+    b.addi(R(2), R(2), 1);
+    b.jump("fill");
+    // Window sums.
+    b.label("windows");
+    b.li(R(2), 0); // k
+    b.li(R(6), (n - w + 1) as i64);
+    b.label("win");
+    b.branch(BranchCond::Geu, R(2), R(6), "done");
+    b.li(R(7), 0); // acc
+    b.li(R(8), 0); // j
+    b.li(R(9), w as i64);
+    b.label("accum");
+    b.branch(BranchCond::Geu, R(8), R(9), "emit");
+    b.add(R(10), R(2), R(8));
+    b.add(R(10), R(3), R(10));
+    b.load(R(11), R(10), 0);
+    b.add(R(7), R(7), R(11));
+    b.addi(R(8), R(8), 1);
+    b.jump("accum");
+    b.label("emit");
+    b.output(R(7), 0);
+    b.addi(R(2), R(2), 1);
+    b.jump("win");
+    b.label("done");
+    b.halt();
+
+    let mut rng = Lcg::new(15);
+    let inputs: Vec<u64> = (0..n).map(|_| rng.below(100)).collect();
+    let expected = (0..n - w + 1).map(|k| (k..k + w).collect()).collect();
+    SciencePipeline {
+        workload: Workload::new(format!("window.n{n}w{w}"), Arc::new(b.build().unwrap()))
+            .with_input(0, inputs),
+        expected_lineage: expected,
+    }
+}
+
+/// `scatter_sum(n, bins)`: each input lands in bin `value % bins`; after
+/// reading everything, the bins are emitted. Output k depends on the
+/// (scattered) set of inputs with `value % bins == k`.
+pub fn scatter_sum(n: u64, bins: u64) -> SciencePipeline {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), n as i64);
+    b.li(R(2), 0);
+    b.li(R(3), BUF as i64); // bins live at BUF
+    b.li(R(4), bins as i64);
+    b.label("scatter");
+    b.branch(BranchCond::Geu, R(2), R(1), "emit_bins");
+    b.input(R(5), 0);
+    b.bin(BinOp::Rem, R(6), R(5), R(4));
+    b.add(R(7), R(3), R(6));
+    b.load(R(8), R(7), 0);
+    b.add(R(8), R(8), R(5));
+    b.store(R(8), R(7), 0);
+    b.addi(R(2), R(2), 1);
+    b.jump("scatter");
+    b.label("emit_bins");
+    b.li(R(2), 0);
+    b.label("emit");
+    b.branch(BranchCond::Geu, R(2), R(4), "done");
+    b.add(R(7), R(3), R(2));
+    b.load(R(8), R(7), 0);
+    b.output(R(8), 0);
+    b.addi(R(2), R(2), 1);
+    b.jump("emit");
+    b.label("done");
+    b.halt();
+
+    let mut rng = Lcg::new(27);
+    let inputs: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
+    let mut expected: Vec<Vec<u64>> = vec![Vec::new(); bins as usize];
+    for (i, v) in inputs.iter().enumerate() {
+        expected[(v % bins) as usize].push(i as u64);
+    }
+    SciencePipeline {
+        workload: Workload::new(format!("scatter.n{n}b{bins}"), Arc::new(b.build().unwrap()))
+            .with_input(0, inputs),
+        expected_lineage: expected,
+    }
+}
+
+/// `prefix_sum(n)`: buffer[k] = buffer[k-1] + input[k], kept resident,
+/// then all cells are emitted. The lineage of cell k is `{0..=k}` —
+/// maximal overlap *and* clustering, resident in memory for the whole
+/// run: the showcase for the roBDD representation.
+pub fn prefix_sum(n: u64) -> SciencePipeline {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), n as i64);
+    b.li(R(2), 0); // k
+    b.li(R(3), BUF as i64);
+    b.li(R(7), 0); // running sum
+    b.label("scan");
+    b.branch(BranchCond::Geu, R(2), R(1), "emit_all");
+    b.input(R(4), 0);
+    b.add(R(7), R(7), R(4));
+    b.add(R(5), R(3), R(2));
+    b.store(R(7), R(5), 0);
+    b.addi(R(2), R(2), 1);
+    b.jump("scan");
+    b.label("emit_all");
+    b.li(R(2), 0);
+    b.label("emit");
+    b.branch(BranchCond::Geu, R(2), R(1), "done");
+    b.add(R(5), R(3), R(2));
+    b.load(R(6), R(5), 0);
+    b.output(R(6), 0);
+    b.addi(R(2), R(2), 1);
+    b.jump("emit");
+    b.label("done");
+    b.halt();
+
+    let mut rng = Lcg::new(33);
+    let inputs: Vec<u64> = (0..n).map(|_| rng.below(50)).collect();
+    let expected = (0..n).map(|k| (0..=k).collect()).collect();
+    SciencePipeline {
+        workload: Workload::new(format!("prefix.n{n}"), Arc::new(b.build().unwrap()))
+            .with_input(0, inputs),
+        expected_lineage: expected,
+    }
+}
+
+/// The pipelines used by E7, at a given input scale.
+pub fn all_science(n: u64) -> Vec<SciencePipeline> {
+    vec![binning(n, 8), sliding_window(n, 16), scatter_sum(n, 16), prefix_sum(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_output_values_are_group_sums() {
+        let p = binning(32, 8);
+        let inputs = p.workload.inputs[0].1.clone();
+        let mut m = p.workload.machine();
+        assert!(m.run().status.is_clean());
+        let out = m.output(0);
+        assert_eq!(out.len(), 4);
+        for (k, &o) in out.iter().enumerate() {
+            let want: u64 = inputs[k * 8..(k + 1) * 8].iter().sum();
+            assert_eq!(o, want, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn window_outputs_match_direct_computation() {
+        let p = sliding_window(24, 4);
+        let inputs = p.workload.inputs[0].1.clone();
+        let mut m = p.workload.machine();
+        assert!(m.run().status.is_clean());
+        let out = m.output(0);
+        assert_eq!(out.len(), 21);
+        for (k, &o) in out.iter().enumerate() {
+            let want: u64 = inputs[k..k + 4].iter().sum();
+            assert_eq!(o, want, "window {k}");
+        }
+    }
+
+    #[test]
+    fn scatter_bins_partition_the_input() {
+        let p = scatter_sum(48, 8);
+        let mut m = p.workload.machine();
+        assert!(m.run().status.is_clean());
+        let out_sum: u64 = m.output(0).iter().sum();
+        let in_sum: u64 = p.workload.inputs[0].1.iter().sum();
+        assert_eq!(out_sum, in_sum, "bins must conserve the total");
+    }
+
+    #[test]
+    fn expected_lineage_covers_all_inputs_exactly_once_for_partitions() {
+        for p in [binning(32, 8), scatter_sum(48, 8)] {
+            let mut seen: Vec<u64> = p.expected_lineage.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let n = p.workload.inputs[0].1.len() as u64;
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

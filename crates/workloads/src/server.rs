@@ -1,0 +1,311 @@
+//! The multithreaded key-value server (the MySQL 3.23.56 scenario).
+//!
+//! A main thread spawns `workers` worker threads; each worker serves a
+//! request stream from its own input channel. Requests are triples
+//! `(op, key, value)`: `op` 1 = PUT, 2 = GET (emits the value on output
+//! channel 1), 3 = quit. The store is a shared open-addressing hash table
+//! protected by a CAS spin lock — the synchronization pattern the sync
+//! detector recognizes.
+//!
+//! With [`ServerConfig::with_bug`], a PUT whose *value* is the poison
+//! constant `0xBAD` triggers the seeded memory bug: the worker copies the
+//! value into a fixed 4-word scratch area with an unchecked length taken
+//! from `key % 8`, overrunning into the adjacent word that holds the
+//! worker's dispatch pointer, so the next request faults with a wild
+//! jump. Placing the poison request near the end of a long stream
+//! reproduces the paper's "fails after executing for a long time".
+
+use crate::Workload;
+use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+use std::sync::Arc;
+
+const LOCK: u64 = 100; // lock word
+const TABLE: u64 = 4_096; // hash table base (1024 slots: key, value pairs)
+const TABLE_SLOTS: u64 = 1_024;
+const SCRATCH: u64 = 200; // per-worker scratch: 8 words apart
+const R: fn(u8) -> Reg = Reg;
+
+/// Server workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    pub workers: u64,
+    /// Requests per worker (excluding the final quit).
+    pub requests_per_worker: u64,
+    /// Inject the memory-corruption bug near the end of worker 0's
+    /// stream.
+    pub with_bug: bool,
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 2, requests_per_worker: 60, with_bug: false, seed: 11 }
+    }
+}
+
+/// Build the server program + request streams.
+pub fn server(cfg: ServerConfig) -> Workload {
+    let mut b = ProgramBuilder::new();
+
+    b.func("main");
+    b.li(R(1), 0);
+    b.li(R(20), cfg.workers as i64);
+    b.li(R(21), 0); // wid
+    b.label("spawn_loop");
+    b.branch(BranchCond::Geu, R(21), R(20), "join_all");
+    b.spawn(R(22), "worker", R(21));
+    // Remember tid at TIDS + wid.
+    b.li(R(23), 60);
+    b.add(R(23), R(23), R(21));
+    b.store(R(22), R(23), 0);
+    b.addi(R(21), R(21), 1);
+    b.jump("spawn_loop");
+    b.label("join_all");
+    b.li(R(21), 0);
+    b.label("join_loop");
+    b.branch(BranchCond::Geu, R(21), R(20), "main_done");
+    b.li(R(23), 60);
+    b.add(R(23), R(23), R(21));
+    b.load(R(24), R(23), 0);
+    b.join(R(24));
+    b.addi(R(21), R(21), 1);
+    b.jump("join_loop");
+    b.label("main_done");
+    b.li(R(25), 1);
+    b.output(R(25), 0); // server completed marker
+    b.halt();
+
+    // Worker: r4 = wid (spawn arg); input channel = wid + 1.
+    b.func("worker");
+    // channel register r26 = wid + 1 — In takes a static channel, so
+    // dispatch by wid (supports up to 4 workers).
+    b.li(R(1), 1);
+    b.branch(BranchCond::Eq, R(4), R(0), "serve_ch1");
+    b.branch(BranchCond::Eq, R(4), R(1), "serve_ch2");
+    b.li(R(2), 2);
+    b.branch(BranchCond::Eq, R(4), R(2), "serve_ch3");
+    b.jump("serve_ch4");
+
+    for (ch, label, next) in
+        [(1u16, "serve_ch1", "w1"), (2, "serve_ch2", "w2"), (3, "serve_ch3", "w3"), (4, "serve_ch4", "w4")]
+    {
+        b.label(label);
+        worker_body(&mut b, ch, next, cfg.with_bug);
+    }
+
+    // Request streams.
+    let mut w = Workload::new(
+        format!(
+            "server.w{}x{}{}",
+            cfg.workers,
+            cfg.requests_per_worker,
+            if cfg.with_bug { ".bug" } else { "" }
+        ),
+        Arc::new(b.build().unwrap()),
+    )
+    .with_quantum(16);
+    let mut rng = crate::Lcg::new(cfg.seed);
+    for wid in 0..cfg.workers {
+        let mut stream = Vec::new();
+        for i in 0..cfg.requests_per_worker {
+            let key = rng.below(500) + 1;
+            if cfg.with_bug && wid == 0 && i == cfg.requests_per_worker - 2 {
+                // The malformed request: poison value.
+                stream.extend_from_slice(&[1, 6, 0xBAD]);
+            } else if rng.below(3) == 0 {
+                stream.extend_from_slice(&[2, key, 0]); // GET
+            } else {
+                stream.extend_from_slice(&[1, key, rng.below(10_000)]); // PUT
+            }
+        }
+        stream.extend_from_slice(&[3, 0, 0]); // quit
+        w = w.with_input(wid as u16 + 1, stream);
+    }
+    w
+}
+
+/// Emit one worker's serve loop reading from `ch`. `p` prefixes labels so
+/// the four copies don't collide.
+fn worker_body(b: &mut ProgramBuilder, ch: u16, p: &str, with_bug: bool) {
+    let l = |s: &str| format!("{p}_{s}");
+    // Scratch base for this worker: SCRATCH + ch * 8.
+    b.li(R(19), (SCRATCH + ch as u64 * 8) as i64);
+    // Dispatch pointer: scratch[5] holds the serve-loop address, used
+    // between requests (the word the bug clobbers).
+    b.label(&l("entry"));
+    let serve_addr = b.here();
+    b.li(R(18), serve_addr as i64 + 2); // address of the loop head below
+    b.store(R(18), R(19), 5);
+    b.label(&l("loop"));
+    b.input(R(5), ch); // op
+    b.li(R(6), 3);
+    b.branch(BranchCond::Eq, R(5), R(6), &l("quit"));
+    b.input(R(7), ch); // key
+    b.input(R(8), ch); // value
+    if with_bug {
+        // Poison check: value == 0xBAD triggers the buggy path.
+        b.li(R(9), 0xBAD);
+        b.branch(BranchCond::Eq, R(8), R(9), &l("bug"));
+    }
+    b.li(R(9), 1);
+    b.branch(BranchCond::Eq, R(5), R(9), &l("put"));
+    // GET: lock, probe, unlock, emit.
+    emit_lock(b, &l("get_lock"));
+    emit_probe(b, &l("getp"));
+    // r12 = slot addr or 0
+    b.branch(BranchCond::Eq, R(12), R(0), &l("get_miss"));
+    b.load(R(13), R(12), 1);
+    b.jump(&l("get_out"));
+    b.label(&l("get_miss"));
+    b.li(R(13), 0);
+    b.label(&l("get_out"));
+    emit_unlock(b);
+    b.output(R(13), 1);
+    b.jump(&l("cont"));
+    // PUT: lock, probe-or-insert, store value, unlock.
+    b.label(&l("put"));
+    emit_lock(b, &l("put_lock"));
+    emit_probe_insert(b, &l("puti"));
+    b.store(R(8), R(12), 1);
+    emit_unlock(b);
+    b.jump(&l("cont"));
+    if with_bug {
+        // The bug: copy `key % 8` words of the value into a 4-word
+        // scratch buffer (unchecked length — words 4..7 overrun, word 5
+        // is the dispatch pointer).
+        b.label(&l("bug"));
+        b.bini(BinOp::Rem, R(10), R(7), 8); // len = key % 8 (6 for key=6)
+        b.li(R(11), 0);
+        b.label(&l("bugcopy"));
+        b.branch(BranchCond::Geu, R(11), R(10), &l("cont"));
+        b.add(R(12), R(19), R(11));
+        b.store(R(8), R(12), 0); // scratch[i] = poison value
+        b.addi(R(11), R(11), 1);
+        b.jump(&l("bugcopy"));
+    }
+    // Between requests: return to the serve loop through the dispatch
+    // pointer (clobbered by the bug -> wild jump on the next request).
+    b.label(&l("cont"));
+    b.load(R(17), R(19), 5);
+    b.jump_ind(R(17));
+    b.label(&l("quit"));
+    b.halt();
+}
+
+/// CAS spin lock acquire on LOCK.
+fn emit_lock(b: &mut ProgramBuilder, p: &str) {
+    b.li(R(14), LOCK as i64);
+    b.li(R(15), 1);
+    b.label(p);
+    b.cas(R(16), R(14), R(0), R(15)); // expect 0, set 1
+    b.branch(BranchCond::Ne, R(16), R(0), p); // retry while held
+}
+
+/// Lock release.
+fn emit_unlock(b: &mut ProgramBuilder) {
+    b.li(R(14), LOCK as i64);
+    b.store(R(0), R(14), 0);
+}
+
+/// Probe for key r7; r12 = slot base address or 0 when absent.
+/// Clobbers r10, r11.
+fn emit_probe(b: &mut ProgramBuilder, p: &str) {
+    b.bini(BinOp::Mul, R(10), R(7), 0x9E3779B1);
+    b.bini(BinOp::Shr, R(10), R(10), 16);
+    b.bini(BinOp::And, R(10), R(10), (TABLE_SLOTS - 1) as i64);
+    b.li(R(11), 0); // probes tried
+    b.label(p);
+    b.bini(BinOp::Shl, R(12), R(10), 1);
+    b.addi(R(12), R(12), TABLE as i64); // slot addr = TABLE + 2*idx
+    b.load(R(13), R(12), 0);
+    b.branch(BranchCond::Eq, R(13), R(7), &format!("{p}_done"));
+    b.branch(BranchCond::Eq, R(13), R(0), &format!("{p}_miss"));
+    b.addi(R(10), R(10), 1);
+    b.bini(BinOp::And, R(10), R(10), (TABLE_SLOTS - 1) as i64);
+    b.addi(R(11), R(11), 1);
+    b.jump(p);
+    b.label(&format!("{p}_miss"));
+    b.li(R(12), 0);
+    b.label(&format!("{p}_done"));
+}
+
+/// Probe-or-insert for key r7; r12 = slot base address (key written).
+fn emit_probe_insert(b: &mut ProgramBuilder, p: &str) {
+    b.bini(BinOp::Mul, R(10), R(7), 0x9E3779B1);
+    b.bini(BinOp::Shr, R(10), R(10), 16);
+    b.bini(BinOp::And, R(10), R(10), (TABLE_SLOTS - 1) as i64);
+    b.label(p);
+    b.bini(BinOp::Shl, R(12), R(10), 1);
+    b.addi(R(12), R(12), TABLE as i64);
+    b.load(R(13), R(12), 0);
+    b.branch(BranchCond::Eq, R(13), R(7), &format!("{p}_done"));
+    b.branch(BranchCond::Eq, R(13), R(0), &format!("{p}_new"));
+    b.addi(R(10), R(10), 1);
+    b.bini(BinOp::And, R(10), R(10), (TABLE_SLOTS - 1) as i64);
+    b.jump(p);
+    b.label(&format!("{p}_new"));
+    b.store(R(7), R(12), 0);
+    b.label(&format!("{p}_done"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_vm::ExitStatus;
+
+    #[test]
+    fn healthy_server_completes() {
+        let w = server(ServerConfig::default());
+        let mut m = w.machine();
+        let r = m.run();
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        assert_eq!(m.output(0), &[1], "completion marker");
+        assert!(!m.output(1).is_empty(), "GETs answered");
+        assert_eq!(r.threads, 3, "main + 2 workers");
+    }
+
+    #[test]
+    fn buggy_server_faults_late() {
+        let w = server(ServerConfig { with_bug: true, ..Default::default() });
+        let mut m = w.machine();
+        let r = m.run();
+        assert!(
+            matches!(r.status, ExitStatus::Faulted { .. }),
+            "poison request must crash the worker: {:?}",
+            r.status
+        );
+        // The fault strikes late in the run (the paper's long-running
+        // failure): past 3/4 of the healthy run length.
+        let healthy_steps = {
+            let w2 = server(ServerConfig::default());
+            let mut m2 = w2.machine();
+            m2.run().steps
+        };
+        assert!(r.steps > healthy_steps / 2, "{} vs {healthy_steps}", r.steps);
+    }
+
+    #[test]
+    fn server_is_deterministic_under_fixed_schedule() {
+        let w = server(ServerConfig::default());
+        let a = {
+            let mut m = w.machine();
+            m.run();
+            m.output(1).to_vec()
+        };
+        let b = {
+            let mut m = w.machine();
+            m.run();
+            m.output(1).to_vec()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn four_workers_are_supported() {
+        let w = server(ServerConfig { workers: 4, requests_per_worker: 20, ..Default::default() });
+        let mut m = w.machine();
+        let r = m.run();
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        assert_eq!(r.threads, 5);
+    }
+}

@@ -1,0 +1,652 @@
+//! SPEC-2000-like single-threaded kernels.
+//!
+//! Seven CPU-bound kernels standing in for the SPEC integer suite. They
+//! are chosen to span the characteristics that drive tracing/DIFT
+//! overheads: basic-block reuse (hot loops), load/store density, branch
+//! density, and pointer chasing. Each kernel initializes its working set
+//! in the data image (deterministic, seeded) and emits a checksum on
+//! output channel 0 so results are verifiable.
+
+use crate::{Lcg, Workload};
+use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+use std::sync::Arc;
+
+/// Working-set size class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Size {
+    /// Unit-test scale (fast under the tracer).
+    Tiny,
+    /// Default experiment scale.
+    Small,
+    /// Long-run scale for window experiments.
+    Medium,
+}
+
+impl Size {
+    pub fn n(self) -> u64 {
+        match self {
+            Size::Tiny => 64,
+            Size::Small => 512,
+            Size::Medium => 4096,
+        }
+    }
+}
+
+const A: u64 = 1_000; // primary array base
+const B: u64 = 18_000; // secondary array base
+const S: u64 = 30_000; // scratch/stack base
+
+// Register conventions inside kernels (locals, no ABI needed).
+const R: fn(u8) -> Reg = Reg;
+
+/// `compress`: run-length encoding + checksum (gzip-like: byte runs,
+/// branchy inner loop, sequential loads, bursty stores). The stream is
+/// read from input channel 0 — as a real compressor would — which also
+/// makes it the reference kernel for input-taint experiments.
+pub fn compress_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(7), n as i64); // n
+    // Ingest the stream into A.
+    b.li(R(1), 0);
+    b.li(R(2), A as i64);
+    b.label("ingest");
+    b.branch(BranchCond::Geu, R(1), R(7), "enc");
+    b.input(R(5), 0);
+    b.add(R(6), R(2), R(1));
+    b.store(R(5), R(6), 0);
+    b.addi(R(1), R(1), 1);
+    b.jump("ingest");
+    b.label("enc");
+    b.li(R(1), 1); // i
+    b.li(R(3), B as i64);
+    b.li(R(4), 0); // j
+    b.load(R(5), R(2), 0); // cur = A[0]
+    b.li(R(6), 1); // cnt
+    b.label("loop");
+    b.branch(BranchCond::Geu, R(1), R(7), "done");
+    b.add(R(8), R(2), R(1));
+    b.load(R(9), R(8), 0);
+    b.branch(BranchCond::Eq, R(9), R(5), "same");
+    // emit run
+    b.add(R(10), R(3), R(4));
+    b.store(R(5), R(10), 0);
+    b.store(R(6), R(10), 1);
+    b.addi(R(4), R(4), 2);
+    b.mov(R(5), R(9));
+    b.li(R(6), 1);
+    b.jump("next");
+    b.label("same");
+    b.addi(R(6), R(6), 1);
+    b.label("next");
+    b.addi(R(1), R(1), 1);
+    b.jump("loop");
+    b.label("done");
+    b.add(R(10), R(3), R(4));
+    b.store(R(5), R(10), 0);
+    b.store(R(6), R(10), 1);
+    b.addi(R(4), R(4), 2);
+    // checksum B[0..j]
+    b.li(R(11), 0);
+    b.li(R(12), 0);
+    b.label("ck");
+    b.branch(BranchCond::Geu, R(12), R(4), "out");
+    b.add(R(13), R(3), R(12));
+    b.load(R(14), R(13), 0);
+    b.bini(BinOp::Mul, R(11), R(11), 31);
+    b.add(R(11), R(11), R(14));
+    b.addi(R(12), R(12), 1);
+    b.jump("ck");
+    b.label("out");
+    b.output(R(11), 0);
+    b.halt();
+
+    // Runs of random symbols, fed through the input channel.
+    let mut rng = Lcg::new(42);
+    let mut data = Vec::with_capacity(n as usize);
+    let mut v = rng.below(16);
+    while data.len() < n as usize {
+        let run = 1 + rng.below(6) as usize;
+        for _ in 0..run.min(n as usize - data.len()) {
+            data.push(v);
+        }
+        v = rng.below(16);
+    }
+    Workload::new(format!("compress.{size:?}"), Arc::new(b.build().unwrap())).with_input(0, data)
+}
+
+/// `parser`: RPN expression evaluation with an explicit operand stack
+/// (parser-like: data-dependent dispatch chains, stack traffic).
+pub fn parser_like(size: Size) -> Workload {
+    let n = size.n();
+    // Host-side token generation (depth-safe).
+    let mut rng = Lcg::new(7);
+    let mut tokens: Vec<u64> = Vec::new();
+    let mut depth = 0u64;
+    while tokens.len() < (n as usize) * 2 {
+        if depth < 2 || rng.below(2) == 0 {
+            tokens.push(0); // push
+            tokens.push(rng.below(1000) + 1);
+            depth += 1;
+        } else {
+            tokens.push(1 + rng.below(3)); // add/mul/sub
+            depth -= 1;
+        }
+    }
+
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), A as i64); // token ptr
+    b.li(R(2), tokens.len() as i64);
+    b.li(R(3), S as i64); // stack ptr (absolute)
+    b.li(R(4), 0); // i
+    b.label("loop");
+    b.branch(BranchCond::Geu, R(4), R(2), "fold");
+    b.add(R(5), R(1), R(4));
+    b.load(R(6), R(5), 0); // token
+    b.addi(R(4), R(4), 1);
+    b.branch(BranchCond::Ne, R(6), R(0), "op");
+    // push literal
+    b.add(R(5), R(1), R(4));
+    b.load(R(7), R(5), 0);
+    b.addi(R(4), R(4), 1);
+    b.store(R(7), R(3), 0);
+    b.addi(R(3), R(3), 1);
+    b.jump("loop");
+    b.label("op");
+    // pop two
+    b.addi(R(3), R(3), -1);
+    b.load(R(8), R(3), 0);
+    b.addi(R(3), R(3), -1);
+    b.load(R(9), R(3), 0);
+    b.li(R(10), 1);
+    b.branch(BranchCond::Eq, R(6), R(10), "do_add");
+    b.li(R(10), 2);
+    b.branch(BranchCond::Eq, R(6), R(10), "do_mul");
+    b.bin(BinOp::Sub, R(11), R(9), R(8));
+    b.jump("push_res");
+    b.label("do_add");
+    b.bin(BinOp::Add, R(11), R(9), R(8));
+    b.jump("push_res");
+    b.label("do_mul");
+    b.bin(BinOp::Mul, R(11), R(9), R(8));
+    b.label("push_res");
+    b.store(R(11), R(3), 0);
+    b.addi(R(3), R(3), 1);
+    b.jump("loop");
+    // fold remaining stack into one checksum
+    b.label("fold");
+    b.li(R(12), 0);
+    b.li(R(13), S as i64);
+    b.label("fold_loop");
+    b.branch(BranchCond::Geu, R(13), R(3), "out");
+    b.load(R(14), R(13), 0);
+    b.add(R(12), R(12), R(14));
+    b.addi(R(13), R(13), 1);
+    b.jump("fold_loop");
+    b.label("out");
+    b.output(R(12), 0);
+    b.halt();
+    b.data_block(A, &tokens);
+    Workload::new(format!("parser.{size:?}"), Arc::new(b.build().unwrap()))
+}
+
+/// `mcf`: Bellman–Ford relaxation sweeps over a random edge list
+/// (mcf-like: irregular loads, data-dependent branches, few stores).
+pub fn mcf_like(size: Size) -> Workload {
+    let nodes = size.n();
+    let edges = nodes * 2;
+    let iters = 4u64;
+    let mut rng = Lcg::new(13);
+    let mut eu = Vec::new();
+    let mut ev = Vec::new();
+    let mut ew = Vec::new();
+    for i in 0..edges {
+        // Ensure reachability with a backbone plus random chords.
+        if i < nodes - 1 {
+            eu.push(i);
+            ev.push(i + 1);
+        } else {
+            eu.push(rng.below(nodes));
+            ev.push(rng.below(nodes));
+        }
+        ew.push(1 + rng.below(9));
+    }
+    let (e_u, e_v, e_w) = (A, A + edges, A + 2 * edges);
+    let dist = e_w + edges + 16; // dist array after the edge lists
+
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    // init dist[] = BIG, dist[0] = 0
+    b.li(R(1), dist as i64);
+    b.li(R(2), nodes as i64);
+    b.li(R(3), 1_000_000);
+    b.li(R(4), 0);
+    b.label("init");
+    b.branch(BranchCond::Geu, R(4), R(2), "init_done");
+    b.add(R(5), R(1), R(4));
+    b.store(R(3), R(5), 0);
+    b.addi(R(4), R(4), 1);
+    b.jump("init");
+    b.label("init_done");
+    b.store(R(0), R(1), 0); // dist[0] = 0 (r0 never written: 0)
+    b.li(R(6), iters as i64); // sweep counter
+    b.label("sweep");
+    b.branch(BranchCond::Eq, R(6), R(0), "sum");
+    b.li(R(7), 0); // edge index
+    b.li(R(8), edges as i64);
+    b.label("edge");
+    b.branch(BranchCond::Geu, R(7), R(8), "sweep_end");
+    b.li(R(9), e_u as i64);
+    b.add(R(9), R(9), R(7));
+    b.load(R(10), R(9), 0); // u
+    b.li(R(9), e_v as i64);
+    b.add(R(9), R(9), R(7));
+    b.load(R(11), R(9), 0); // v
+    b.li(R(9), e_w as i64);
+    b.add(R(9), R(9), R(7));
+    b.load(R(12), R(9), 0); // w
+    b.add(R(13), R(1), R(10));
+    b.load(R(14), R(13), 0); // dist[u]
+    b.add(R(15), R(14), R(12)); // cand
+    b.add(R(16), R(1), R(11));
+    b.load(R(17), R(16), 0); // dist[v]
+    b.branch(BranchCond::Geu, R(15), R(17), "no_relax");
+    b.store(R(15), R(16), 0);
+    b.label("no_relax");
+    b.addi(R(7), R(7), 1);
+    b.jump("edge");
+    b.label("sweep_end");
+    b.bini(BinOp::Sub, R(6), R(6), 1);
+    b.jump("sweep");
+    // checksum dist[]
+    b.label("sum");
+    b.li(R(18), 0);
+    b.li(R(4), 0);
+    b.label("cksum");
+    b.branch(BranchCond::Geu, R(4), R(2), "out");
+    b.add(R(5), R(1), R(4));
+    b.load(R(19), R(5), 0);
+    b.add(R(18), R(18), R(19));
+    b.addi(R(4), R(4), 1);
+    b.jump("cksum");
+    b.label("out");
+    b.output(R(18), 0);
+    b.halt();
+    b.data_block(e_u, &eu);
+    b.data_block(e_v, &ev);
+    b.data_block(e_w, &ew);
+    Workload::new(format!("mcf.{size:?}"), Arc::new(b.build().unwrap()))
+}
+
+/// `bzip`: move-to-front transform (bzip2-like: short scans with early
+/// exits, shifting stores, high block reuse).
+pub fn bzip_like(size: Size) -> Workload {
+    let n = size.n();
+    let alpha = 32u64; // alphabet size
+    let tab = S; // MTF table
+    let mut rng = Lcg::new(99);
+    let data: Vec<u64> = (0..n).map(|_| rng.below(alpha)).collect();
+    let table: Vec<u64> = (0..alpha).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), 0); // i
+    b.li(R(2), n as i64);
+    b.li(R(3), A as i64);
+    b.li(R(4), tab as i64);
+    b.li(R(5), B as i64); // output array
+    b.li(R(15), 0); // checksum
+    b.label("loop");
+    b.branch(BranchCond::Geu, R(1), R(2), "out");
+    b.add(R(6), R(3), R(1));
+    b.load(R(7), R(6), 0); // sym
+    // find j with tab[j] == sym
+    b.li(R(8), 0); // j
+    b.label("find");
+    b.add(R(9), R(4), R(8));
+    b.load(R(10), R(9), 0);
+    b.branch(BranchCond::Eq, R(10), R(7), "found");
+    b.addi(R(8), R(8), 1);
+    b.jump("find");
+    b.label("found");
+    // emit j, fold into checksum
+    b.add(R(11), R(5), R(1));
+    b.store(R(8), R(11), 0);
+    b.bini(BinOp::Mul, R(15), R(15), 33);
+    b.add(R(15), R(15), R(8));
+    // shift tab[0..j] up: k = j; while k > 0 { tab[k] = tab[k-1]; k-- }
+    b.mov(R(12), R(8));
+    b.label("shift");
+    b.branch(BranchCond::Eq, R(12), R(0), "front");
+    b.add(R(9), R(4), R(12));
+    b.load(R(13), R(9), -1);
+    b.store(R(13), R(9), 0);
+    b.addi(R(12), R(12), -1);
+    b.jump("shift");
+    b.label("front");
+    b.store(R(7), R(4), 0);
+    b.addi(R(1), R(1), 1);
+    b.jump("loop");
+    b.label("out");
+    b.output(R(15), 0);
+    b.halt();
+    b.data_block(A, &data);
+    b.data_block(tab, &table);
+    Workload::new(format!("bzip.{size:?}"), Arc::new(b.build().unwrap()))
+}
+
+/// `vortex`: open-addressing hash table inserts + lookups (vortex-like:
+/// hashing arithmetic, probe chains, mixed hit/miss branches).
+pub fn vortex_like(size: Size) -> Workload {
+    let n = size.n();
+    let table_bits = 12u64;
+    let table_size = 1u64 << table_bits; // 4096 slots at B (0 = empty)
+    let mut rng = Lcg::new(5);
+    let keys: Vec<u64> = (0..n).map(|_| rng.below(1 << 20) + 1).collect();
+    let mut probes: Vec<u64> = keys.iter().step_by(2).copied().collect();
+    probes.extend((0..n / 2).map(|_| rng.below(1 << 20) + 1)); // misses
+
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), A as i64); // keys
+    b.li(R(2), n as i64);
+    b.li(R(3), B as i64); // table
+    b.li(R(4), (table_size - 1) as i64); // mask
+    b.li(R(5), 0); // i
+    // insert phase
+    b.label("ins");
+    b.branch(BranchCond::Geu, R(5), R(2), "probe_phase");
+    b.add(R(6), R(1), R(5));
+    b.load(R(7), R(6), 0); // key
+    b.bini(BinOp::Mul, R(8), R(7), 0x9E3779B1);
+    b.bini(BinOp::Shr, R(8), R(8), 16);
+    b.bin(BinOp::And, R(8), R(8), R(4)); // slot
+    b.label("ins_probe");
+    b.add(R(9), R(3), R(8));
+    b.load(R(10), R(9), 0);
+    b.branch(BranchCond::Eq, R(10), R(0), "ins_store"); // empty
+    b.branch(BranchCond::Eq, R(10), R(7), "ins_next"); // already present
+    b.addi(R(8), R(8), 1);
+    b.bin(BinOp::And, R(8), R(8), R(4));
+    b.jump("ins_probe");
+    b.label("ins_store");
+    b.store(R(7), R(9), 0);
+    b.label("ins_next");
+    b.addi(R(5), R(5), 1);
+    b.jump("ins");
+    // lookup phase
+    b.label("probe_phase");
+    b.li(R(11), (A + n) as i64); // probes array
+    b.li(R(12), probes.len() as i64);
+    b.li(R(13), 0); // i
+    b.li(R(14), 0); // hits
+    b.label("lk");
+    b.branch(BranchCond::Geu, R(13), R(12), "out");
+    b.add(R(6), R(11), R(13));
+    b.load(R(7), R(6), 0);
+    b.bini(BinOp::Mul, R(8), R(7), 0x9E3779B1);
+    b.bini(BinOp::Shr, R(8), R(8), 16);
+    b.bin(BinOp::And, R(8), R(8), R(4));
+    b.label("lk_probe");
+    b.add(R(9), R(3), R(8));
+    b.load(R(10), R(9), 0);
+    b.branch(BranchCond::Eq, R(10), R(0), "lk_next"); // miss
+    b.branch(BranchCond::Ne, R(10), R(7), "lk_adv");
+    b.addi(R(14), R(14), 1); // hit
+    b.jump("lk_next");
+    b.label("lk_adv");
+    b.addi(R(8), R(8), 1);
+    b.bin(BinOp::And, R(8), R(8), R(4));
+    b.jump("lk_probe");
+    b.label("lk_next");
+    b.addi(R(13), R(13), 1);
+    b.jump("lk");
+    b.label("out");
+    b.output(R(14), 0);
+    b.halt();
+    b.data_block(A, &keys);
+    b.data_block(A + n, &probes);
+    Workload::new(format!("vortex.{size:?}"), Arc::new(b.build().unwrap()))
+}
+
+/// `gap`: permutation cycle chasing (gap-like: serial pointer chasing,
+/// nearly pure load-to-load dependences).
+pub fn gap_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut rng = Lcg::new(21);
+    // Random permutation via Fisher–Yates.
+    let mut perm: Vec<u64> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    let steps = n * 4;
+
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), A as i64);
+    b.li(R(2), steps as i64);
+    b.li(R(3), 0); // x
+    b.li(R(4), 0); // i
+    b.li(R(5), 0); // checksum
+    b.label("chase");
+    b.branch(BranchCond::Geu, R(4), R(2), "out");
+    b.add(R(6), R(1), R(3));
+    b.load(R(3), R(6), 0); // x = P[x]
+    b.add(R(5), R(5), R(3));
+    b.addi(R(4), R(4), 1);
+    b.jump("chase");
+    b.label("out");
+    b.output(R(5), 0);
+    b.halt();
+    b.data_block(A, &perm);
+    Workload::new(format!("gap.{size:?}"), Arc::new(b.build().unwrap()))
+}
+
+/// `twolf`: annealing-style local improvement with an in-VM xorshift
+/// PRNG (twolf-like: RNG arithmetic, conditional swaps, scattered
+/// accesses).
+pub fn twolf_like(size: Size) -> Workload {
+    let n = size.n();
+    let steps = n * 2;
+    let mut rng = Lcg::new(3);
+    let cells: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(R(1), A as i64);
+    b.li(R(2), n as i64);
+    b.li(R(3), steps as i64);
+    b.li(R(4), 0x243F6A8885A308i64); // rng state
+    b.label("step");
+    b.branch(BranchCond::Eq, R(3), R(0), "cost");
+    // xorshift64
+    b.bini(BinOp::Shl, R(5), R(4), 13);
+    b.bin(BinOp::Xor, R(4), R(4), R(5));
+    b.bini(BinOp::Shr, R(5), R(4), 7);
+    b.bin(BinOp::Xor, R(4), R(4), R(5));
+    b.bini(BinOp::Shl, R(5), R(4), 17);
+    b.bin(BinOp::Xor, R(4), R(4), R(5));
+    // i = rng % (n-1)
+    b.bini(BinOp::Sub, R(6), R(2), 1);
+    b.bin(BinOp::Rem, R(7), R(4), R(6)); // i in [0, n-2]
+    // neighbours A[i], A[i+1]: swap if A[i] > A[i+1] (local ordering)
+    b.add(R(8), R(1), R(7));
+    b.load(R(9), R(8), 0);
+    b.load(R(10), R(8), 1);
+    b.branch(BranchCond::Geu, R(10), R(9), "no_swap");
+    b.store(R(10), R(8), 0);
+    b.store(R(9), R(8), 1);
+    b.label("no_swap");
+    b.bini(BinOp::Sub, R(3), R(3), 1);
+    b.jump("step");
+    // final cost = sum |A[i+1]-A[i]| approximated by max-min fold
+    b.label("cost");
+    b.li(R(11), 0);
+    b.li(R(12), 0);
+    b.bini(BinOp::Sub, R(13), R(2), 1);
+    b.label("fold");
+    b.branch(BranchCond::Geu, R(12), R(13), "out");
+    b.add(R(8), R(1), R(12));
+    b.load(R(9), R(8), 0);
+    b.load(R(10), R(8), 1);
+    b.bin(BinOp::Max, R(14), R(9), R(10));
+    b.bin(BinOp::Min, R(15), R(9), R(10));
+    b.bin(BinOp::Sub, R(14), R(14), R(15));
+    b.add(R(11), R(11), R(14));
+    b.addi(R(12), R(12), 1);
+    b.jump("fold");
+    b.label("out");
+    b.output(R(11), 0);
+    b.halt();
+    b.data_block(A, &cells);
+    Workload::new(format!("twolf.{size:?}"), Arc::new(b.build().unwrap()))
+}
+
+/// The full SPEC-like suite at a size class.
+pub fn all_spec(size: Size) -> Vec<Workload> {
+    vec![
+        compress_like(size),
+        parser_like(size),
+        mcf_like(size),
+        bzip_like(size),
+        vortex_like(size),
+        gap_like(size),
+        twolf_like(size),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seven_kernels() {
+        assert_eq!(all_spec(Size::Tiny).len(), 7);
+    }
+
+    #[test]
+    fn compress_rle_checksum_is_stable() {
+        let w = compress_like(Size::Tiny);
+        let mut m = w.machine();
+        let r = m.run();
+        assert!(r.status.is_clean());
+        assert_eq!(m.output(0).len(), 1);
+    }
+
+    #[test]
+    fn parser_evaluates_rpn() {
+        let w = parser_like(Size::Tiny);
+        let mut m = w.machine();
+        assert!(m.run().status.is_clean());
+    }
+
+    #[test]
+    fn mcf_distances_decrease_monotonically() {
+        // Backbone guarantees reachability: checksum must be far below
+        // nodes * BIG.
+        let w = mcf_like(Size::Tiny);
+        let mut m = w.machine();
+        assert!(m.run().status.is_clean());
+        let sum = m.output(0)[0];
+        assert!(sum < Size::Tiny.n() * 1_000_000, "relaxation must improve: {sum}");
+    }
+
+    #[test]
+    fn vortex_hits_at_least_inserted_probes() {
+        let w = vortex_like(Size::Tiny);
+        let mut m = w.machine();
+        assert!(m.run().status.is_clean());
+        let hits = m.output(0)[0];
+        // Half the probes are inserted keys: all of those must hit.
+        assert!(hits >= Size::Tiny.n() / 2, "{hits}");
+    }
+
+    #[test]
+    fn twolf_improvement_reduces_roughness() {
+        let w = twolf_like(Size::Tiny);
+        let mut m = w.machine();
+        assert!(m.run().status.is_clean());
+    }
+
+    #[test]
+    fn modular_pipeline_runs_and_uses_all_stages() {
+        let w = modular_like(Size::Tiny);
+        let p = w.program.clone();
+        assert!(p.func_by_name("parse").is_some());
+        assert!(p.func_by_name("compute").is_some());
+        assert!(p.func_by_name("emit").is_some());
+        let mut m = w.machine();
+        let r = m.run();
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        assert_eq!(m.output(0).len(), 1);
+    }
+
+    #[test]
+    fn sizes_scale_instruction_counts() {
+        let tiny = {
+            let mut m = gap_like(Size::Tiny).machine();
+            m.run().steps
+        };
+        let small = {
+            let mut m = gap_like(Size::Small).machine();
+            m.run().steps
+        };
+        assert!(small > tiny * 4, "{small} vs {tiny}");
+    }
+}
+
+/// `modular`: a three-function pipeline (`parse` → `compute` → `emit`)
+/// used by the selective-tracing experiments: a user who suspects the bug
+/// in `compute` traces only that function, and sound summarization must
+/// preserve the dependence chains flowing through `parse`.
+pub fn modular_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    // main: for each record, call the three stages.
+    b.func("main");
+    b.li(R(20), n as i64);
+    b.li(R(21), 0); // i
+    b.li(R(26), 0); // checksum
+    b.label("rec");
+    b.branch(BranchCond::Geu, R(21), R(20), "done");
+    b.mov(R(4), R(21));
+    b.call("parse");
+    b.mov(R(4), R(2)); // parsed value
+    b.call("compute");
+    b.mov(R(4), R(2)); // computed value
+    b.call("emit");
+    b.add(R(26), R(26), R(2));
+    b.addi(R(21), R(21), 1);
+    b.jump("rec");
+    b.label("done");
+    b.output(R(26), 0);
+    b.halt();
+    // parse(i) -> r2 = A[i] normalized
+    b.func("parse");
+    b.li(R(5), A as i64);
+    b.add(R(5), R(5), R(4));
+    b.load(R(2), R(5), 0);
+    b.bini(BinOp::And, R(2), R(2), 0xFFF);
+    b.ret();
+    // compute(v) -> r2 = v*3 + v>>2 folded through memory
+    b.func("compute");
+    b.bini(BinOp::Mul, R(6), R(4), 3);
+    b.bini(BinOp::Shr, R(7), R(4), 2);
+    b.add(R(2), R(6), R(7));
+    b.li(R(8), (S + 64) as i64);
+    b.store(R(2), R(8), 0);
+    b.load(R(2), R(8), 0);
+    b.ret();
+    // emit(v) -> r2 = v mod prime
+    b.func("emit");
+    b.bini(BinOp::Rem, R(2), R(4), 8191);
+    b.ret();
+
+    let mut rng = Lcg::new(77);
+    let data: Vec<u64> = (0..n).map(|_| rng.next()).collect();
+    b.data_block(A, &data);
+    Workload::new(format!("modular.{size:?}"), Arc::new(b.build().unwrap()))
+}

@@ -1,0 +1,72 @@
+//! Quickstart: write a program for the DIFT substrate, run it under
+//! boolean taint tracking, and watch an alert fire when attacker-derived
+//! data reaches a control transfer.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dift::dbi::Engine;
+use dift::isa::{ProgramBuilder, Reg};
+use dift::taint::{BitTaint, TaintEngine, TaintPolicy};
+use dift::vm::{Machine, MachineConfig};
+use std::sync::Arc;
+
+fn main() {
+    // A tiny program: read a word from input, use it as a jump table
+    // index WITHOUT validation, and dispatch through it.
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.input(Reg(1), 0); // attacker-controlled
+    b.li(Reg(2), 300); // jump table base
+    b.add(Reg(3), Reg(2), Reg(1));
+    b.load(Reg(4), Reg(3), 0); // fetch handler address
+    b.call_ind(Reg(4)); // dispatch — tainted target!
+    b.halt();
+    b.func("handler_a");
+    b.li(Reg(5), 10);
+    b.output(Reg(5), 0);
+    b.ret();
+    b.func("handler_b");
+    b.li(Reg(5), 20);
+    b.output(Reg(5), 0);
+    b.ret();
+    let program = Arc::new(b.build().unwrap());
+
+    // Install the jump table in the data image... via memory writes at
+    // startup instead: the builder could also use .data(); here we poke
+    // the machine directly to show the API.
+    let entry_a = program.func_by_name("handler_a").unwrap();
+    let entry_b = program.func_by_name("handler_b").unwrap();
+    let addr_a = program.funcs()[entry_a as usize].entry as u64;
+    let addr_b = program.funcs()[entry_b as usize].entry as u64;
+
+    let mut machine = Machine::new(program, MachineConfig::small());
+    machine.set_mem(300, addr_a).unwrap();
+    machine.set_mem(301, addr_b).unwrap();
+    machine.feed_input(0, &[1]); // select handler_b
+
+    // Attach the DIFT engine. Pointer taint is on: the handler address is
+    // *selected* by the tainted index (a table lookup), so the taint must
+    // flow through the load's address operand to reach the dispatch.
+    let mut policy = TaintPolicy::default();
+    policy.propagate_through_addr = true;
+    let mut taint = TaintEngine::<BitTaint>::new(policy);
+    let mut engine = Engine::new(machine);
+    let result = engine.run_tool(&mut taint);
+    let machine = engine.into_machine();
+
+    println!("run status:       {:?}", result.status);
+    println!("program output:   {:?}", machine.output(0));
+    println!("instructions:     {}", result.steps);
+    println!("alerts raised:    {}", taint.alerts.len());
+    for a in &taint.alerts {
+        println!("  -> step {} @ insn {}: {:?}", a.step, a.at, a.kind);
+    }
+    assert!(
+        taint.alerts.iter().any(|a| matches!(a.kind, dift::taint::AlertKind::TaintedControl)),
+        "the unvalidated dispatch must be flagged"
+    );
+    println!("\nThe indirect call through input-derived data was detected — the");
+    println!("policy the paper builds its attack detection on (§3.3).");
+}

@@ -1,0 +1,84 @@
+//! The MySQL scenario of §2.2, end to end on the synthetic server:
+//!
+//! 1. run the long multithreaded server with lightweight checkpointing &
+//!    logging (the failure strikes late, from a malformed request),
+//! 2. analyze the replay log to find the failure-relevant region,
+//! 3. deterministically replay only that region with fine-grained tracing,
+//! 4. show the dependence count collapsing,
+//! 5. search for an environment patch that avoids the fault in future runs.
+//!
+//! ```text
+//! cargo run --example server_forensics
+//! ```
+
+use dift::ddg::OnTracConfig;
+use dift::replay::{avoid_fault_hinted, record, reduce, replay_reduced_with_tracing, RunSpec};
+use dift::workloads::server::{server, ServerConfig};
+
+fn main() {
+    let cfg = ServerConfig { with_bug: true, requests_per_worker: 120, ..Default::default() };
+    let w = server(cfg);
+    let spec = RunSpec {
+        program: w.program.clone(),
+        config: w.config(),
+        inputs: w.inputs.clone(),
+    };
+
+    // Phase 1: logging (normal production mode).
+    let rec = record(&spec, 2_000);
+    let (tid, at, fault, fstep) = rec.fault.expect("the malformed request crashes a worker");
+    println!("logged run: {} steps, {} checkpoints, {} events logged", rec.result.steps, rec.stats.checkpoints, rec.stats.events_logged);
+    println!("failure: thread {tid} at insn {at}: {fault} (step {fstep})");
+
+    // Phase 2: execution reduction.
+    let plan = reduce(&rec.log, fstep);
+    println!(
+        "reduction: replay from checkpoint #{} — {:.1}% of the execution",
+        plan.cp_index,
+        plan.reduction_ratio() * 100.0
+    );
+
+    // Phase 3: replay the relevant region with tracing on.
+    let traced = replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
+    println!(
+        "replay: status {:?}, {} instructions traced, {} dependences captured",
+        traced.status,
+        traced.stats.instrs,
+        traced.stats.deps_recorded
+    );
+    assert!(
+        matches!(traced.status, dift::vm::ExitStatus::Faulted { .. }),
+        "the fault must reproduce deterministically"
+    );
+
+    // Phase 4: fault avoidance — find an environment patch. The replay
+    // log names the last input word the faulting thread consumed; records
+    // around it are the prime suspects.
+    let suspect = rec
+        .log
+        .input_events
+        .iter()
+        .rev()
+        .find(|(step, t, _)| *t == tid && *step <= fstep)
+        .map(|(step, _, ch)| {
+            let idx = rec
+                .log
+                .input_events
+                .iter()
+                .filter(|(s, _, c)| c == ch && s < step)
+                .count();
+            (*ch, idx)
+        });
+    println!("suspect input: {suspect:?}");
+    let outcome = avoid_fault_hinted(&spec, 256, suspect);
+    match outcome.patch {
+        Some(patch) => {
+            println!(
+                "environment patch found after {} attempts: {patch:?}",
+                outcome.attempts
+            );
+            println!("future runs consult the patch file and avoid the fault.");
+        }
+        None => println!("no avoiding alteration found in {} attempts", outcome.attempts),
+    }
+}

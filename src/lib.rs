@@ -1,0 +1,9 @@
+//! # dift — Scalable Dynamic Information Flow Tracking
+//!
+//! Root package of the workspace: re-exports [`dift_core`] and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use dift_core::*;

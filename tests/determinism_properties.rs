@@ -1,0 +1,148 @@
+//! Property-based cross-crate tests: determinism and invariants of the
+//! substrate that every experiment depends on.
+
+use dift::replay::{record, replay_full, RunSpec};
+use dift::vm::{Machine, MachineConfig, SchedPolicy};
+use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Generate a small random-but-safe two-thread program: each thread does
+/// arithmetic over a private region plus some shared-counter fetch-adds.
+fn random_program(ops: &[u8], shared_hits: u8) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    b.li(Reg(1), 0);
+    b.spawn(Reg(5), "worker", Reg(1));
+    emit_thread_body(&mut b, ops, shared_hits, 600, "m");
+    b.join(Reg(5));
+    b.li(Reg(2), 700);
+    b.load(Reg(3), Reg(2), 0);
+    b.output(Reg(3), 0);
+    b.halt();
+    b.func("worker");
+    emit_thread_body(&mut b, ops, shared_hits, 650, "w");
+    b.halt();
+    Arc::new(b.build().unwrap())
+}
+
+fn emit_thread_body(b: &mut ProgramBuilder, ops: &[u8], shared_hits: u8, base: i64, p: &str) {
+    b.li(Reg(10), base);
+    b.li(Reg(11), 1);
+    b.li(Reg(12), 700); // shared counter
+    for (i, op) in ops.iter().enumerate() {
+        match op % 5 {
+            0 => {
+                b.bini(BinOp::Add, Reg(11), Reg(11), (*op as i64) + 1);
+            }
+            1 => {
+                b.store(Reg(11), Reg(10), (i % 8) as i64);
+            }
+            2 => {
+                b.load(Reg(13), Reg(10), (i % 8) as i64);
+                b.bin(BinOp::Xor, Reg(11), Reg(11), Reg(13));
+            }
+            3 => {
+                b.bini(BinOp::Mul, Reg(11), Reg(11), 3);
+            }
+            _ => {
+                b.bini(BinOp::And, Reg(11), Reg(11), 0xFFFF);
+            }
+        }
+    }
+    for _ in 0..shared_hits {
+        b.li(Reg(14), 1);
+        b.fetch_add(Reg(15), Reg(12), Reg(14));
+    }
+    // A small loop to give the scheduler decision points.
+    b.li(Reg(16), 4);
+    b.label(&format!("{p}_l"));
+    b.bini(BinOp::Sub, Reg(16), Reg(16), 1);
+    b.branch(BranchCond::Ne, Reg(16), Reg(0), &format!("{p}_l"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded run can be recorded and replayed to an identical
+    /// outcome — the foundation of §2.2.
+    #[test]
+    fn any_seeded_run_replays_identically(
+        ops in proptest::collection::vec(0u8..250, 1..24),
+        shared in 0u8..6,
+        seed in 1u64..5000,
+    ) {
+        let program = random_program(&ops, shared);
+        let spec = RunSpec::new(program, MachineConfig::small().with_seed(seed).with_quantum(3));
+        let rec = record(&spec, 64);
+        prop_assert!(rec.result.status.is_clean());
+        let (m, r) = replay_full(&spec, &rec.log);
+        prop_assert_eq!(r.steps, rec.result.steps);
+        prop_assert_eq!(m.output(0).to_vec(), rec.output0);
+    }
+
+    /// The shared counter's final value equals the total fetch-add count
+    /// under every schedule (atomicity of the ISA's RMW ops).
+    #[test]
+    fn fetch_add_total_is_schedule_independent(
+        ops in proptest::collection::vec(0u8..250, 1..16),
+        shared in 1u8..6,
+        seed in 1u64..5000,
+    ) {
+        let program = random_program(&ops, shared);
+        let mut m = Machine::new(program, MachineConfig::small().with_seed(seed).with_quantum(2));
+        let r = m.run();
+        prop_assert!(r.status.is_clean());
+        prop_assert_eq!(m.output(0), &[2 * shared as u64]);
+    }
+
+    /// Round-robin and any seeded schedule execute the same per-thread
+    /// instruction mix (only the interleaving differs): total steps are
+    /// schedule independent for race-free effects.
+    #[test]
+    fn step_totals_are_schedule_independent(
+        ops in proptest::collection::vec(0u8..250, 1..16),
+        seed in 1u64..5000,
+    ) {
+        let program = random_program(&ops, 1);
+        let rr = {
+            let mut m = Machine::new(program.clone(), MachineConfig::small().with_quantum(3));
+            m.run().steps
+        };
+        let seeded = {
+            let mut m = Machine::new(
+                program,
+                MachineConfig::small().with_seed(seed).with_quantum(3),
+            );
+            m.run().steps
+        };
+        prop_assert_eq!(rr, seeded);
+    }
+
+    /// Checkpoint/restore at an arbitrary cut point resumes to the same
+    /// final state.
+    #[test]
+    fn checkpoint_cut_points_resume_identically(
+        ops in proptest::collection::vec(0u8..250, 1..20),
+        cut in 1u64..200,
+    ) {
+        let program = random_program(&ops, 2);
+        let cfg = MachineConfig::small().with_quantum(3);
+        let mut reference = Machine::new(program.clone(), cfg.clone());
+        reference.run();
+        let want = reference.output(0).to_vec();
+
+        let mut m = Machine::new(program.clone(), cfg.clone());
+        for _ in 0..cut {
+            if m.pending().is_none() {
+                break;
+            }
+            m.step();
+        }
+        let cp = m.checkpoint();
+        let mut resumed = Machine::new(program, cfg);
+        resumed.restore(&cp);
+        resumed.run();
+        prop_assert_eq!(resumed.output(0).to_vec(), want);
+    }
+}

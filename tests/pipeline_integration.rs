@@ -1,0 +1,165 @@
+//! Cross-crate integration: the full debugging pipelines from the paper,
+//! run end to end through the public facade (`dift::*`).
+
+use dift::dbi::Engine;
+use dift::ddg::{OnTrac, OnTracConfig};
+use dift::replay::{record, reduce, replay_full, replay_reduced_with_tracing, RunSpec};
+use dift::slicing::{KindMask, Slicer};
+use dift::taint::{BitTaint, PcTaint, TaintEngine, TaintLabel, TaintPolicy};
+use dift::vm::{ExitStatus, Machine, MachineConfig};
+use dift::workloads::server::{server, ServerConfig};
+use dift::workloads::spec::{all_spec, Size};
+
+/// Trace → slice → check: for every SPEC-like kernel, the backward slice
+/// of the final output reaches at least one input-ish definition and the
+/// slice is closed under dependences.
+#[test]
+fn trace_then_slice_every_spec_kernel() {
+    for w in all_spec(Size::Tiny) {
+        let m = w.machine();
+        let mem = m.config().mem_words;
+        let mut tracer = OnTrac::new(&w.program, mem, OnTracConfig::unoptimized(1 << 24));
+        let mut engine = Engine::new(m);
+        let r = engine.run_tool(&mut tracer);
+        assert!(r.status.is_clean(), "{}: {:?}", w.name, r.status);
+
+        let graph = tracer.graph(&w.program);
+        let last = graph.last_step().expect("non-empty graph");
+        let slice = Slicer::new(&graph).backward(&[last], KindMask::classic());
+        assert!(slice.len() > 2, "{}: slice too small", w.name);
+
+        // Closure invariant: every dependence of a slice member whose
+        // kind is traversable leads to another slice member.
+        for &s in &slice.steps {
+            for d in graph.defs_of(s) {
+                if KindMask::classic().allows(d.kind) {
+                    assert!(
+                        slice.contains_step(d.def),
+                        "{}: slice not closed at {} -> {}",
+                        w.name,
+                        d.user,
+                        d.def
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Record → replay determinism across the whole server workload.
+#[test]
+fn server_record_replay_round_trip() {
+    let w = server(ServerConfig::default());
+    let spec = RunSpec { program: w.program.clone(), config: w.config(), inputs: w.inputs.clone() };
+    let rec = record(&spec, 500);
+    assert!(rec.result.status.is_clean());
+    let (m, r) = replay_full(&spec, &rec.log);
+    assert_eq!(r.steps, rec.result.steps, "replay step count");
+    assert_eq!(m.output(1), {
+        let mut m2 = spec.machine();
+        m2.run();
+        m2.output(1).to_vec()
+    }
+    .as_slice());
+}
+
+/// The full §2.2 story: buggy server → log → reduce → traced replay →
+/// slice from the fault captures the bug's dependences.
+#[test]
+fn buggy_server_reduction_and_fault_slice() {
+    let w = server(ServerConfig { with_bug: true, requests_per_worker: 50, ..Default::default() });
+    let spec = RunSpec { program: w.program.clone(), config: w.config(), inputs: w.inputs.clone() };
+    let rec = record(&spec, 600);
+    let (_, _, _, fstep) = rec.fault.expect("bug fires");
+    let plan = reduce(&rec.log, fstep);
+    let traced = replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
+    assert!(matches!(traced.status, ExitStatus::Faulted { .. }));
+
+    // Slice backward from the last traced step (the wild jump's feeder).
+    let last = traced.graph.last_step().expect("deps captured");
+    let slice = Slicer::new(&traced.graph).backward(&[last], KindMask::classic());
+    assert!(!slice.is_empty());
+}
+
+/// DIFT engines agree: bit taint and PC taint flag the same instructions
+/// (PC taint additionally names writers).
+#[test]
+fn bit_and_pc_taint_agree_on_alert_sites() {
+    for case in dift::attack::all_cases() {
+        let run = |policy: TaintPolicy| {
+            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
+            m.feed_input(0, &case.attack_input);
+            let mut bit = TaintEngine::<BitTaint>::new(policy);
+            let mut pc = TaintEngine::<PcTaint>::new(policy);
+            let mut e = Engine::new(m);
+            let mut tools: [&mut dyn dift::dbi::Tool; 2] = [&mut bit, &mut pc];
+            e.run(&mut tools);
+            (
+                bit.alerts.iter().map(|a| (a.step, a.at)).collect::<Vec<_>>(),
+                pc.alerts.iter().map(|a| (a.step, a.at)).collect::<Vec<_>>(),
+            )
+        };
+        let (bit_sites, pc_sites) = run(case.policy);
+        assert_eq!(bit_sites, pc_sites, "{}", case.name);
+        assert!(!bit_sites.is_empty(), "{}", case.name);
+    }
+}
+
+/// ONTRAC's optimized trace still supports the same slice as the
+/// unoptimized one for cross-block dependences (soundness of the
+/// optimizations for debugging).
+#[test]
+fn optimized_trace_preserves_cross_block_slice_membership() {
+    let w = dift::workloads::spec::mcf_like(Size::Tiny);
+    let run = |cfg: OnTracConfig| {
+        let m = w.machine();
+        let mem = m.config().mem_words;
+        let mut tracer = OnTrac::new(&w.program, mem, cfg);
+        let mut engine = Engine::new(m);
+        engine.run_tool(&mut tracer);
+        tracer.graph(&w.program)
+    };
+    let full = run(OnTracConfig::unoptimized(1 << 24));
+    let opt = run(OnTracConfig::optimized(1 << 24));
+    // Redundant-load elision may drop *repeat* loads of a definition, but
+    // the first load must survive: every store whose value was consumed
+    // (a def referenced by some MemData dependence in the full graph)
+    // must still be the def of at least one surviving MemData record.
+    let full_defs: std::collections::BTreeSet<u64> = full
+        .deps()
+        .iter()
+        .filter(|d| d.kind == dift::ddg::DepKind::MemData)
+        .map(|d| d.def)
+        .collect();
+    let opt_defs: std::collections::BTreeSet<u64> = opt
+        .deps()
+        .iter()
+        .filter(|d| d.kind == dift::ddg::DepKind::MemData)
+        .map(|d| d.def)
+        .collect();
+    assert!(!full_defs.is_empty());
+    let lost: Vec<u64> = full_defs.difference(&opt_defs).copied().collect();
+    assert!(
+        lost.is_empty(),
+        "every consumed store must keep its first-load record; lost defs: {lost:?}"
+    );
+}
+
+/// Lineage and taint agree on *whether* outputs are input-derived.
+#[test]
+fn lineage_and_taint_agree_on_input_reachability() {
+    use dift::lineage::{BddBackend, LineageEngine};
+    let p = dift::workloads::science::binning(32, 8);
+    let mut lin = LineageEngine::new(BddBackend::new(12));
+    let mut taint = TaintEngine::<BitTaint>::new(TaintPolicy::propagate_only());
+    let mut e = Engine::new(p.workload.machine());
+    {
+        let mut tools: [&mut dyn dift::dbi::Tool; 2] = [&mut lin, &mut taint];
+        e.run(&mut tools);
+    }
+    assert_eq!(lin.outputs.len(), taint.output_labels.len());
+    for ((_, idx, elems), (_, tidx, label)) in lin.outputs.iter().zip(&taint.output_labels) {
+        assert_eq!(idx, tidx);
+        assert_eq!(!elems.is_empty(), !label.is_clean(), "output {idx}");
+    }
+}
