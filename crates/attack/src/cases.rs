@@ -123,8 +123,8 @@ pub fn boundary_error() -> VulnCase {
     let (_, _, done) = build(0);
     let (program, store, _) = build(done as i64);
     let done_addr = done as u64;
-    let mut policy = TaintPolicy::default();
-    policy.check_mem_addr = false; // control-transfer-only deployment
+    // Control-transfer-only deployment.
+    let policy = TaintPolicy { check_mem_addr: false, ..TaintPolicy::default() };
     VulnCase {
         name: "boundary-error",
         description: "off-by-one table index clobbers the adjacent dispatch word",
@@ -220,10 +220,12 @@ pub fn int_overflow() -> VulnCase {
         b.li(Reg(2), handler_addr);
         b.store(Reg(2), Reg(1), 0);
         b.input(Reg(3), 0); // claimed length
+
         // The buggy validator: len * 4 wraps for crafted lengths.
         b.bini(dift_isa::BinOp::Mul, Reg(4), Reg(3), 4);
         b.li(Reg(5), 32);
         b.branch(BranchCond::Geu, Reg(5), Reg(4), "copy"); // 32 >= len*4 ?
+
         // reject path
         b.li(Reg(6), 0);
         b.output(Reg(6), 0);

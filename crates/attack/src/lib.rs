@@ -22,11 +22,11 @@ pub mod report;
 pub use cases::{all_cases, VulnCase};
 pub use report::{evaluate_case, evaluate_suite, AttackReport};
 
-use dift_taint::TaintEngine;
-#[allow(unused_imports)]
-use dift_taint::PcTaint; // re-export anchor for docs
 #[allow(unused_imports)]
 pub use dift_taint::AlertKind;
+#[allow(unused_imports)]
+use dift_taint::PcTaint; // re-export anchor for docs
+use dift_taint::TaintEngine;
 
 /// Convenience alias for the engine variant this crate uses.
 pub type PcTaintEngine = TaintEngine<dift_taint::PcTaint>;

@@ -42,12 +42,7 @@ fn run_case(case: &VulnCase, input: &[u64]) -> TaintEngine<PcTaint> {
     let mut taint = TaintEngine::<PcTaint>::new(case.policy);
     let mut engine = Engine::new(m);
     let r = engine.run_tool(&mut taint);
-    assert!(
-        r.status.is_clean(),
-        "{}: case programs must complete ({:?})",
-        case.name,
-        r.status
-    );
+    assert!(r.status.is_clean(), "{}: case programs must complete ({:?})", case.name, r.status);
     taint
 }
 

@@ -12,20 +12,30 @@ fn bench_multicore(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(1500));
     let w = mcf_like(Size::Tiny);
     g.bench_function("inline", |b| {
-        b.iter(|| run_inline_dift::<BitTaint>(w.machine(), TaintPolicy::propagate_only()).result.steps)
+        b.iter(|| {
+            run_inline_dift::<BitTaint>(w.machine(), TaintPolicy::propagate_only()).result.steps
+        })
     });
     g.bench_function("helper-sw", |b| {
         b.iter(|| {
-            run_helper_dift::<BitTaint>(w.machine(), ChannelModel::software(), TaintPolicy::propagate_only())
-                .stats
-                .messages
+            run_helper_dift::<BitTaint>(
+                w.machine(),
+                ChannelModel::software(),
+                TaintPolicy::propagate_only(),
+            )
+            .stats
+            .messages
         })
     });
     g.bench_function("helper-hw", |b| {
         b.iter(|| {
-            run_helper_dift::<BitTaint>(w.machine(), ChannelModel::hardware(), TaintPolicy::propagate_only())
-                .stats
-                .messages
+            run_helper_dift::<BitTaint>(
+                w.machine(),
+                ChannelModel::hardware(),
+                TaintPolicy::propagate_only(),
+            )
+            .stats
+            .messages
         })
     });
     g.finish();

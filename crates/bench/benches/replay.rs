@@ -13,9 +13,7 @@ fn bench_replay(c: &mut Criterion) {
     let cfg = ServerConfig { with_bug: true, requests_per_worker: 30, ..Default::default() };
     let w = server(cfg);
     let spec = RunSpec { program: w.program.clone(), config: w.config(), inputs: w.inputs.clone() };
-    g.bench_function("record(log+checkpoints)", |b| {
-        b.iter(|| record(&spec, 400).result.steps)
-    });
+    g.bench_function("record(log+checkpoints)", |b| b.iter(|| record(&spec, 400).result.steps));
     let rec = record(&spec, 400);
     g.bench_function("replay-full", |b| b.iter(|| replay_full(&spec, &rec.log).1.steps));
     let fstep = rec.fault.expect("bug fires").3;

@@ -1,0 +1,89 @@
+//! DIFT hot-path machinery: the paged-shadow engine vs the HashMap
+//! reference engine on a pre-captured effects stream (pure analysis, no
+//! VM in the loop), plus end-to-end inline DIFT.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dift_dbi::{Engine, Tool};
+use dift_multicore::run_inline_dift;
+use dift_taint::{BitTaint, PcTaint, ReferenceTaintEngine, TaintEngine, TaintPolicy};
+use dift_vm::{Machine, StepEffects};
+use dift_workloads::spec::{gap_like, mcf_like, Size};
+
+#[derive(Default)]
+struct Capture {
+    fxs: Vec<StepEffects>,
+}
+
+impl Tool for Capture {
+    fn after(&mut self, _m: &mut Machine, fx: &StepEffects) {
+        self.fxs.push(fx.clone());
+    }
+}
+
+fn capture(w: &dift_workloads::Workload) -> (Vec<StepEffects>, usize) {
+    let m = w.machine();
+    let mem_words = m.mem_words();
+    let mut cap = Capture::default();
+    Engine::new(m).run_tool(&mut cap);
+    (cap.fxs, mem_words)
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taint-dift");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let policy = TaintPolicy::propagate_only();
+    // mcf is the pointer-chasing kernel: shadow-memory traffic dominates.
+    let w = mcf_like(Size::Tiny);
+    let (stream, mem_words) = capture(&w);
+    g.bench_function("hot-shadow-bit", |b| {
+        b.iter(|| {
+            let mut e = TaintEngine::<BitTaint>::new(policy);
+            e.pre_size(mem_words);
+            for fx in &stream {
+                e.process(fx);
+            }
+            black_box(e.tainted_words())
+        })
+    });
+    g.bench_function("hot-hashmap-bit", |b| {
+        b.iter(|| {
+            let mut e = ReferenceTaintEngine::<BitTaint>::new(policy);
+            for fx in &stream {
+                e.process(fx);
+            }
+            black_box(e.tainted_words())
+        })
+    });
+    g.bench_function("hot-shadow-pc", |b| {
+        b.iter(|| {
+            let mut e = TaintEngine::<PcTaint>::new(policy);
+            e.pre_size(mem_words);
+            for fx in &stream {
+                e.process(fx);
+            }
+            black_box(e.tainted_words())
+        })
+    });
+    // gap has the heaviest load fraction — the other end of the mix.
+    let w2 = gap_like(Size::Tiny);
+    let (stream2, mem_words2) = capture(&w2);
+    g.bench_function("hot-shadow-bit-gap", |b| {
+        b.iter(|| {
+            let mut e = TaintEngine::<BitTaint>::new(policy);
+            e.pre_size(mem_words2);
+            for fx in &stream2 {
+                e.process(fx);
+            }
+            black_box(e.tainted_words())
+        })
+    });
+    g.bench_function("inline-e2e", |b| {
+        b.iter(|| run_inline_dift::<BitTaint>(w.machine(), policy).result.steps)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_taint);
+criterion_main!(benches);

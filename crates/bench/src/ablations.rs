@@ -95,17 +95,10 @@ pub fn e2b_selective(scale: Scale) -> Table {
     naive.naive_selective = true;
     let naive_r = run(naive);
 
-    for (name, (deps, slow, cross)) in [
-        ("full tracing", full),
-        ("selective (sound)", sound),
-        ("selective (naive)", naive_r),
-    ] {
-        t.row(vec![
-            name.into(),
-            deps.to_string(),
-            crate::fx(slow),
-            cross.to_string(),
-        ]);
+    for (name, (deps, slow, cross)) in
+        [("full tracing", full), ("selective (sound)", sound), ("selective (naive)", naive_r)]
+    {
+        t.row(vec![name.into(), deps.to_string(), crate::fx(slow), cross.to_string()]);
     }
     t
 }
@@ -282,12 +275,7 @@ mod tests {
         let t = e3a_channel_sweep(Scale::Test);
         // Same enqueue cost: deeper queue => no more stalls.
         let stall = |enq: &str, depth: &str| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == enq && r[1] == depth)
-                .unwrap()[3]
-                .parse()
-                .unwrap()
+            t.rows.iter().find(|r| r[0] == enq && r[1] == depth).unwrap()[3].parse().unwrap()
         };
         assert!(stall("1", "1024") <= stall("1", "16"));
         assert!(stall("3", "1024") <= stall("3", "16"));

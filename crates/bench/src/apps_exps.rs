@@ -20,7 +20,14 @@ pub fn e5_tm(_scale: Scale) -> Table {
         "E5",
         "TM monitoring: naive vs sync-aware conflict resolution",
         "naive TM livelocks on sync idioms; sync-aware avoids them and cuts overhead",
-        &["kernel", "naive livelocks", "naive overhead", "aware livelocks", "aware overhead", "sync vars"],
+        &[
+            "kernel",
+            "naive livelocks",
+            "naive overhead",
+            "aware livelocks",
+            "aware overhead",
+            "sync vars",
+        ],
     );
     for w in all_parallel() {
         let native = w.machine().run().cycles as f64;
@@ -82,14 +89,21 @@ pub fn e7_lineage(scale: Scale) -> Table {
         "E7",
         "lineage tracing cost: roBDD vs naive sets",
         "slowdown < 40x; memory overhead ~300%; roBDD exploits overlap/clustering",
-        &["pipeline", "bdd slowdown", "naive slowdown", "bdd shadow B", "naive shadow B", "mem overhead"],
+        &[
+            "pipeline",
+            "bdd slowdown",
+            "naive slowdown",
+            "bdd shadow B",
+            "naive shadow B",
+            "mem overhead",
+        ],
     );
     for p in all_science(n) {
         let native = p.workload.machine().run().cycles as f64;
         // App footprint: inputs + a working buffer, in bytes.
         let app_bytes = (p.workload.inputs.iter().map(|(_, v)| v.len()).sum::<usize>() * 8
             + n as usize * 8) as f64;
-        let id_bits = 64 - (n as u64).leading_zeros() + 1; // right-sized ids
+        let id_bits = 64 - n.leading_zeros() + 1; // right-sized ids
         let (bdd_stats, bdd_cycles) = {
             let mut eng = LineageEngine::new(BddBackend::new(id_bits));
             let mut dbi = Engine::new(p.workload.machine());

@@ -4,9 +4,15 @@
 //! report              # all experiments at paper scale
 //! report e1 e4        # selected experiments
 //! report ablations    # E2a/E3a/E5a/E7a
+//! report taint        # T1 wall-clock DIFT throughput (+ BENCH_taint.json)
 //! report --test       # CI scale
 //! report --json       # machine-readable output
 //! ```
+//!
+//! Running `taint` (included in the default/`all` selection) also writes
+//! `BENCH_taint.json` to the working directory: per-benchmark instrs/sec
+//! for the paged-shadow hot path vs the HashMap reference engine, and
+//! for inline / sw-helper / hw-helper end-to-end DIFT.
 
 use dift_bench::{
     e10_races, e1_slowdown, e2_trace_density, e2a_optimization_ablation, e3_multicore,
@@ -18,11 +24,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
 
     type Gen = (&'static str, fn(Scale) -> Table);
     let main_exps: &[Gen] = &[
@@ -67,9 +70,25 @@ fn main() {
         }
         ran += 1;
     }
+    if wanted("taint") {
+        // Measured once; the table and BENCH_taint.json share the run.
+        let report = dift_bench::taint_throughput_report(scale);
+        let t = dift_bench::report_to_table(&report);
+        if json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{t}");
+        }
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write("BENCH_taint.json", &payload) {
+            Ok(()) => eprintln!("wrote BENCH_taint.json"),
+            Err(e) => eprintln!("could not write BENCH_taint.json: {e}"),
+        }
+        ran += 1;
+    }
     if ran == 0 {
         eprintln!(
-            "unknown selection {selected:?}; available: e1..e10, e2a, e3a, e5a, e7a, ablations, all"
+            "unknown selection {selected:?}; available: e1..e10, e2a, e3a, e5a, e7a, taint, ablations, all"
         );
         std::process::exit(2);
     }

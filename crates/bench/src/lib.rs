@@ -12,15 +12,20 @@
 pub mod ablations;
 pub mod apps_exps;
 pub mod table;
+pub mod throughput;
 pub mod tracing_exps;
 
 pub use ablations::{
-    e2a_optimization_ablation, e2b_selective, e3a_channel_sweep, e5a_spin_length,
-    e7a_overlap_sweep,
+    e2a_optimization_ablation, e2b_selective, e3a_channel_sweep, e5a_spin_length, e7a_overlap_sweep,
 };
 pub use apps_exps::{e10_races, e5_tm, e6_attacks, e7_lineage, e8_omission, e9_value_replacement};
 pub use table::Table;
-pub use tracing_exps::{e1_slowdown, e1b_compaction, e2_trace_density, e3_multicore, e4_execution_reduction, mix_table};
+pub use throughput::{
+    report_to_table, t1_taint_throughput, taint_throughput_report, TaintThroughputReport,
+};
+pub use tracing_exps::{
+    e1_slowdown, e1b_compaction, e2_trace_density, e3_multicore, e4_execution_reduction, mix_table,
+};
 
 /// Experiment scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -32,10 +32,8 @@ impl Table {
     /// Cell at (row, col) parsed as the leading float (for shape tests).
     pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
         let s = &self.rows[row][col];
-        let numeric: String = s
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
+        let numeric: String =
+            s.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
         numeric.parse().unwrap_or(f64::NAN)
     }
 

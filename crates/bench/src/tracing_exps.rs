@@ -109,8 +109,7 @@ pub fn e3_multicore(scale: Scale) -> Table {
     let suite = all_spec(scale.spec_size());
     for w in &suite {
         let native = native_cycles(w) as f64;
-        let inline =
-            run_inline_dift::<BitTaint>(w.machine(), TaintPolicy::propagate_only());
+        let inline = run_inline_dift::<BitTaint>(w.machine(), TaintPolicy::propagate_only());
         let sw = run_helper_dift::<BitTaint>(
             w.machine(),
             ChannelModel::software(),
@@ -132,12 +131,7 @@ pub fn e3_multicore(scale: Scale) -> Table {
         t.row(vec![w.name.clone(), pct(ovs[0]), pct(ovs[1]), pct(ovs[2])]);
     }
     let n = suite.len() as f64;
-    t.row(vec![
-        "average".into(),
-        pct(sums[0] / n),
-        pct(sums[1] / n),
-        pct(sums[2] / n),
-    ]);
+    t.row(vec!["average".into(), pct(sums[0] / n), pct(sums[1] / n), pct(sums[2] / n)]);
     t
 }
 
@@ -152,7 +146,9 @@ pub fn e4_execution_reduction(scale: Scale) -> Table {
         &["metric", "value"],
     );
     let cfg = match scale {
-        Scale::Test => ServerConfig { with_bug: true, requests_per_worker: 40, ..Default::default() },
+        Scale::Test => {
+            ServerConfig { with_bug: true, requests_per_worker: 40, ..Default::default() }
+        }
         Scale::Paper => {
             ServerConfig { with_bug: true, requests_per_worker: 400, ..Default::default() }
         }
@@ -183,7 +179,8 @@ pub fn e4_execution_reduction(scale: Scale) -> Table {
     // the cycles spent *after* the restore are the replay's cost.
     let plan = reduce(&rec.log, fstep);
     let cp_cycles = rec.log.checkpoints[plan.cp_index].snapshot.cycles as f64;
-    let red = replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 26));
+    let red =
+        replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 26));
     let red_cycles = red.result.cycles as f64 - cp_cycles;
     let red_deps = red.stats.deps_recorded;
 
@@ -200,10 +197,7 @@ pub fn e4_execution_reduction(scale: Scale) -> Table {
         "dep reduction".into(),
         format!("{:.0}x fewer", full_deps as f64 / red_deps.max(1) as f64),
     ]);
-    t.row(vec![
-        "replayed fraction".into(),
-        pct(plan.reduction_ratio()),
-    ]);
+    t.row(vec!["replayed fraction".into(), pct(plan.reduction_ratio())]);
     t
 }
 
@@ -322,10 +316,7 @@ mod tests {
         assert_eq!(t.rows.len(), 7);
         // gap is pointer-chasing: its load fraction must exceed compress's.
         let frac = |name: &str, col: usize| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0].starts_with(name))
-                .unwrap()[col]
+            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[col]
                 .trim_end_matches('%')
                 .parse()
                 .unwrap()

@@ -1,7 +1,10 @@
 //! The facade crate exposes the full system under stable paths.
 
 use dift_core::prelude::*;
-use dift_core::{attack, dbi, ddg, faultloc, lineage, multicore, race, replay, robdd, slicing, taint, tm, vm, workloads};
+use dift_core::{
+    attack, dbi, ddg, faultloc, lineage, multicore, race, replay, robdd, slicing, taint, tm, vm,
+    workloads,
+};
 
 #[test]
 fn prelude_builds_and_runs_a_program() {

@@ -87,12 +87,9 @@ impl Engine {
     fn in_scope(&self, addr: Addr) -> bool {
         match &self.scope {
             InstrumentationScope::All => true,
-            InstrumentationScope::Funcs(set) => self
-                .machine
-                .program()
-                .func_at(addr)
-                .map(|f| set.contains(&f))
-                .unwrap_or(false),
+            InstrumentationScope::Funcs(set) => {
+                self.machine.program().func_at(addr).map(|f| set.contains(&f)).unwrap_or(false)
+            }
         }
     }
 

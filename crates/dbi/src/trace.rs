@@ -70,8 +70,7 @@ impl TraceBuilder {
         let c = self.counts.entry(entry).or_insert(0);
         *c += 1;
         if *c >= self.hot_threshold {
-            self.recording
-                .insert(tid, Recording::Yes { head: entry, blocks: vec![entry] });
+            self.recording.insert(tid, Recording::Yes { head: entry, blocks: vec![entry] });
         }
         None
     }

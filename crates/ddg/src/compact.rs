@@ -95,10 +95,7 @@ impl CompactDdg {
     /// Append one dependence instance for the static edge `(user_addr,
     /// def_addr, kind)`.
     pub fn push(&mut self, user_addr: Addr, def_addr: Addr, dep: Dependence) {
-        self.edges
-            .entry((user_addr, def_addr, dep.kind))
-            .or_default()
-            .push(dep.user, dep.def);
+        self.edges.entry((user_addr, def_addr, dep.kind)).or_default().push(dep.user, dep.def);
         self.deps += 1;
     }
 
@@ -114,10 +111,7 @@ impl CompactDdg {
 
     /// Total representation size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.edges
-            .values()
-            .map(|e| e.data.len() + EDGE_OVERHEAD_BYTES)
-            .sum()
+        self.edges.values().map(|e| e.data.len() + EDGE_OVERHEAD_BYTES).sum()
     }
 
     /// Decode every instance back (round-trip check / slicing fallback).
@@ -151,7 +145,11 @@ impl CompactDdg {
     /// matching defs join the slice. Edges whose instance streams do not
     /// contain the step are skipped after one decode pass, and decode
     /// results are memoized per edge.
-    pub fn backward_slice(&self, criterion: &[u64], mask_classic_only: bool) -> std::collections::BTreeSet<u64> {
+    pub fn backward_slice(
+        &self,
+        criterion: &[u64],
+        mask_classic_only: bool,
+    ) -> std::collections::BTreeSet<u64> {
         use std::collections::{BTreeMap, BTreeSet};
         // Memoized per-edge decode: user -> defs.
         let mut decoded: Vec<(DepKind, BTreeMap<u64, Vec<u64>>)> = Vec::new();
@@ -250,14 +248,7 @@ mod tests {
         // Build a random-ish chain graph and compare against the
         // expanded-graph transitive closure.
         let mut c = CompactDdg::default();
-        let deps = [
-            (3u64, 1u64),
-            (3, 2),
-            (5, 3),
-            (7, 5),
-            (7, 6),
-            (9, 4),
-        ];
+        let deps = [(3u64, 1u64), (3, 2), (5, 3), (7, 5), (7, 6), (9, 4)];
         for (u, d) in deps {
             c.push((u % 4) as u32, (d % 4) as u32, Dependence::new(u, d, DepKind::RegData));
         }

@@ -85,11 +85,7 @@ impl DdgGraph {
 
     /// Dependences whose def is `step` (who depends on `step`).
     pub fn users_of(&self, step: u64) -> impl Iterator<Item = &Dependence> {
-        self.users_of
-            .get(&step)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.deps[i as usize])
+        self.users_of.get(&step).into_iter().flatten().map(move |&i| &self.deps[i as usize])
     }
 
     /// Metadata for a step, when known.
@@ -109,12 +105,8 @@ impl DdgGraph {
 
     /// Steps whose instruction executed at the given program address.
     pub fn steps_at_addr(&self, addr: dift_isa::Addr) -> Vec<u64> {
-        let mut v: Vec<u64> = self
-            .meta
-            .values()
-            .filter(|m| m.addr == addr)
-            .map(|m| m.step)
-            .collect();
+        let mut v: Vec<u64> =
+            self.meta.values().filter(|m| m.addr == addr).map(|m| m.step).collect();
         v.sort_unstable();
         v
     }
@@ -164,10 +156,7 @@ mod tests {
     #[test]
     fn duplicate_deps_are_removed() {
         let g = DdgGraph::from_deps(
-            vec![
-                Dependence::new(2, 1, DepKind::RegData),
-                Dependence::new(2, 1, DepKind::RegData),
-            ],
+            vec![Dependence::new(2, 1, DepKind::RegData), Dependence::new(2, 1, DepKind::RegData)],
             vec![meta(1, 1), meta(2, 2)],
         );
         assert_eq!(g.dep_count(), 1);

@@ -67,7 +67,11 @@ impl Tool for Collector {
 
 /// Derive the complete dependence set from a recorded trace — the
 /// post-processing step. Shared with tests that need ground-truth DDGs.
-pub fn derive_full_deps(program: &Program, events: &[StepEffects], mem_words: usize) -> Vec<BufRecord> {
+pub fn derive_full_deps(
+    program: &Program,
+    events: &[StepEffects],
+    mem_words: usize,
+) -> Vec<BufRecord> {
     let mut shadow = ShadowState::new(mem_words);
     let mut control = ControlStack::new(program);
     let mut meta: std::collections::HashMap<u64, (u32, u32)> = std::collections::HashMap::new();
@@ -77,7 +81,10 @@ pub fn derive_full_deps(program: &Program, events: &[StepEffects], mem_words: us
         let step = fx.step;
         control.on_step(tid, fx.addr);
         meta.insert(step, (fx.addr, fx.insn.stmt));
-        let mut push = |user: u64, def: u64, kind: DepKind, meta: &std::collections::HashMap<u64, (u32, u32)>| {
+        let mut push = |user: u64,
+                        def: u64,
+                        kind: DepKind,
+                        meta: &std::collections::HashMap<u64, (u32, u32)>| {
             let (da, ds) = meta.get(&def).copied().unwrap_or((0, 0));
             out.push(BufRecord {
                 dep: Dependence::new(user, def, kind),
@@ -195,16 +202,12 @@ mod tests {
         let recs = derive_full_deps(&program, &events, m.config().mem_words);
         // The accumulator add at addr 2 must depend on its own previous
         // instance (loop-carried RegData through r2).
-        let adds: Vec<_> = recs
-            .iter()
-            .filter(|r| r.user_addr == 2 && r.dep.kind == DepKind::RegData)
-            .collect();
+        let adds: Vec<_> =
+            recs.iter().filter(|r| r.user_addr == 2 && r.dep.kind == DepKind::RegData).collect();
         assert!(adds.iter().any(|r| r.def_addr == 2), "loop-carried dep on the add itself");
         // And every loop-body instruction is control dependent on the
         // branch at addr 4.
-        assert!(recs
-            .iter()
-            .any(|r| r.dep.kind == DepKind::Control && r.def_addr == 4));
+        assert!(recs.iter().any(|r| r.dep.kind == DepKind::Control && r.def_addr == 4));
     }
 
     #[test]

@@ -378,9 +378,8 @@ impl Tool for OnTrac {
         }
         // Memory read.
         if let Some((addr, _)) = fx.mem_read {
-            let redundant = self.cfg.opt_redundant_load
-                && matches!(fx.insn.op, Opcode::Load { .. })
-                && {
+            let redundant =
+                self.cfg.opt_redundant_load && matches!(fx.insn.op, Opcode::Load { .. }) && {
                     m.charge(costs::ONLINE_REDUNDANT_PROBE);
                     self.shadow.probe_redundant_load(addr, step)
                 };
@@ -404,8 +403,7 @@ impl Tool for OnTrac {
         // one dynamic control dependence; under block-static inference it
         // is stored once per block instance and the rest are inferred.
         if let Some(branch_step) = self.control.current_dep(tid) {
-            let dedup = self.cfg.opt_block_static
-                && self.ctrl_recorded[t] == Some(branch_step);
+            let dedup = self.cfg.opt_block_static && self.ctrl_recorded[t] == Some(branch_step);
             if !dedup {
                 self.consider(
                     m,

@@ -1,7 +1,9 @@
 //! Tracer shadow state: last-writer timestamps, input-taint bits, and the
 //! online dynamic control-dependence stack.
 
-use dift_isa::{control_dependence, Addr, Cfg, DomTree, MemAddr, Program, Reg, NUM_REGS};
+use dift_isa::{
+    control_dependence, Addr, Cfg, DomTree, MemAddr, Program, Reg, NUM_REGS, SHADOW_PAGE_WORDS,
+};
 use dift_vm::ThreadId;
 use std::collections::HashMap;
 
@@ -11,7 +13,11 @@ pub const FRAME_END: Addr = Addr::MAX;
 /// Last-writer shadow for registers and memory, plus input-taint bits.
 ///
 /// Timestamps are stored as `step + 1` (0 = never written) so the state
-/// can be dense arrays with a cheap reset.
+/// can be dense arrays with a cheap reset. The memory-side tables grow
+/// lazily in [`SHADOW_PAGE_WORDS`] multiples on first write — the same
+/// paging granularity as the taint engine's shadow map — so a tracer
+/// over a large but sparsely-touched address space only pays for the
+/// prefix of pages it actually writes.
 pub struct ShadowState {
     reg_def: Vec<[u64; NUM_REGS]>,
     mem_def: Vec<u64>,
@@ -20,17 +26,44 @@ pub struct ShadowState {
     /// Step of the most recent load of each address since its last store
     /// (`step + 1`, 0 = none) — the redundant-load detection table.
     load_seen: Vec<u64>,
+    /// Hard capacity: writes at or beyond this address are ignored, as
+    /// the pre-sized tables did before lazy growth.
+    mem_words: usize,
 }
 
 impl ShadowState {
     pub fn new(mem_words: usize) -> ShadowState {
         ShadowState {
             reg_def: Vec::new(),
-            mem_def: vec![0; mem_words],
+            mem_def: Vec::new(),
             reg_taint: Vec::new(),
-            mem_taint: vec![0; mem_words.div_ceil(64)],
-            load_seen: vec![0; mem_words],
+            mem_taint: Vec::new(),
+            load_seen: Vec::new(),
+            mem_words,
         }
+    }
+
+    /// Grow the memory tables to cover `addr` (rounded up to a page
+    /// multiple, clamped to capacity). Returns the index when `addr` is
+    /// within capacity, `None` otherwise.
+    fn ensure_addr(&mut self, addr: MemAddr) -> Option<usize> {
+        if addr >= self.mem_words as u64 {
+            return None;
+        }
+        let i = addr as usize;
+        if i >= self.mem_def.len() {
+            let want = ((i / SHADOW_PAGE_WORDS + 1) * SHADOW_PAGE_WORDS).min(self.mem_words);
+            self.mem_def.resize(want, 0);
+            self.load_seen.resize(want, 0);
+            self.mem_taint.resize(want.div_ceil(64), 0);
+        }
+        Some(i)
+    }
+
+    /// Words of shadow currently backed by allocated tables (a page
+    /// multiple, or the capacity if smaller).
+    pub fn allocated_words(&self) -> usize {
+        self.mem_def.len()
     }
 
     fn ensure_tid(&mut self, tid: ThreadId) {
@@ -64,10 +97,10 @@ impl ShadowState {
 
     #[inline]
     pub fn set_mem_def(&mut self, addr: MemAddr, step: u64) {
-        if let Some(slot) = self.mem_def.get_mut(addr as usize) {
-            *slot = step + 1;
+        if let Some(i) = self.ensure_addr(addr) {
+            self.mem_def[i] = step + 1;
             // A store invalidates the redundant-load record.
-            self.load_seen[addr as usize] = 0;
+            self.load_seen[i] = 0;
         }
     }
 
@@ -75,10 +108,10 @@ impl ShadowState {
     /// loaded since its last store (this load adds no new dependence
     /// information), and records this load otherwise.
     pub fn probe_redundant_load(&mut self, addr: MemAddr, step: u64) -> bool {
-        match self.load_seen.get_mut(addr as usize) {
-            Some(slot) if *slot != 0 => true,
-            Some(slot) => {
-                *slot = step + 1;
+        match self.ensure_addr(addr) {
+            Some(i) if self.load_seen[i] != 0 => true,
+            Some(i) => {
+                self.load_seen[i] = step + 1;
                 false
             }
             None => false,
@@ -102,21 +135,22 @@ impl ShadowState {
     #[inline]
     pub fn mem_tainted(&self, addr: MemAddr) -> bool {
         let i = addr as usize;
-        self.mem_taint
-            .get(i / 64)
-            .map(|w| w & (1 << (i % 64)) != 0)
-            .unwrap_or(false)
+        self.mem_taint.get(i / 64).map(|w| w & (1 << (i % 64)) != 0).unwrap_or(false)
     }
 
     #[inline]
     pub fn set_mem_taint(&mut self, addr: MemAddr, tainted: bool) {
-        let i = addr as usize;
-        if let Some(w) = self.mem_taint.get_mut(i / 64) {
-            if tainted {
-                *w |= 1 << (i % 64);
-            } else {
+        if !tainted {
+            // Clearing a bit in an unallocated page is a no-op; don't
+            // materialize pages for it.
+            let i = addr as usize;
+            if let Some(w) = self.mem_taint.get_mut(i / 64) {
                 *w &= !(1 << (i % 64));
             }
+            return;
+        }
+        if let Some(i) = self.ensure_addr(addr) {
+            self.mem_taint[i / 64] |= 1 << (i % 64);
         }
     }
 }
@@ -265,6 +299,27 @@ mod tests {
         assert!(s.probe_redundant_load(10, 7), "second load is redundant");
         s.set_mem_def(10, 8); // store invalidates
         assert!(!s.probe_redundant_load(10, 9));
+    }
+
+    #[test]
+    fn memory_tables_grow_lazily_in_page_multiples() {
+        let mut s = ShadowState::new(SHADOW_PAGE_WORDS * 4);
+        assert_eq!(s.allocated_words(), 0, "no writes, no tables");
+        // Reads against unallocated pages are well-defined.
+        assert_eq!(s.mem_def(SHADOW_PAGE_WORDS as u64 * 3), None);
+        assert!(!s.mem_tainted(17));
+        s.set_mem_def(10, 5);
+        assert_eq!(s.allocated_words(), SHADOW_PAGE_WORDS);
+        assert_eq!(s.mem_def(10), Some(5));
+        // A write two pages up grows the prefix to cover it.
+        s.set_mem_taint(SHADOW_PAGE_WORDS as u64 * 2 + 1, true);
+        assert_eq!(s.allocated_words(), SHADOW_PAGE_WORDS * 3);
+        assert!(s.mem_tainted(SHADOW_PAGE_WORDS as u64 * 2 + 1));
+        // Out-of-capacity writes are ignored, exactly as pre-sized
+        // tables ignored them.
+        s.set_mem_def(SHADOW_PAGE_WORDS as u64 * 9, 1);
+        assert_eq!(s.mem_def(SHADOW_PAGE_WORDS as u64 * 9), None);
+        assert_eq!(s.allocated_words(), SHADOW_PAGE_WORDS * 3);
     }
 
     #[test]

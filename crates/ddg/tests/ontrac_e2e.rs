@@ -129,11 +129,7 @@ fn selective_tracing_records_only_selected_function() {
     let emit_range = &p.funcs()[emit as usize];
     for d in g.deps() {
         let m = g.meta(d.user).unwrap();
-        assert!(
-            emit_range.contains(m.addr),
-            "user at addr {} outside selected function",
-            m.addr
-        );
+        assert!(emit_range.contains(m.addr), "user at addr {} outside selected function", m.addr);
     }
     // The output instruction in emit uses r2 defined in main's loop — the
     // sound summarization must preserve that cross-boundary dependence.
@@ -159,10 +155,7 @@ fn naive_selective_breaks_dependence_chains() {
 
     let sound_reg = t_sound.stats().deps_recorded;
     let naive_reg = t_naive.stats().deps_recorded;
-    assert!(
-        naive_reg < sound_reg,
-        "naive mode must lose dependences ({naive_reg} vs {sound_reg})"
-    );
+    assert!(naive_reg < sound_reg, "naive mode must lose dependences ({naive_reg} vs {sound_reg})");
 }
 
 #[test]

@@ -35,15 +35,9 @@ pub fn locate(case: &FaultCase) -> LocReport {
     let graph = tracer.graph(&case.program);
 
     // 2. Backward slice from the failing output instance.
-    let out_step = graph
-        .steps()
-        .max()
-        .map(|last| {
-            // The output instruction is the latest step feeding channel 0;
-            // use the last user in the graph as the criterion anchor.
-            last
-        })
-        .unwrap_or(0);
+    // The output instruction is the latest step feeding channel 0; use
+    // the last user in the graph as the criterion anchor.
+    let out_step = graph.steps().max().unwrap_or(0);
     let slice = Slicer::new(&graph).backward(&[out_step], KindMask::classic());
 
     // 3. Value-replacement ranking.

@@ -128,52 +128,6 @@ pub fn faulty_cases() -> Vec<FaultCase> {
     vec![wrong_constant(), wrong_operator(), wrong_comparison()]
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dift_vm::{Machine, MachineConfig};
-
-    #[test]
-    fn every_case_actually_fails() {
-        for case in faulty_cases() {
-            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
-            m.feed_input(0, &case.input);
-            let r = m.run();
-            assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
-            assert_ne!(
-                m.output(0),
-                case.expected_output.as_slice(),
-                "{}: the seeded bug must change the output",
-                case.name
-            );
-        }
-    }
-
-    #[test]
-    fn omission_cases_run_clean_but_wrong() {
-        for case in omission_cases() {
-            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
-            m.feed_input(0, &case.input);
-            let r = m.run();
-            assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
-            assert!(case.program.get(case.guard_addr).is_some());
-            assert!(case.program.get(case.root_addr).is_some());
-            assert!(case.program.fetch(case.guard_addr).is_branch(), "{}", case.name);
-        }
-    }
-
-    #[test]
-    fn faulty_stmt_exists_in_program() {
-        for case in faulty_cases() {
-            assert!(
-                case.program.instructions().iter().any(|i| i.stmt == case.faulty_stmt),
-                "{}",
-                case.name
-            );
-        }
-    }
-}
-
 /// An execution-omission case: the program produces wrong output because
 /// code that should have run did not. `guard_addr` is the branch whose
 /// switching exposes the implicit dependence; `root_addr` is the
@@ -270,4 +224,50 @@ pub fn omission_skipped_call() -> OmissionCase {
 /// The omission suite for E8.
 pub fn omission_cases() -> Vec<OmissionCase> {
     vec![omission_skipped_store(), omission_early_exit(), omission_skipped_call()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dift_vm::{Machine, MachineConfig};
+
+    #[test]
+    fn every_case_actually_fails() {
+        for case in faulty_cases() {
+            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
+            m.feed_input(0, &case.input);
+            let r = m.run();
+            assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
+            assert_ne!(
+                m.output(0),
+                case.expected_output.as_slice(),
+                "{}: the seeded bug must change the output",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn omission_cases_run_clean_but_wrong() {
+        for case in omission_cases() {
+            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
+            m.feed_input(0, &case.input);
+            let r = m.run();
+            assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
+            assert!(case.program.get(case.guard_addr).is_some());
+            assert!(case.program.get(case.root_addr).is_some());
+            assert!(case.program.fetch(case.guard_addr).is_branch(), "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn faulty_stmt_exists_in_program() {
+        for case in faulty_cases() {
+            assert!(
+                case.program.instructions().iter().any(|i| i.stmt == case.faulty_stmt),
+                "{}",
+                case.name
+            );
+        }
+    }
 }

@@ -100,13 +100,8 @@ pub fn value_replacement_rank(
     }
 
     // Candidates: value-producing instances, nearest the end first.
-    let candidates: Vec<&StepEffects> = rec
-        .events
-        .iter()
-        .rev()
-        .filter(|e| e.reg_write.is_some())
-        .take(vr.max_candidates)
-        .collect();
+    let candidates: Vec<&StepEffects> =
+        rec.events.iter().rev().filter(|e| e.reg_write.is_some()).take(vr.max_candidates).collect();
 
     let mut scores: BTreeMap<StmtId, u32> = BTreeMap::new();
     let mut last_step: BTreeMap<StmtId, u64> = BTreeMap::new();

@@ -49,12 +49,9 @@ fn err(line: usize, msg: impl Into<String>) -> AsmError {
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
     let t = tok.trim().trim_end_matches(',');
-    let num = t
-        .strip_prefix('r')
-        .ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
-    let n: u8 = num
-        .parse()
-        .map_err(|_| err(line, format!("bad register `{t}`")))?;
+    let num =
+        t.strip_prefix('r').ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
+    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register `{t}`")))?;
     let r = Reg(n);
     if !r.is_valid() {
         return Err(err(line, format!("register out of range `{t}`")));
@@ -92,9 +89,7 @@ fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
 fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
     let t = tok.trim().trim_end_matches(',');
     let open = t.find('(').ok_or_else(|| err(line, format!("expected offset(base), got `{t}`")))?;
-    let close = t
-        .rfind(')')
-        .ok_or_else(|| err(line, format!("unclosed memory operand `{t}`")))?;
+    let close = t.rfind(')').ok_or_else(|| err(line, format!("unclosed memory operand `{t}`")))?;
     let off_str = &t[..open];
     let base = parse_reg(&t[open + 1..close], line)?;
     let offset = if off_str.is_empty() { 0 } else { parse_imm(off_str, line)? };
@@ -443,7 +438,10 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(p.fetch(1).op, Opcode::Spawn { .. }));
-        assert!(matches!(p.fetch(3).op, Opcode::Atomic { op: crate::insn::AtomicOp::FetchAdd, .. }));
+        assert!(matches!(
+            p.fetch(3).op,
+            Opcode::Atomic { op: crate::insn::AtomicOp::FetchAdd, .. }
+        ));
         assert!(matches!(p.fetch(5).op, Opcode::Cas { .. }));
         assert!(matches!(p.fetch(10).op, Opcode::Assert { msg: 9, .. }));
     }
@@ -491,7 +489,7 @@ mod tests {
                 src2.push_str(&format!(".func {name}\n"));
             } else {
                 // drop the leading address
-                let insn = t.splitn(2, ' ').nth(1).unwrap_or("").trim();
+                let insn = t.split_once(' ').map_or("", |x| x.1).trim();
                 src2.push_str(insn);
                 src2.push('\n');
             }

@@ -206,7 +206,12 @@ impl ProgramBuilder {
         at
     }
 
-    fn emit_target(&mut self, make: impl FnOnce(Addr) -> Opcode, t: Target, kind: fn(Addr) -> Fixup) -> Addr {
+    fn emit_target(
+        &mut self,
+        make: impl FnOnce(Addr) -> Opcode,
+        t: Target,
+        kind: fn(Addr) -> Fixup,
+    ) -> Addr {
         match t {
             Target::Abs(a) => self.emit(make(a)),
             Target::Label(l) => {
@@ -368,8 +373,10 @@ impl ProgramBuilder {
 
         // Patch label fixups.
         for (fix, label) in std::mem::take(&mut self.fixups) {
-            let target =
-                *self.labels.get(&label).ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
+            let target = *self
+                .labels
+                .get(&label)
+                .ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
             let at = match fix {
                 Fixup::Jump(a) | Fixup::Branch(a) | Fixup::Call(a) | Fixup::Spawn(a) => a,
             };

@@ -83,10 +83,10 @@ impl Cfg {
         for at in lo..hi {
             let insn = program.fetch(at);
             match insn.op {
-                Opcode::Jump { target } | Opcode::Branch { target, .. } => {
-                    if target >= lo && target < hi {
-                        leaders.insert(target);
-                    }
+                Opcode::Jump { target } | Opcode::Branch { target, .. }
+                    if target >= lo && target < hi =>
+                {
+                    leaders.insert(target);
                 }
                 _ => {}
             }

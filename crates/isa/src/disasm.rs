@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn opcode_display_forms() {
         assert_eq!(Opcode::Nop.to_string(), "nop");
-        assert_eq!(Opcode::Load { rd: Reg(1), base: Reg(2), offset: -3 }.to_string(), "ld    r1, -3(r2)");
+        assert_eq!(
+            Opcode::Load { rd: Reg(1), base: Reg(2), offset: -3 }.to_string(),
+            "ld    r1, -3(r2)"
+        );
         assert_eq!(Opcode::Fence.to_string(), "fence");
     }
 }

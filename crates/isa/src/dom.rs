@@ -30,10 +30,8 @@ impl DomTree {
     /// Dominator tree of `cfg` rooted at its entry block.
     pub fn dominators(cfg: &Cfg) -> DomTree {
         let n = cfg.blocks.len();
-        let succs: Vec<Vec<u32>> =
-            cfg.blocks.iter().map(|b| b.succs.iter().map(|&s| s).collect()).collect();
-        let preds: Vec<Vec<u32>> =
-            cfg.blocks.iter().map(|b| b.preds.iter().map(|&p| p).collect()).collect();
+        let succs: Vec<Vec<u32>> = cfg.blocks.iter().map(|b| b.succs.to_vec()).collect();
+        let preds: Vec<Vec<u32>> = cfg.blocks.iter().map(|b| b.preds.to_vec()).collect();
         let idom = Self::compute(n, cfg.entry, &succs, &preds);
         DomTree { idom, root: cfg.entry }
     }

@@ -48,7 +48,9 @@ pub use asm::{assemble, AsmError};
 pub use builder::{BuildError, ProgramBuilder};
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use dom::{control_dependence, DomTree};
-pub use insn::{AtomicOp, BinOp, BranchCond, Instruction, MemKind, MemRef, Opcode, RegList, StmtId};
+pub use insn::{
+    AtomicOp, BinOp, BranchCond, Instruction, MemKind, MemRef, Opcode, RegList, StmtId,
+};
 pub use program::{FuncId, FuncInfo, Program};
 pub use reg::{Reg, NUM_REGS};
 pub use static_dep::{block_static_deps, StaticDep};
@@ -59,3 +61,10 @@ pub type Addr = u32;
 /// A data-memory address (word-granular; the VM's memory is an array of
 /// `u64` cells).
 pub type MemAddr = u64;
+
+/// Page size, in words, of the dense paged shadow structures that mirror
+/// data memory (taint shadow map, DDG last-writer tables). One page
+/// shadows 4 Ki words = 32 KiB of program memory; page-granular
+/// allocation keeps sparse shadows cheap while indexing stays two array
+/// lookups. Shared here so every shadow structure pages identically.
+pub const SHADOW_PAGE_WORDS: usize = 4096;

@@ -2,8 +2,7 @@
 //! and CFG structural invariants.
 
 use dift_isa::{
-    assemble, disasm::disassemble, AtomicOp, BinOp, BranchCond, Cfg, Instruction, Opcode,
-    ProgramBuilder, Reg,
+    assemble, disasm::disassemble, BinOp, BranchCond, Cfg, Instruction, ProgramBuilder, Reg,
 };
 use proptest::prelude::*;
 
@@ -157,7 +156,7 @@ fn relisting(text: &str) -> String {
         if let Some(name) = t.strip_suffix(':') {
             src.push_str(&format!(".func {name}\n"));
         } else {
-            let insn = t.splitn(2, ' ').nth(1).unwrap_or("").trim();
+            let insn = t.split_once(' ').map_or("", |x| x.1).trim();
             src.push_str(insn);
             src.push('\n');
         }

@@ -154,7 +154,7 @@ impl<B: LineageBackend> Tool for LineageEngine<B> {
             *idx += 1;
         }
 
-        if self.stats.instrs % self.sample_every == 0 {
+        if self.stats.instrs.is_multiple_of(self.sample_every) {
             self.sample_memory();
         }
     }
@@ -171,10 +171,7 @@ mod tests {
     use dift_dbi::Engine;
     use dift_workloads::science::{self, SciencePipeline};
 
-    fn run_pipeline<B: LineageBackend>(
-        p: &SciencePipeline,
-        backend: B,
-    ) -> (LineageEngine<B>, u64) {
+    fn run_pipeline<B: LineageBackend>(p: &SciencePipeline, backend: B) -> (LineageEngine<B>, u64) {
         let m = p.workload.machine();
         let mut eng = LineageEngine::new(backend);
         let mut dbi = Engine::new(m);

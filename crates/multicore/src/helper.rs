@@ -24,8 +24,13 @@ pub struct MulticoreStats {
     pub helper_busy: u64,
     /// Producer stalls caused by a full queue.
     pub stall_cycles: u64,
-    /// Messages shipped main→helper.
+    /// Messages shipped main→helper (modeled per-instruction cost; the
+    /// timing model is unchanged by batching).
     pub messages: u64,
+    /// Physical channel sends: messages travel in fixed-size batches, so
+    /// this is ≤ `messages`. Purely an implementation statistic — no
+    /// modeled cycles attach to it.
+    pub batches: u64,
     /// End-to-end completion: main finish vs helper drain, whichever is
     /// later.
     pub completion_cycles: u64,
@@ -42,28 +47,61 @@ impl MulticoreStats {
     }
 }
 
+/// Instruction records per physical channel send. The *modeled* cost
+/// stays per-message (`ChannelModel::enqueue_cycles` each instruction),
+/// so batching changes real-channel traffic only — reported overheads
+/// (the paper's ≈48 % hardware preset) are bit-identical to per-message
+/// shipping.
+pub const BATCH_SIZE: usize = 64;
+
 /// Tool that ships every instruction record to the helper thread and
-/// accounts the communication in the timing model.
+/// accounts the communication in the timing model. Records accumulate
+/// in a fixed-size batch and flush when it fills, when the modeled
+/// queue reports pressure (a stall), on thread forks, and at finish —
+/// amortizing real channel synchronization across `BATCH_SIZE` steps.
 struct Offloader<T: TaintLabel> {
-    tx: Option<xbeam::Sender<StepEffects>>,
+    tx: Option<xbeam::Sender<Vec<StepEffects>>>,
+    batch: Vec<StepEffects>,
+    batches: u64,
     queue: QueueSim,
     model: ChannelModel,
     _marker: std::marker::PhantomData<T>,
 }
 
+impl<T: TaintLabel> Offloader<T> {
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let full = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH_SIZE));
+            // The helper genuinely runs on another core.
+            let _ = tx.send(full);
+            self.batches += 1;
+        }
+    }
+}
+
 impl<T: TaintLabel> Tool for Offloader<T> {
     fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
         // Producer cost: the enqueue itself plus any stall for a full
-        // queue, charged to the main core's clock.
+        // queue, charged to the main core's clock. Modeled per message,
+        // exactly as before batching.
         m.charge(self.model.enqueue_cycles);
         let stall = self.queue.enqueue(m.cycles());
         if stall > 0 {
             m.charge(stall);
         }
-        if let Some(tx) = &self.tx {
-            // The helper genuinely runs on another core.
-            let _ = tx.send(fx.clone());
+        self.batch.push(fx.clone());
+        // Queue pressure or a fork means the helper should see the
+        // backlog now; otherwise wait for a full batch.
+        if self.batch.len() >= BATCH_SIZE || stall > 0 || fx.spawned.is_some() {
+            self.flush();
         }
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
+        self.flush();
     }
 }
 
@@ -74,26 +112,36 @@ pub fn run_helper_dift<T: TaintLabel + Send + 'static>(
     model: ChannelModel,
     policy: TaintPolicy,
 ) -> DiftRun<T> {
-    let (tx, rx) = xbeam::bounded::<StepEffects>(model.queue_depth.max(16));
+    // The channel carries batches now, so its real depth is in batch
+    // units; keep at least a few in flight.
+    let (tx, rx) = xbeam::bounded::<Vec<StepEffects>>((model.queue_depth / BATCH_SIZE).max(4));
     let mut helper_policy = policy;
     helper_policy.charge_cycles = false; // the timing model owns the cost
+    let mem_words = machine.mem_words();
     let handle = thread::spawn(move || {
         let mut engine = TaintEngine::<T>::new(helper_policy);
-        while let Ok(fx) = rx.recv() {
-            engine.process(&fx);
+        engine.pre_size(mem_words);
+        while let Ok(batch) = rx.recv() {
+            for fx in &batch {
+                engine.process(fx);
+            }
         }
         engine
     });
 
     let mut offloader = Offloader::<T> {
         tx: Some(tx),
+        batch: Vec::with_capacity(BATCH_SIZE),
+        batches: 0,
         queue: QueueSim::new(model),
         model,
         _marker: std::marker::PhantomData,
     };
     let mut dbi = Engine::new(machine);
     let result = dbi.run_tool(&mut offloader);
-    // Close the channel so the helper drains and exits.
+    // on_finish flushed the tail; close the channel so the helper
+    // drains and exits.
+    offloader.flush();
     offloader.tx.take();
     let engine = handle.join().expect("helper thread completes");
 
@@ -103,6 +151,7 @@ pub fn run_helper_dift<T: TaintLabel + Send + 'static>(
         helper_busy: offloader.queue.helper_busy,
         stall_cycles: offloader.queue.stall_cycles,
         messages: offloader.queue.messages,
+        batches: offloader.batches,
         completion_cycles: main_cycles.max(offloader.queue.helper_clock),
     };
     DiftRun { engine, result, stats }
@@ -118,6 +167,7 @@ pub fn run_inline_dift<T: TaintLabel>(machine: Machine, policy: TaintPolicy) -> 
         main_cycles: result.cycles,
         completion_cycles: result.cycles,
         messages: 0,
+        batches: 0,
         helper_busy: 0,
         stall_cycles: 0,
     };
@@ -219,11 +269,8 @@ mod tests {
         let (p, inputs) = taint_workload();
         // Pathologically slow helper with a tiny queue.
         let model = ChannelModel { enqueue_cycles: 1, helper_per_msg: 50, queue_depth: 4 };
-        let run = run_helper_dift::<BitTaint>(
-            machine(&p, &inputs),
-            model,
-            TaintPolicy::propagate_only(),
-        );
+        let run =
+            run_helper_dift::<BitTaint>(machine(&p, &inputs), model, TaintPolicy::propagate_only());
         assert!(run.stats.stall_cycles > 0, "backpressure must stall the producer");
         assert!(run.stats.completion_cycles >= run.stats.main_cycles);
     }
@@ -246,5 +293,35 @@ mod tests {
         );
         assert_eq!(run.engine.alerts.len(), 1);
         assert_eq!(run.engine.alerts[0].label.pc(), Some(1), "addi is the last writer");
+    }
+
+    #[test]
+    fn batching_amortizes_channel_sends_without_touching_the_model() {
+        let (p, inputs) = taint_workload();
+        let run = run_helper_dift::<BitTaint>(
+            machine(&p, &inputs),
+            ChannelModel::hardware(),
+            TaintPolicy::propagate_only(),
+        );
+        // Every instruction is still a modeled message...
+        assert!(run.stats.messages > BATCH_SIZE as u64 * 4);
+        // ...but the physical channel saw far fewer sends.
+        assert!(run.stats.batches > 0);
+        assert!(
+            run.stats.batches <= run.stats.messages / (BATCH_SIZE as u64 / 2),
+            "batching must amortize sends: {} batches for {} messages",
+            run.stats.batches,
+            run.stats.messages
+        );
+        // And batching must not change the modeled clock: identical
+        // inputs yield identical modeled stats across runs.
+        let again = run_helper_dift::<BitTaint>(
+            machine(&p, &inputs),
+            ChannelModel::hardware(),
+            TaintPolicy::propagate_only(),
+        );
+        assert_eq!(run.stats.main_cycles, again.stats.main_cycles);
+        assert_eq!(run.stats.completion_cycles, again.stats.completion_cycles);
+        assert_eq!(run.stats.stall_cycles, again.stats.stall_cycles);
     }
 }

@@ -87,8 +87,7 @@ impl RaceDetector {
     }
 
     fn report(&mut self, addr: MemAddr, prior: Access, current: Access) {
-        let key =
-            (addr, prior.stmt.min(current.stmt), prior.stmt.max(current.stmt));
+        let key = (addr, prior.stmt.min(current.stmt), prior.stmt.max(current.stmt));
         if self.dedup.insert(key) {
             self.races.push(Race { addr, prior, current });
         }
@@ -148,10 +147,7 @@ impl Tool for RaceDetector {
         // Memory accesses.
         let read = fx.mem_read.map(|(a, _)| a);
         let write = fx.mem_write.map(|(a, _, _)| a);
-        for (addr, is_write) in read
-            .map(|a| (a, false))
-            .into_iter()
-            .chain(write.map(|a| (a, true)))
+        for (addr, is_write) in read.map(|a| (a, false)).into_iter().chain(write.map(|a| (a, true)))
         {
             let is_sync_word = sync_aware && self.sync.is_sync(addr);
             if is_sync_word {
@@ -162,10 +158,7 @@ impl Tool for RaceDetector {
                     }
                 } else {
                     let vc = self.vc(tid).clone();
-                    self.released
-                        .entry(addr)
-                        .and_modify(|v| v.join(&vc))
-                        .or_insert(vc);
+                    self.released.entry(addr).and_modify(|v| v.join(&vc)).or_insert(vc);
                     self.vc(tid).tick(tid);
                 }
                 continue;
@@ -179,10 +172,7 @@ impl Tool for RaceDetector {
             let mut found: Vec<(Access, Access)> = Vec::new();
             if let Some((wt, wc, wstep, wstmt)) = state.last_write {
                 if wt != tid && !my_vc.covers(wt, wc) {
-                    found.push((
-                        Access { tid: wt, step: wstep, stmt: wstmt, is_write: true },
-                        me,
-                    ));
+                    found.push((Access { tid: wt, step: wstep, stmt: wstmt, is_write: true }, me));
                 }
             }
             if is_write {

@@ -24,6 +24,11 @@ pub mod log;
 pub mod patch;
 pub mod reduce;
 
-pub use log::{record, CheckpointEntry, LogStats, RecordedRun, ReplayLog, RunSpec, CHECKPOINT_CYCLES, LOG_PER_EVENT};
-pub use patch::{apply_patches, avoid_fault, avoid_fault_hinted, EnvPatch, PatchFile, PatchOutcome};
+pub use log::{
+    record, CheckpointEntry, LogStats, RecordedRun, ReplayLog, RunSpec, CHECKPOINT_CYCLES,
+    LOG_PER_EVENT,
+};
+pub use patch::{
+    apply_patches, avoid_fault, avoid_fault_hinted, EnvPatch, PatchFile, PatchOutcome,
+};
 pub use reduce::{reduce, replay_full, replay_reduced_with_tracing, ReducedPlan, ReducedTrace};

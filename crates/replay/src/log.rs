@@ -80,11 +80,7 @@ pub struct ReplayLog {
 impl ReplayLog {
     /// The last checkpoint at or before `step`.
     pub fn checkpoint_before(&self, step: u64) -> &CheckpointEntry {
-        self.checkpoints
-            .iter()
-            .rev()
-            .find(|c| c.step <= step)
-            .expect("checkpoint 0 always exists")
+        self.checkpoints.iter().rev().find(|c| c.step <= step).expect("checkpoint 0 always exists")
     }
 
     /// Serialized size of the log (bytes) — the logging-phase space cost.
@@ -118,11 +114,8 @@ pub struct RecordedRun {
 /// is in steps.
 pub fn record(spec: &RunSpec, checkpoint_interval: u64) -> RecordedRun {
     let mut m = spec.machine();
-    let mut checkpoints = vec![CheckpointEntry {
-        step: 0,
-        decisions_made: 0,
-        snapshot: m.checkpoint(),
-    }];
+    let mut checkpoints =
+        vec![CheckpointEntry { step: 0, decisions_made: 0, snapshot: m.checkpoint() }];
     let mut input_events = Vec::new();
     let mut events_logged = 0u64;
     let mut next_cp = checkpoint_interval;
@@ -209,8 +202,7 @@ mod tests {
         b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
         b.output(Reg(2), 0);
         b.halt();
-        RunSpec::new(Arc::new(b.build().unwrap()), MachineConfig::small())
-            .with_input(0, vec![50])
+        RunSpec::new(Arc::new(b.build().unwrap()), MachineConfig::small()).with_input(0, vec![50])
     }
 
     #[test]

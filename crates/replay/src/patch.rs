@@ -182,10 +182,7 @@ pub fn avoid_fault_hinted(
 pub fn patch_avoids_fault(spec: &RunSpec, patch: &EnvPatch) -> bool {
     let pf = PatchFile { patches: vec![patch.clone()] };
     let patched = apply_patches(spec, &pf);
-    matches!(
-        patched.machine().run().status,
-        ExitStatus::Completed | ExitStatus::Exited(0)
-    )
+    matches!(patched.machine().run().status, ExitStatus::Completed | ExitStatus::Exited(0))
 }
 
 #[cfg(test)]
@@ -204,7 +201,7 @@ mod tests {
         b.alloc(Reg(2), Reg(1)); // buffer
         b.alloc(Reg(3), Reg(1)); // victim: holds a function pointer
         b.li(Reg(4), 13); // addr of `handler`, patched below via label math
-        // Store handler address into victim[0].
+                          // Store handler address into victim[0].
         b.li(Reg(5), 0);
         b.label("fill"); // fill buffer with 9 (!) words: index 0..=8
         b.add(Reg(6), Reg(2), Reg(5));
@@ -346,10 +343,7 @@ mod tests {
     fn apply_patches_rewrites_spec() {
         let spec = malformed_spec();
         let pf = PatchFile {
-            patches: vec![
-                EnvPatch::AllocPadding(32),
-                EnvPatch::DropInput { channel: 0, index: 0 },
-            ],
+            patches: vec![EnvPatch::AllocPadding(32), EnvPatch::DropInput { channel: 0, index: 0 }],
         };
         let patched = apply_patches(&spec, &pf);
         assert_eq!(patched.config.alloc_padding, 32);

@@ -121,8 +121,7 @@ mod tests {
         b.bin(BinOp::Div, Reg(5), Reg(4), Reg(3));
         b.output(Reg(5), 0);
         b.halt();
-        RunSpec::new(Arc::new(b.build().unwrap()), MachineConfig::small())
-            .with_input(0, vec![7])
+        RunSpec::new(Arc::new(b.build().unwrap()), MachineConfig::small()).with_input(0, vec![7])
     }
 
     #[test]
@@ -179,7 +178,7 @@ mod tests {
         let plan = reduce(&rec.log, fstep);
 
         // Whole-run tracing (what you'd do without reduction).
-        let mut m = spec.machine();
+        let m = spec.machine();
         let program = m.program().clone();
         let mem = m.config().mem_words;
         let mut full_tracer = OnTrac::new(&program, mem, OnTracConfig::unoptimized(1 << 24));

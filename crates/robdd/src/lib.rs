@@ -185,16 +185,10 @@ impl BddManager {
         }
         let (va, vb) = (self.var(a), self.var(b));
         let v = va.min(vb);
-        let (alo, ahi) = if va == v {
-            (self.nodes[a as usize].lo, self.nodes[a as usize].hi)
-        } else {
-            (a, a)
-        };
-        let (blo, bhi) = if vb == v {
-            (self.nodes[b as usize].lo, self.nodes[b as usize].hi)
-        } else {
-            (b, b)
-        };
+        let (alo, ahi) =
+            if va == v { (self.nodes[a as usize].lo, self.nodes[a as usize].hi) } else { (a, a) };
+        let (blo, bhi) =
+            if vb == v { (self.nodes[b as usize].lo, self.nodes[b as usize].hi) } else { (b, b) };
         let lo = self.apply(op, alo, blo);
         let hi = self.apply(op, ahi, bhi);
         let r = self.mk(v, lo, hi);
@@ -263,11 +257,7 @@ impl BddManager {
             c
         };
         // Terminal TRUE represents all assignments of remaining vars.
-        let below = if node == TRUE {
-            1u64 << (self.nvars - var).min(63)
-        } else {
-            below
-        };
+        let below = if node == TRUE { 1u64 << (self.nvars - var).min(63) } else { below };
         // Skipped variables between `level` and `var` double the count.
         below << (var - level).min(63)
     }

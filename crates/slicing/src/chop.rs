@@ -11,12 +11,7 @@ use crate::slicer::{KindMask, Slice, Slicer};
 use dift_ddg::DdgGraph;
 
 /// The chop between `input_steps` (sources) and `failure_steps` (sinks).
-pub fn chop(
-    graph: &DdgGraph,
-    input_steps: &[u64],
-    failure_steps: &[u64],
-    mask: KindMask,
-) -> Slice {
+pub fn chop(graph: &DdgGraph, input_steps: &[u64], failure_steps: &[u64], mask: KindMask) -> Slice {
     let slicer = Slicer::new(graph);
     let forward = slicer.forward(input_steps, mask);
     let backward = slicer.backward(failure_steps, mask);

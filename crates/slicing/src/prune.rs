@@ -23,7 +23,7 @@ pub struct ConfidenceReport {
 impl ConfidenceReport {
     /// Fraction of the slice removed by pruning.
     pub fn reduction(&self) -> f64 {
-        if self.full_slice.len() == 0 {
+        if self.full_slice.is_empty() {
             0.0
         } else {
             1.0 - self.pruned.len() as f64 / self.full_slice.len() as f64

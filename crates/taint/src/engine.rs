@@ -3,10 +3,17 @@
 use crate::costs;
 use crate::label::{LabelCtx, TaintLabel};
 use crate::policy::TaintPolicy;
+use crate::shadow::ShadowMap;
 use dift_dbi::Tool;
 use dift_isa::{Addr, MemAddr, Opcode, Reg, NUM_REGS};
 use dift_vm::{Machine, RunResult, StepEffects, ThreadId};
 use std::collections::HashMap;
+
+/// Upper bound on per-instruction source labels: ≤2 data uses (3 for
+/// CAS via `reg_uses` shapes), ≤1 address use under pointer-taint, plus
+/// the memory-read label — 8 leaves slack for ISA growth. Sized so the
+/// hot path gathers sources into an inline array and never allocates.
+const MAX_SOURCES: usize = 8;
 
 /// Why an alert fired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,7 +27,7 @@ pub enum AlertKind {
 }
 
 /// One attack-detection alert.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaintAlert<T> {
     pub step: u64,
     pub tid: ThreadId,
@@ -40,27 +47,32 @@ pub struct TaintAlert<T> {
 }
 
 /// Engine statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TaintStats {
     pub instrs: u64,
     /// Instructions that touched at least one tainted value.
     pub tainted_instrs: u64,
     /// Taint sources created (input words read).
     pub sources: u64,
-    /// Peak count of tainted memory words.
+    /// Peak count of tainted memory words (exact: updated on every
+    /// shadow write from the running counter).
     pub peak_tainted_words: usize,
-    /// Peak shadow bytes across tainted memory words.
+    /// Peak shadow bytes across tainted memory words (exact).
     pub peak_shadow_bytes: usize,
 }
 
 /// The DIFT engine, generic over the label lattice.
 pub struct TaintEngine<T: TaintLabel> {
     policy: TaintPolicy,
+    /// Origins feed alert root-cause pointers only; when the policy has
+    /// every check disabled they are unobservable, so the hot path skips
+    /// maintaining them.
+    track_origins: bool,
     regs: Vec<Vec<T>>,
     /// Per (tid, reg): the memory cell a register was most recently
     /// loaded from (None after any non-load definition).
     origins: Vec<Vec<Option<MemAddr>>>,
-    mem: HashMap<MemAddr, T>,
+    mem: ShadowMap<T>,
     input_counts: HashMap<u16, u64>,
     pub alerts: Vec<TaintAlert<T>>,
     /// Labels observed at `Out` instructions: `(channel, emit index,
@@ -74,9 +86,10 @@ impl<T: TaintLabel> TaintEngine<T> {
     pub fn new(policy: TaintPolicy) -> TaintEngine<T> {
         TaintEngine {
             policy,
+            track_origins: policy.check_mem_addr || policy.check_control,
             regs: Vec::new(),
             origins: Vec::new(),
-            mem: HashMap::new(),
+            mem: ShadowMap::new(),
             input_counts: HashMap::new(),
             alerts: Vec::new(),
             output_labels: Vec::new(),
@@ -89,6 +102,19 @@ impl<T: TaintLabel> TaintEngine<T> {
         &self.stats
     }
 
+    /// Reserve the shadow page table for `mem_words` of data memory so
+    /// the steady-state hot path never grows it. Called automatically
+    /// from [`Tool::on_start`]; the multicore helper, which drives
+    /// [`Self::process`] directly, calls it with the producer's size.
+    pub fn pre_size(&mut self, mem_words: usize) {
+        self.mem.pre_size(mem_words);
+    }
+
+    /// The memory shadow (tests, differential comparison).
+    pub fn shadow(&self) -> &ShadowMap<T> {
+        &self.mem
+    }
+
     fn ensure_tid(&mut self, tid: ThreadId) {
         while self.regs.len() <= tid as usize {
             self.regs.push(vec![T::default(); NUM_REGS]);
@@ -96,27 +122,27 @@ impl<T: TaintLabel> TaintEngine<T> {
         }
     }
 
-    /// Label of a register.
-    pub fn reg_label(&mut self, tid: ThreadId, r: Reg) -> &T {
-        self.ensure_tid(tid);
-        &self.regs[tid as usize][r.index()]
+    /// Label of a register (clean default for unseen tids — read-only,
+    /// so observing a register never grows engine state).
+    pub fn reg_label(&self, tid: ThreadId, r: Reg) -> T {
+        self.regs.get(tid as usize).map(|rs| rs[r.index()].clone()).unwrap_or_default()
     }
 
     /// Label of a memory word (clean if never written tainted).
     pub fn mem_label(&self, addr: MemAddr) -> T {
-        self.mem.get(&addr).cloned().unwrap_or_default()
+        self.mem.get(addr)
     }
 
+    #[inline]
     fn set_mem_label(&mut self, addr: MemAddr, label: T) {
-        if label.is_clean() {
-            self.mem.remove(&addr);
-        } else {
-            self.mem.insert(addr, label);
+        self.mem.set(addr, label);
+        // Running counters make peak tracking O(1) per write; the old
+        // HashMap engine rescanned the whole map at every new peak.
+        if self.mem.tainted_words() > self.stats.peak_tainted_words {
+            self.stats.peak_tainted_words = self.mem.tainted_words();
         }
-        if self.mem.len() > self.stats.peak_tainted_words {
-            self.stats.peak_tainted_words = self.mem.len();
-            self.stats.peak_shadow_bytes =
-                self.mem.values().map(|l| l.shadow_bytes()).sum();
+        if self.mem.shadow_bytes() > self.stats.peak_shadow_bytes {
+            self.stats.peak_shadow_bytes = self.mem.shadow_bytes();
         }
     }
 
@@ -128,36 +154,54 @@ impl<T: TaintLabel> TaintEngine<T> {
 
     /// Number of currently tainted memory words.
     pub fn tainted_words(&self) -> usize {
-        self.mem.len()
+        self.mem.tainted_words()
     }
 
     /// Process one step's effects — also callable outside the Tool
     /// interface (the multicore helper thread drives this directly).
+    ///
+    /// Steady-state this performs zero heap allocations: source labels
+    /// gather into an inline array, the shadow lookup is two array
+    /// indexes, and peaks update from running counters.
     pub fn process(&mut self, fx: &StepEffects) {
         let tid = fx.tid;
         self.ensure_tid(tid);
         self.stats.instrs += 1;
         let ctx = LabelCtx { addr: fx.addr, step: fx.step, stmt: fx.insn.stmt };
 
-        // Gather source labels.
+        // Operand queries are pure functions of the opcode — compute
+        // each exactly once per step.
+        let data_uses = fx.insn.data_uses();
+        let addr_uses = fx.insn.addr_uses();
+
+        // Gather source labels into an inline buffer (no allocation).
         let t = tid as usize;
-        let mut sources: Vec<T> = Vec::with_capacity(4);
-        for r in &fx.insn.data_uses() {
-            sources.push(self.regs[t][r.index()].clone());
-        }
-        if self.policy.propagate_through_addr {
-            for r in &fx.insn.addr_uses() {
-                sources.push(self.regs[t][r.index()].clone());
+        let mut sources: [T; MAX_SOURCES] = std::array::from_fn(|_| T::default());
+        let mut nsrc = 0usize;
+        {
+            // One outer bounds check for the whole gather.
+            let regs_t = &self.regs[t];
+            for r in &data_uses {
+                sources[nsrc] = regs_t[r.index()].clone();
+                nsrc += 1;
+            }
+            if self.policy.propagate_through_addr {
+                for r in &addr_uses {
+                    sources[nsrc] = regs_t[r.index()].clone();
+                    nsrc += 1;
+                }
             }
         }
         if let Some((addr, _)) = fx.mem_read {
-            sources.push(self.mem_label(addr));
+            sources[nsrc] = self.mem.get(addr);
+            nsrc += 1;
         }
+        let sources = &sources[..nsrc];
         let any_tainted = sources.iter().any(|s| !s.is_clean());
 
         // Checks (before the write-side update).
         if self.policy.check_mem_addr || self.policy.check_control {
-            for r in &fx.insn.addr_uses() {
+            for r in &addr_uses {
                 let label = &self.regs[t][r.index()];
                 if label.is_clean() {
                     continue;
@@ -175,8 +219,7 @@ impl<T: TaintLabel> TaintEngine<T> {
                     _ => self.policy.check_mem_addr,
                 };
                 if wanted {
-                    let origin = self.origins[t][r.index()]
-                        .map(|cell| (cell, self.mem.get(&cell).cloned().unwrap_or_default()));
+                    let origin = self.origins[t][r.index()].map(|cell| (cell, self.mem.get(cell)));
                     self.alerts.push(TaintAlert {
                         step: fx.step,
                         tid,
@@ -198,9 +241,12 @@ impl<T: TaintLabel> TaintEngine<T> {
             *idx += 1;
             self.stats.sources += 1;
             l
+        } else if any_tainted {
+            T::propagate(sources, &ctx)
         } else {
-            let refs: Vec<&T> = sources.iter().collect();
-            T::propagate(&refs, &ctx)
+            // The trait contract fixes propagate(all-clean) = clean, so
+            // the dominant untainted case skips the lattice join.
+            T::default()
         };
 
         if any_tainted || is_source {
@@ -209,21 +255,21 @@ impl<T: TaintLabel> TaintEngine<T> {
 
         if let Some((r, _, _)) = fx.reg_write {
             self.regs[t][r.index()] = out_label.clone();
-            self.origins[t][r.index()] = match fx.insn.op {
-                Opcode::Load { .. } => fx.mem_read.map(|(a, _)| a),
-                _ => None,
-            };
+            if self.track_origins {
+                self.origins[t][r.index()] = match fx.insn.op {
+                    Opcode::Load { .. } => fx.mem_read.map(|(a, _)| a),
+                    _ => None,
+                };
+            }
         }
         if let Some((addr, _, _)) = fx.mem_write {
-            self.set_mem_label(addr, out_label.clone());
+            self.set_mem_label(addr, out_label);
         }
 
         // Output sink labels.
         if let Some((ch, _)) = fx.output {
             let idx = self.output_counts.entry(ch).or_insert(0);
-            let label = fx
-                .insn
-                .data_uses()
+            let label = data_uses
                 .as_slice()
                 .first()
                 .map(|r| self.regs[t][r.index()].clone())
@@ -235,6 +281,12 @@ impl<T: TaintLabel> TaintEngine<T> {
 }
 
 impl<T: TaintLabel> Tool for TaintEngine<T> {
+    fn on_start(&mut self, m: &mut Machine) {
+        // Pre-size the shadow page table to the machine's data memory so
+        // the steady-state hot path never reallocates it.
+        self.mem.pre_size(m.mem_words());
+    }
+
     fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
         if self.policy.charge_cycles {
             let mut c = costs::TAINT_PER_INSN;
@@ -384,6 +436,39 @@ mod tests {
         pol.propagate_through_addr = true;
         let (t2, _) = run::<BitTaint>(&p, pol, &[5]);
         assert!(!t2.output_labels[0].2.is_clean(), "pointer taint flows");
+    }
+
+    #[test]
+    fn peak_shadow_accounting_is_exact() {
+        // Taint three words, clean two, re-taint one: the peak is the
+        // *maximum concurrent* count (3), not the final count (2) nor
+        // the total ever tainted (4) — and bytes must match exactly.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.li(Reg(2), 200);
+        b.store(Reg(1), Reg(2), 0); // mem[200] tainted
+        b.store(Reg(1), Reg(2), 1); // mem[201] tainted
+        b.store(Reg(1), Reg(2), 2); // mem[202] tainted -> peak 3
+        b.li(Reg(3), 0);
+        b.store(Reg(3), Reg(2), 0); // clean mem[200]
+        b.store(Reg(3), Reg(2), 1); // clean mem[201]
+        b.store(Reg(1), Reg(2), 7); // mem[207] tainted (back to 2)
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let (t, _) = run::<PcTaint>(&p, TaintPolicy::propagate_only(), &[9]);
+        assert_eq!(t.tainted_words(), 2);
+        assert_eq!(t.stats().peak_tainted_words, 3);
+        assert_eq!(t.stats().peak_shadow_bytes, 3 * 4, "three PcTaint words at peak");
+        assert_eq!(t.shadow().shadow_bytes(), 2 * 4);
+    }
+
+    #[test]
+    fn unseen_tid_reg_label_is_clean_without_mutation() {
+        let e = TaintEngine::<BitTaint>::new(TaintPolicy::default());
+        assert!(e.reg_label(7, Reg(3)).is_clean());
+        // Read-only observation: no per-thread state materialized.
+        assert_eq!(e.tainted_words(), 0);
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub trait TaintLabel: Clone + PartialEq + Default + std::fmt::Debug {
 
     /// Label of a value produced from `sources` by the instruction at
     /// `ctx`. Must return clean when every source is clean.
-    fn propagate(sources: &[&Self], ctx: &LabelCtx) -> Self;
+    ///
+    /// Takes labels by slice (not `&[&Self]`) so the engine can pass an
+    /// inline scratch array without building a per-instruction `Vec` of
+    /// references.
+    fn propagate(sources: &[Self], ctx: &LabelCtx) -> Self;
 
     /// Label created at a taint source (an `In` instruction): `index` is
     /// the running count of words read from `channel`.
@@ -40,7 +44,7 @@ impl TaintLabel for BitTaint {
         !self.0
     }
 
-    fn propagate(sources: &[&Self], _ctx: &LabelCtx) -> Self {
+    fn propagate(sources: &[Self], _ctx: &LabelCtx) -> Self {
         BitTaint(sources.iter().any(|s| s.0))
     }
 
@@ -75,7 +79,7 @@ impl TaintLabel for PcTaint {
         self.0 == 0
     }
 
-    fn propagate(sources: &[&Self], ctx: &LabelCtx) -> Self {
+    fn propagate(sources: &[Self], ctx: &LabelCtx) -> Self {
         if sources.iter().any(|s| s.0 != 0) {
             // The new value is tainted; its label is the PC of the
             // instruction writing it — the paper's key twist.
@@ -107,8 +111,8 @@ mod tests {
         let t = BitTaint(true);
         let c = BitTaint(false);
         assert!(c.is_clean());
-        assert!(!BitTaint::propagate(&[&c, &c], &ctx(1)).0);
-        assert!(BitTaint::propagate(&[&c, &t], &ctx(1)).0);
+        assert!(!BitTaint::propagate(&[c, c], &ctx(1)).0);
+        assert!(BitTaint::propagate(&[c, t], &ctx(1)).0);
         assert!(BitTaint::source(&ctx(1), 0, 0).0);
     }
 
@@ -119,10 +123,10 @@ mod tests {
         assert_eq!(t.pc(), Some(10));
         assert!(c.is_clean());
         // Propagation stamps the *current* PC, not the source's.
-        let out = PcTaint::propagate(&[&t, &c], &ctx(55));
+        let out = PcTaint::propagate(&[t, c], &ctx(55));
         assert_eq!(out.pc(), Some(55));
         // Clean sources stay clean.
-        assert!(PcTaint::propagate(&[&c], &ctx(55)).is_clean());
+        assert!(PcTaint::propagate(&[c], &ctx(55)).is_clean());
         // PC 0 is representable (shifted encoding).
         assert_eq!(PcTaint::at(0).pc(), Some(0));
     }

@@ -22,10 +22,14 @@
 pub mod engine;
 pub mod label;
 pub mod policy;
+pub mod reference;
+pub mod shadow;
 
 pub use engine::{AlertKind, TaintAlert, TaintEngine, TaintStats};
 pub use label::{BitTaint, LabelCtx, PcTaint, TaintLabel};
 pub use policy::TaintPolicy;
+pub use reference::ReferenceTaintEngine;
+pub use shadow::ShadowMap;
 
 /// Cycle charges for the software (same-core) DIFT engine. Calibrated so
 /// inline software DIFT lands at a few-× slowdown, the regime from which

@@ -1,0 +1,188 @@
+//! Reference DIFT engine — the pre-optimization implementation, kept
+//! as a differential-testing oracle and benchmarking baseline.
+//!
+//! This is the `HashMap`-shadowed, allocating formulation the paged
+//! [`crate::ShadowMap`] engine replaced: per-instruction `Vec` source
+//! buffers, hashed shadow lookups, and peak accounting that rescans the
+//! map. Semantics are the ground truth: the optimized engine must agree
+//! with this one on labels, alerts, and counters for every program (see
+//! `tests/shadow_diff.rs`), and the throughput delta between the two is
+//! what `BENCH_taint.json` records.
+
+use crate::engine::{AlertKind, TaintAlert, TaintStats};
+use crate::label::{LabelCtx, TaintLabel};
+use crate::policy::TaintPolicy;
+use dift_isa::{MemAddr, Opcode, Reg, NUM_REGS};
+use dift_vm::{StepEffects, ThreadId};
+use std::collections::HashMap;
+
+/// The unoptimized engine. Mirrors [`crate::TaintEngine`]'s observable
+/// surface; not a [`dift_dbi::Tool`] — drive it with [`Self::process`].
+pub struct ReferenceTaintEngine<T: TaintLabel> {
+    policy: TaintPolicy,
+    regs: Vec<Vec<T>>,
+    origins: Vec<Vec<Option<MemAddr>>>,
+    mem: HashMap<MemAddr, T>,
+    input_counts: HashMap<u16, u64>,
+    pub alerts: Vec<TaintAlert<T>>,
+    pub output_labels: Vec<(u16, u64, T)>,
+    output_counts: HashMap<u16, u64>,
+    stats: TaintStats,
+}
+
+impl<T: TaintLabel> ReferenceTaintEngine<T> {
+    pub fn new(policy: TaintPolicy) -> ReferenceTaintEngine<T> {
+        ReferenceTaintEngine {
+            policy,
+            regs: Vec::new(),
+            origins: Vec::new(),
+            mem: HashMap::new(),
+            input_counts: HashMap::new(),
+            alerts: Vec::new(),
+            output_labels: Vec::new(),
+            output_counts: HashMap::new(),
+            stats: TaintStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &TaintStats {
+        &self.stats
+    }
+
+    pub fn tainted_words(&self) -> usize {
+        self.mem.len()
+    }
+
+    pub fn mem_label(&self, addr: MemAddr) -> T {
+        self.mem.get(&addr).cloned().unwrap_or_default()
+    }
+
+    /// Tainted memory as sorted `(addr, label)` pairs.
+    pub fn tainted_cells(&self) -> Vec<(MemAddr, T)> {
+        let mut v: Vec<(MemAddr, T)> = self.mem.iter().map(|(a, l)| (*a, l.clone())).collect();
+        v.sort_by_key(|(a, _)| *a);
+        v
+    }
+
+    fn ensure_tid(&mut self, tid: ThreadId) {
+        while self.regs.len() <= tid as usize {
+            self.regs.push(vec![T::default(); NUM_REGS]);
+            self.origins.push(vec![None; NUM_REGS]);
+        }
+    }
+
+    fn set_mem_label(&mut self, addr: MemAddr, label: T) {
+        if label.is_clean() {
+            self.mem.remove(&addr);
+        } else {
+            self.mem.insert(addr, label);
+        }
+        if self.mem.len() > self.stats.peak_tainted_words {
+            self.stats.peak_tainted_words = self.mem.len();
+            // The O(n) rescan the optimized engine's running counters
+            // replaced — kept verbatim as the oracle.
+            self.stats.peak_shadow_bytes = self.mem.values().map(|l| l.shadow_bytes()).sum();
+        }
+    }
+
+    /// Process one step's effects (seed-engine semantics, allocating).
+    pub fn process(&mut self, fx: &StepEffects) {
+        let tid = fx.tid;
+        self.ensure_tid(tid);
+        self.stats.instrs += 1;
+        let ctx = LabelCtx { addr: fx.addr, step: fx.step, stmt: fx.insn.stmt };
+
+        let t = tid as usize;
+        let mut sources: Vec<T> = Vec::with_capacity(4);
+        for r in &fx.insn.data_uses() {
+            sources.push(self.regs[t][r.index()].clone());
+        }
+        if self.policy.propagate_through_addr {
+            for r in &fx.insn.addr_uses() {
+                sources.push(self.regs[t][r.index()].clone());
+            }
+        }
+        if let Some((addr, _)) = fx.mem_read {
+            sources.push(self.mem_label(addr));
+        }
+        let any_tainted = sources.iter().any(|s| !s.is_clean());
+
+        if self.policy.check_mem_addr || self.policy.check_control {
+            for r in &fx.insn.addr_uses() {
+                let label = &self.regs[t][r.index()];
+                if label.is_clean() {
+                    continue;
+                }
+                let kind = match fx.insn.op {
+                    Opcode::Load { .. } => AlertKind::TaintedLoadAddr,
+                    Opcode::Store { .. } | Opcode::Atomic { .. } | Opcode::Cas { .. } => {
+                        AlertKind::TaintedStoreAddr
+                    }
+                    Opcode::JumpInd { .. } | Opcode::CallInd { .. } => AlertKind::TaintedControl,
+                    _ => continue,
+                };
+                let wanted = match kind {
+                    AlertKind::TaintedControl => self.policy.check_control,
+                    _ => self.policy.check_mem_addr,
+                };
+                if wanted {
+                    let origin = self.origins[t][r.index()]
+                        .map(|cell| (cell, self.mem.get(&cell).cloned().unwrap_or_default()));
+                    self.alerts.push(TaintAlert {
+                        step: fx.step,
+                        tid,
+                        at: fx.addr,
+                        kind,
+                        label: label.clone(),
+                        origin,
+                    });
+                }
+            }
+        }
+
+        let is_source = matches!(fx.insn.op, Opcode::In { .. });
+        let out_label = if is_source {
+            let (ch, _) = fx.input.expect("In always has an input effect");
+            let idx = self.input_counts.entry(ch).or_insert(0);
+            let l = T::source(&ctx, ch, *idx);
+            *idx += 1;
+            self.stats.sources += 1;
+            l
+        } else {
+            T::propagate(&sources, &ctx)
+        };
+
+        if any_tainted || is_source {
+            self.stats.tainted_instrs += 1;
+        }
+
+        if let Some((r, _, _)) = fx.reg_write {
+            self.regs[t][r.index()] = out_label.clone();
+            self.origins[t][r.index()] = match fx.insn.op {
+                Opcode::Load { .. } => fx.mem_read.map(|(a, _)| a),
+                _ => None,
+            };
+        }
+        if let Some((addr, _, _)) = fx.mem_write {
+            self.set_mem_label(addr, out_label.clone());
+        }
+
+        if let Some((ch, _)) = fx.output {
+            let idx = self.output_counts.entry(ch).or_insert(0);
+            let label = fx
+                .insn
+                .data_uses()
+                .as_slice()
+                .first()
+                .map(|r| self.regs[t][r.index()].clone())
+                .unwrap_or_default();
+            self.output_labels.push((ch, *idx, label));
+            *idx += 1;
+        }
+    }
+
+    /// Label of a register (clean for unseen tids).
+    pub fn reg_label(&self, tid: ThreadId, r: Reg) -> T {
+        self.regs.get(tid as usize).map(|rs| rs[r.index()].clone()).unwrap_or_default()
+    }
+}

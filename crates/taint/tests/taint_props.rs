@@ -18,8 +18,12 @@ enum Step {
 
 fn step() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0..OPS.len(), 1u8..10, 1u8..10, 1u8..10)
-            .prop_map(|(op, rd, rs1, rs2)| Step::Alu { op, rd, rs1, rs2 }),
+        (0..OPS.len(), 1u8..10, 1u8..10, 1u8..10).prop_map(|(op, rd, rs1, rs2)| Step::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (1u8..10, 0u8..8).prop_map(|(rs, slot)| Step::Store { rs, slot }),
         (1u8..10, 0u8..8).prop_map(|(rd, slot)| Step::Load { rd, slot }),
     ]

@@ -6,9 +6,10 @@ use dift_isa::MemAddr;
 use serde::{Deserialize, Serialize};
 
 /// Scheduling policy for the machine's thread interleaving.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum SchedPolicy {
     /// Cycle through runnable threads in tid order.
+    #[default]
     RoundRobin,
     /// Pick a runnable thread pseudo-randomly (xorshift64, seeded) at each
     /// decision point. Distinct seeds give distinct interleavings — the
@@ -19,12 +20,6 @@ pub enum SchedPolicy {
     /// names the thread chosen at one decision point. When the script is
     /// exhausted the machine falls back to round-robin.
     Scripted { decisions: Vec<SchedDecision> },
-}
-
-impl Default for SchedPolicy {
-    fn default() -> Self {
-        SchedPolicy::RoundRobin
-    }
 }
 
 /// Per-operation cycle costs. The defaults are loosely modeled on a

@@ -95,13 +95,7 @@ pub struct StepEffects {
 
 impl StepEffects {
     pub(crate) fn reset(&mut self, tid: u64, addr: Addr, insn: Instruction, step: u64) {
-        *self = StepEffects {
-            tid,
-            addr,
-            insn,
-            step,
-            ..Default::default()
-        };
+        *self = StepEffects { tid, addr, insn, step, ..Default::default() };
     }
 
     /// The memory address this instruction touched, if any.
@@ -122,9 +116,8 @@ mod tests {
 
     #[test]
     fn reset_clears_previous_effects() {
-        let mut e = StepEffects::default();
-        e.reg_write = Some((Reg(1), 0, 5));
-        e.cycles = 10;
+        let mut e =
+            StepEffects { reg_write: Some((Reg(1), 0, 5)), cycles: 10, ..StepEffects::default() };
         e.reset(2, 7, Instruction::new(Opcode::Nop, 0), 42);
         assert_eq!(e.tid, 2);
         assert_eq!(e.addr, 7);

@@ -119,6 +119,12 @@ impl Machine {
         &self.config
     }
 
+    /// Size of data memory in words — shadow structures (taint shadow
+    /// map, DDG last-writer tables) pre-size themselves from this.
+    pub fn mem_words(&self) -> usize {
+        self.config.mem_words
+    }
+
     pub fn status(&self) -> ExitStatus {
         self.status
     }
@@ -195,11 +201,7 @@ impl Machine {
     // ---- scheduling --------------------------------------------------------
 
     fn runnable(&self) -> Vec<ThreadId> {
-        self.threads
-            .iter()
-            .filter(|t| t.status.is_runnable())
-            .map(|t| t.tid)
-            .collect()
+        self.threads.iter().filter(|t| t.status.is_runnable()).map(|t| t.tid).collect()
     }
 
     fn inject_arrivals(&mut self) {
@@ -327,8 +329,7 @@ impl Machine {
             // without consuming a step.
             match insn.op {
                 Opcode::In { channel, .. } => {
-                    let empty =
-                        self.inputs.get(&channel).map(|q| q.is_empty()).unwrap_or(true);
+                    let empty = self.inputs.get(&channel).map(|q| q.is_empty()).unwrap_or(true);
                     if empty {
                         self.threads[tid as usize].status = ThreadStatus::InputWait(channel);
                         self.scheduled = false;
@@ -647,11 +648,7 @@ impl Machine {
             quantum_left: self.quantum_left,
             steps: self.steps,
             cycles: self.cycles,
-            inputs: self
-                .inputs
-                .iter()
-                .map(|(&ch, q)| (ch, q.iter().copied().collect()))
-                .collect(),
+            inputs: self.inputs.iter().map(|(&ch, q)| (ch, q.iter().copied().collect())).collect(),
             outputs: self.outputs.iter().map(|(&ch, v)| (ch, v.clone())).collect(),
             next_arrival: self.next_arrival,
             live_allocs: self.allocator.live_blocks(),
@@ -670,18 +667,10 @@ impl Machine {
         // the same points as the recorded run did.
         self.quantum_left = cp.quantum_left;
         self.scheduled = cp.quantum_left > 0
-            && self
-                .threads
-                .get(cp.cur as usize)
-                .map(|t| t.status.is_runnable())
-                .unwrap_or(false);
+            && self.threads.get(cp.cur as usize).map(|t| t.status.is_runnable()).unwrap_or(false);
         self.steps = cp.steps;
         self.cycles = cp.cycles;
-        self.inputs = cp
-            .inputs
-            .iter()
-            .map(|(ch, v)| (*ch, v.iter().copied().collect()))
-            .collect();
+        self.inputs = cp.inputs.iter().map(|(ch, v)| (*ch, v.iter().copied().collect())).collect();
         self.outputs = cp.outputs.iter().map(|(ch, v)| (*ch, v.clone())).collect();
         self.next_arrival = cp.next_arrival;
         self.status = ExitStatus::Running;

@@ -89,10 +89,7 @@ fn ret_without_call_faults() {
         b.func("main");
         b.ret();
     });
-    assert!(matches!(
-        r.status,
-        ExitStatus::Faulted { fault: Fault::CallStackUnderflow, .. }
-    ));
+    assert!(matches!(r.status, ExitStatus::Faulted { fault: Fault::CallStackUnderflow, .. }));
 }
 
 #[test]
@@ -118,10 +115,7 @@ fn oob_store_faults() {
         b.store(Reg(1), Reg(1), 0);
         b.halt();
     });
-    assert!(matches!(
-        r.status,
-        ExitStatus::Faulted { fault: Fault::OutOfBoundsMemory { .. }, .. }
-    ));
+    assert!(matches!(r.status, ExitStatus::Faulted { fault: Fault::OutOfBoundsMemory { .. }, .. }));
 }
 
 #[test]
@@ -403,10 +397,7 @@ fn assert_failure_faults_with_message() {
         b.assert_(Reg(1), 77);
         b.halt();
     });
-    assert!(matches!(
-        r.status,
-        ExitStatus::Faulted { fault: Fault::AssertFailed { msg: 77 }, .. }
-    ));
+    assert!(matches!(r.status, ExitStatus::Faulted { fault: Fault::AssertFailed { msg: 77 }, .. }));
 }
 
 #[test]
@@ -577,9 +568,7 @@ fn scripted_divergence_is_reported() {
     b.halt();
     let p = Arc::new(b.build().unwrap());
     let mut cfg = MachineConfig::small();
-    cfg.sched = SchedPolicy::Scripted {
-        decisions: vec![crate::sched::SchedDecision { tid: 7 }],
-    };
+    cfg.sched = SchedPolicy::Scripted { decisions: vec![crate::sched::SchedDecision { tid: 7 }] };
     let mut m = Machine::new(p, cfg);
     assert_eq!(m.run().status, ExitStatus::ReplayDivergence);
 }
@@ -619,8 +608,5 @@ fn out_of_code_fallthrough_is_a_bad_jump() {
     b.li(Reg(2), 2); // no halt
     let p = Arc::new(b.build().unwrap());
     let mut m = Machine::new(p, MachineConfig::small());
-    assert!(matches!(
-        m.run().status,
-        ExitStatus::Faulted { fault: Fault::BadJump { .. }, .. }
-    ));
+    assert!(matches!(m.run().status, ExitStatus::Faulted { fault: Fault::BadJump { .. }, .. }));
 }

@@ -34,10 +34,7 @@ impl Memory {
     /// Read a word; out-of-range is a [`Fault`].
     #[inline]
     pub fn read(&self, addr: MemAddr) -> Result<u64, Fault> {
-        self.words
-            .get(addr as usize)
-            .copied()
-            .ok_or(Fault::OutOfBoundsMemory { addr })
+        self.words.get(addr as usize).copied().ok_or(Fault::OutOfBoundsMemory { addr })
     }
 
     /// Write a word, returning the old value; out-of-range is a [`Fault`].
@@ -107,11 +104,7 @@ impl Allocator {
     /// round up to one word so every allocation has a distinct address.
     pub fn alloc(&mut self, size: u64, padding: u64) -> Result<MemAddr, AllocError> {
         let want = size.max(1) + padding;
-        let found = self
-            .free
-            .iter()
-            .find(|(_, &sz)| sz >= want)
-            .map(|(&start, &sz)| (start, sz));
+        let found = self.free.iter().find(|(_, &sz)| sz >= want).map(|(&start, &sz)| (start, sz));
         let (start, sz) = found.ok_or(AllocError::OutOfMemory)?;
         self.free.remove(&start);
         if sz > want {
@@ -179,11 +172,8 @@ impl Allocator {
     /// Carve a specific `[addr, addr+size)` range out of the free list and
     /// mark it live — used when restoring a checkpointed heap layout.
     pub fn reserve(&mut self, addr: MemAddr, size: u64) -> Result<(), AllocError> {
-        let (&f_start, &f_len) = self
-            .free
-            .range(..=addr)
-            .next_back()
-            .ok_or(AllocError::OutOfMemory)?;
+        let (&f_start, &f_len) =
+            self.free.range(..=addr).next_back().ok_or(AllocError::OutOfMemory)?;
         if addr + size > f_start + f_len {
             return Err(AllocError::OutOfMemory);
         }

@@ -77,9 +77,21 @@ mod tests {
 
     #[test]
     fn cpi_guard_against_zero_steps() {
-        let r = RunResult { status: ExitStatus::Completed, steps: 0, cycles: 0, threads: 1, sched_decisions: 0 };
+        let r = RunResult {
+            status: ExitStatus::Completed,
+            steps: 0,
+            cycles: 0,
+            threads: 1,
+            sched_decisions: 0,
+        };
         assert_eq!(r.cpi(), 0.0);
-        let r2 = RunResult { status: ExitStatus::Completed, steps: 10, cycles: 35, threads: 1, sched_decisions: 0 };
+        let r2 = RunResult {
+            status: ExitStatus::Completed,
+            steps: 10,
+            cycles: 35,
+            threads: 1,
+            sched_decisions: 0,
+        };
         assert!((r2.cpi() - 3.5).abs() < 1e-12);
     }
 }

@@ -79,10 +79,7 @@ impl Scheduler {
     fn round_robin(last: Option<ThreadId>, runnable: &[ThreadId]) -> ThreadId {
         match last {
             None => runnable[0],
-            Some(prev) => *runnable
-                .iter()
-                .find(|&&t| t > prev)
-                .unwrap_or(&runnable[0]),
+            Some(prev) => *runnable.iter().find(|&&t| t > prev).unwrap_or(&runnable[0]),
         }
     }
 
@@ -138,9 +135,8 @@ mod tests {
             assert_eq!(rep.pick(&[0, 1]), Some(d.tid));
         }
         // Divergence: scripted tid not runnable.
-        let mut bad = Scheduler::new(SchedPolicy::Scripted {
-            decisions: vec![SchedDecision { tid: 5 }],
-        });
+        let mut bad =
+            Scheduler::new(SchedPolicy::Scripted { decisions: vec![SchedDecision { tid: 5 }] });
         assert_eq!(bad.pick(&[0, 1]), None);
     }
 

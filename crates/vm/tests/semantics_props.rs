@@ -72,8 +72,12 @@ struct AluStep {
 }
 
 fn alu_step() -> impl Strategy<Value = AluStep> {
-    (0..OPS.len(), 1u8..12, 1u8..12, 1u8..12)
-        .prop_map(|(op_idx, rd, rs1, rs2)| AluStep { op_idx, rd, rs1, rs2 })
+    (0..OPS.len(), 1u8..12, 1u8..12, 1u8..12).prop_map(|(op_idx, rd, rs1, rs2)| AluStep {
+        op_idx,
+        rd,
+        rs1,
+        rs2,
+    })
 }
 
 proptest! {

@@ -37,15 +37,15 @@ fn emit_barrier(b: &mut ProgramBuilder, p: &str, nthreads: u64) {
     b.li(R(22), 1);
     b.fetch_add(R(23), R(20), R(22)); // arrivals before me
     b.li(R(22), (nthreads - 1) as i64);
-    b.branch(BranchCond::Ne, R(23), R(22), &format!("{p}_wait"));
+    b.branch(BranchCond::Ne, R(23), R(22), format!("{p}_wait"));
     // Last arrival: reset counter, bump generation.
     b.store(R(0), R(20), 0);
     b.addi(R(24), R(24), 1);
     b.store(R(24), R(21), 0);
-    b.jump(&format!("{p}_out"));
+    b.jump(format!("{p}_out"));
     b.label(&format!("{p}_wait"));
     b.load(R(23), R(21), 0);
-    b.branch(BranchCond::Eq, R(23), R(24), &format!("{p}_wait"));
+    b.branch(BranchCond::Eq, R(23), R(24), format!("{p}_wait"));
     b.label(&format!("{p}_out"));
 }
 
@@ -344,7 +344,7 @@ pub fn barnes_like(n_bodies: u64, threads: u64, iters: u64) -> Workload {
     b.label("body");
     b.branch(BranchCond::Geu, R(9), R(7), "fold");
     b.add(R(10), R(8), R(9)); // body index
-    // force = sum over all positions of |p_j - p_i| (mod'ed down)
+                              // force = sum over all positions of |p_j - p_i| (mod'ed down)
     b.li(R(11), 0); // j
     b.li(R(12), n_bodies as i64);
     b.li(R(13), 0); // force acc

@@ -28,7 +28,7 @@ pub struct SciencePipeline {
 /// `binning(n, bin)`: read `n` inputs; output the sum of each consecutive
 /// `bin`-sized group. Output k depends on inputs [k*bin, (k+1)*bin).
 pub fn binning(n: u64, bin: u64) -> SciencePipeline {
-    assert!(n % bin == 0);
+    assert!(n.is_multiple_of(bin));
     let mut b = ProgramBuilder::new();
     b.func("main");
     b.li(R(1), n as i64);
@@ -52,9 +52,7 @@ pub fn binning(n: u64, bin: u64) -> SciencePipeline {
 
     let mut rng = Lcg::new(8);
     let inputs: Vec<u64> = (0..n).map(|_| rng.below(100)).collect();
-    let expected = (0..n / bin)
-        .map(|k| (k * bin..(k + 1) * bin).collect())
-        .collect();
+    let expected = (0..n / bin).map(|k| (k * bin..(k + 1) * bin).collect()).collect();
     SciencePipeline {
         workload: Workload::new(format!("binning.n{n}b{bin}"), Arc::new(b.build().unwrap()))
             .with_input(0, inputs),

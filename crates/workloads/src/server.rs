@@ -86,9 +86,12 @@ pub fn server(cfg: ServerConfig) -> Workload {
     b.branch(BranchCond::Eq, R(4), R(2), "serve_ch3");
     b.jump("serve_ch4");
 
-    for (ch, label, next) in
-        [(1u16, "serve_ch1", "w1"), (2, "serve_ch2", "w2"), (3, "serve_ch3", "w3"), (4, "serve_ch4", "w4")]
-    {
+    for (ch, label, next) in [
+        (1u16, "serve_ch1", "w1"),
+        (2, "serve_ch2", "w2"),
+        (3, "serve_ch3", "w3"),
+        (4, "serve_ch4", "w4"),
+    ] {
         b.label(label);
         worker_body(&mut b, ch, next, cfg.with_bug);
     }
@@ -139,36 +142,36 @@ fn worker_body(b: &mut ProgramBuilder, ch: u16, p: &str, with_bug: bool) {
     b.label(&l("loop"));
     b.input(R(5), ch); // op
     b.li(R(6), 3);
-    b.branch(BranchCond::Eq, R(5), R(6), &l("quit"));
+    b.branch(BranchCond::Eq, R(5), R(6), l("quit"));
     b.input(R(7), ch); // key
     b.input(R(8), ch); // value
     if with_bug {
         // Poison check: value == 0xBAD triggers the buggy path.
         b.li(R(9), 0xBAD);
-        b.branch(BranchCond::Eq, R(8), R(9), &l("bug"));
+        b.branch(BranchCond::Eq, R(8), R(9), l("bug"));
     }
     b.li(R(9), 1);
-    b.branch(BranchCond::Eq, R(5), R(9), &l("put"));
+    b.branch(BranchCond::Eq, R(5), R(9), l("put"));
     // GET: lock, probe, unlock, emit.
     emit_lock(b, &l("get_lock"));
     emit_probe(b, &l("getp"));
     // r12 = slot addr or 0
-    b.branch(BranchCond::Eq, R(12), R(0), &l("get_miss"));
+    b.branch(BranchCond::Eq, R(12), R(0), l("get_miss"));
     b.load(R(13), R(12), 1);
-    b.jump(&l("get_out"));
+    b.jump(l("get_out"));
     b.label(&l("get_miss"));
     b.li(R(13), 0);
     b.label(&l("get_out"));
     emit_unlock(b);
     b.output(R(13), 1);
-    b.jump(&l("cont"));
+    b.jump(l("cont"));
     // PUT: lock, probe-or-insert, store value, unlock.
     b.label(&l("put"));
     emit_lock(b, &l("put_lock"));
     emit_probe_insert(b, &l("puti"));
     b.store(R(8), R(12), 1);
     emit_unlock(b);
-    b.jump(&l("cont"));
+    b.jump(l("cont"));
     if with_bug {
         // The bug: copy `key % 8` words of the value into a 4-word
         // scratch buffer (unchecked length — words 4..7 overrun, word 5
@@ -177,11 +180,11 @@ fn worker_body(b: &mut ProgramBuilder, ch: u16, p: &str, with_bug: bool) {
         b.bini(BinOp::Rem, R(10), R(7), 8); // len = key % 8 (6 for key=6)
         b.li(R(11), 0);
         b.label(&l("bugcopy"));
-        b.branch(BranchCond::Geu, R(11), R(10), &l("cont"));
+        b.branch(BranchCond::Geu, R(11), R(10), l("cont"));
         b.add(R(12), R(19), R(11));
         b.store(R(8), R(12), 0); // scratch[i] = poison value
         b.addi(R(11), R(11), 1);
-        b.jump(&l("bugcopy"));
+        b.jump(l("bugcopy"));
     }
     // Between requests: return to the serve loop through the dispatch
     // pointer (clobbered by the bug -> wild jump on the next request).
@@ -218,8 +221,8 @@ fn emit_probe(b: &mut ProgramBuilder, p: &str) {
     b.bini(BinOp::Shl, R(12), R(10), 1);
     b.addi(R(12), R(12), TABLE as i64); // slot addr = TABLE + 2*idx
     b.load(R(13), R(12), 0);
-    b.branch(BranchCond::Eq, R(13), R(7), &format!("{p}_done"));
-    b.branch(BranchCond::Eq, R(13), R(0), &format!("{p}_miss"));
+    b.branch(BranchCond::Eq, R(13), R(7), format!("{p}_done"));
+    b.branch(BranchCond::Eq, R(13), R(0), format!("{p}_miss"));
     b.addi(R(10), R(10), 1);
     b.bini(BinOp::And, R(10), R(10), (TABLE_SLOTS - 1) as i64);
     b.addi(R(11), R(11), 1);
@@ -238,8 +241,8 @@ fn emit_probe_insert(b: &mut ProgramBuilder, p: &str) {
     b.bini(BinOp::Shl, R(12), R(10), 1);
     b.addi(R(12), R(12), TABLE as i64);
     b.load(R(13), R(12), 0);
-    b.branch(BranchCond::Eq, R(13), R(7), &format!("{p}_done"));
-    b.branch(BranchCond::Eq, R(13), R(0), &format!("{p}_new"));
+    b.branch(BranchCond::Eq, R(13), R(7), format!("{p}_done"));
+    b.branch(BranchCond::Eq, R(13), R(0), format!("{p}_new"));
     b.addi(R(10), R(10), 1);
     b.bini(BinOp::And, R(10), R(10), (TABLE_SLOTS - 1) as i64);
     b.jump(p);

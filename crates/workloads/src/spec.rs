@@ -48,7 +48,7 @@ pub fn compress_like(size: Size) -> Workload {
     let mut b = ProgramBuilder::new();
     b.func("main");
     b.li(R(7), n as i64); // n
-    // Ingest the stream into A.
+                          // Ingest the stream into A.
     b.li(R(1), 0);
     b.li(R(2), A as i64);
     b.label("ingest");
@@ -302,7 +302,7 @@ pub fn bzip_like(size: Size) -> Workload {
     b.branch(BranchCond::Geu, R(1), R(2), "out");
     b.add(R(6), R(3), R(1));
     b.load(R(7), R(6), 0); // sym
-    // find j with tab[j] == sym
+                           // find j with tab[j] == sym
     b.li(R(8), 0); // j
     b.label("find");
     b.add(R(9), R(4), R(8));
@@ -355,7 +355,7 @@ pub fn vortex_like(size: Size) -> Workload {
     b.li(R(3), B as i64); // table
     b.li(R(4), (table_size - 1) as i64); // mask
     b.li(R(5), 0); // i
-    // insert phase
+                   // insert phase
     b.label("ins");
     b.branch(BranchCond::Geu, R(5), R(2), "probe_phase");
     b.add(R(6), R(1), R(5));
@@ -472,7 +472,7 @@ pub fn twolf_like(size: Size) -> Workload {
     // i = rng % (n-1)
     b.bini(BinOp::Sub, R(6), R(2), 1);
     b.bin(BinOp::Rem, R(7), R(4), R(6)); // i in [0, n-2]
-    // neighbours A[i], A[i+1]: swap if A[i] > A[i+1] (local ordering)
+                                         // neighbours A[i], A[i+1]: swap if A[i] > A[i+1] (local ordering)
     b.add(R(8), R(1), R(7));
     b.load(R(9), R(8), 0);
     b.load(R(10), R(8), 1);
@@ -516,6 +516,59 @@ pub fn all_spec(size: Size) -> Vec<Workload> {
         gap_like(size),
         twolf_like(size),
     ]
+}
+
+/// `modular`: a three-function pipeline (`parse` → `compute` → `emit`)
+/// used by the selective-tracing experiments: a user who suspects the bug
+/// in `compute` traces only that function, and sound summarization must
+/// preserve the dependence chains flowing through `parse`.
+pub fn modular_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    // main: for each record, call the three stages.
+    b.func("main");
+    b.li(R(20), n as i64);
+    b.li(R(21), 0); // i
+    b.li(R(26), 0); // checksum
+    b.label("rec");
+    b.branch(BranchCond::Geu, R(21), R(20), "done");
+    b.mov(R(4), R(21));
+    b.call("parse");
+    b.mov(R(4), R(2)); // parsed value
+    b.call("compute");
+    b.mov(R(4), R(2)); // computed value
+    b.call("emit");
+    b.add(R(26), R(26), R(2));
+    b.addi(R(21), R(21), 1);
+    b.jump("rec");
+    b.label("done");
+    b.output(R(26), 0);
+    b.halt();
+    // parse(i) -> r2 = A[i] normalized
+    b.func("parse");
+    b.li(R(5), A as i64);
+    b.add(R(5), R(5), R(4));
+    b.load(R(2), R(5), 0);
+    b.bini(BinOp::And, R(2), R(2), 0xFFF);
+    b.ret();
+    // compute(v) -> r2 = v*3 + v>>2 folded through memory
+    b.func("compute");
+    b.bini(BinOp::Mul, R(6), R(4), 3);
+    b.bini(BinOp::Shr, R(7), R(4), 2);
+    b.add(R(2), R(6), R(7));
+    b.li(R(8), (S + 64) as i64);
+    b.store(R(2), R(8), 0);
+    b.load(R(2), R(8), 0);
+    b.ret();
+    // emit(v) -> r2 = v mod prime
+    b.func("emit");
+    b.bini(BinOp::Rem, R(2), R(4), 8191);
+    b.ret();
+
+    let mut rng = Lcg::new(77);
+    let data: Vec<u64> = (0..n).map(|_| rng.next()).collect();
+    b.data_block(A, &data);
+    Workload::new(format!("modular.{size:?}"), Arc::new(b.build().unwrap()))
 }
 
 #[cfg(test)]
@@ -596,57 +649,4 @@ mod tests {
         };
         assert!(small > tiny * 4, "{small} vs {tiny}");
     }
-}
-
-/// `modular`: a three-function pipeline (`parse` → `compute` → `emit`)
-/// used by the selective-tracing experiments: a user who suspects the bug
-/// in `compute` traces only that function, and sound summarization must
-/// preserve the dependence chains flowing through `parse`.
-pub fn modular_like(size: Size) -> Workload {
-    let n = size.n();
-    let mut b = ProgramBuilder::new();
-    // main: for each record, call the three stages.
-    b.func("main");
-    b.li(R(20), n as i64);
-    b.li(R(21), 0); // i
-    b.li(R(26), 0); // checksum
-    b.label("rec");
-    b.branch(BranchCond::Geu, R(21), R(20), "done");
-    b.mov(R(4), R(21));
-    b.call("parse");
-    b.mov(R(4), R(2)); // parsed value
-    b.call("compute");
-    b.mov(R(4), R(2)); // computed value
-    b.call("emit");
-    b.add(R(26), R(26), R(2));
-    b.addi(R(21), R(21), 1);
-    b.jump("rec");
-    b.label("done");
-    b.output(R(26), 0);
-    b.halt();
-    // parse(i) -> r2 = A[i] normalized
-    b.func("parse");
-    b.li(R(5), A as i64);
-    b.add(R(5), R(5), R(4));
-    b.load(R(2), R(5), 0);
-    b.bini(BinOp::And, R(2), R(2), 0xFFF);
-    b.ret();
-    // compute(v) -> r2 = v*3 + v>>2 folded through memory
-    b.func("compute");
-    b.bini(BinOp::Mul, R(6), R(4), 3);
-    b.bini(BinOp::Shr, R(7), R(4), 2);
-    b.add(R(2), R(6), R(7));
-    b.li(R(8), (S + 64) as i64);
-    b.store(R(2), R(8), 0);
-    b.load(R(2), R(8), 0);
-    b.ret();
-    // emit(v) -> r2 = v mod prime
-    b.func("emit");
-    b.bini(BinOp::Rem, R(2), R(4), 8191);
-    b.ret();
-
-    let mut rng = Lcg::new(77);
-    let data: Vec<u64> = (0..n).map(|_| rng.next()).collect();
-    b.data_block(A, &data);
-    Workload::new(format!("modular.{size:?}"), Arc::new(b.build().unwrap()))
 }

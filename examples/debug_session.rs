@@ -43,11 +43,7 @@ fn main() {
     let graph = tracer.graph(&case.program);
     let out_step = graph.last_step().expect("graph non-empty");
     let slice = Slicer::new(&graph).backward(&[out_step], KindMask::classic());
-    println!(
-        "backward slice: {} dynamic steps over {} statements",
-        slice.len(),
-        slice.stmts.len()
-    );
+    println!("backward slice: {} dynamic steps over {} statements", slice.len(), slice.stmts.len());
     println!("slice contains faulty stmt: {}", slice.contains_stmt(case.faulty_stmt));
 
     // 3. Value-replacement ranking.

@@ -49,8 +49,7 @@ fn main() {
     // Attach the DIFT engine. Pointer taint is on: the handler address is
     // *selected* by the tainted index (a table lookup), so the taint must
     // flow through the load's address operand to reach the dispatch.
-    let mut policy = TaintPolicy::default();
-    policy.propagate_through_addr = true;
+    let policy = TaintPolicy { propagate_through_addr: true, ..TaintPolicy::default() };
     let mut taint = TaintEngine::<BitTaint>::new(policy);
     let mut engine = Engine::new(machine);
     let result = engine.run_tool(&mut taint);

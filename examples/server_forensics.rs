@@ -18,16 +18,15 @@ use dift::workloads::server::{server, ServerConfig};
 fn main() {
     let cfg = ServerConfig { with_bug: true, requests_per_worker: 120, ..Default::default() };
     let w = server(cfg);
-    let spec = RunSpec {
-        program: w.program.clone(),
-        config: w.config(),
-        inputs: w.inputs.clone(),
-    };
+    let spec = RunSpec { program: w.program.clone(), config: w.config(), inputs: w.inputs.clone() };
 
     // Phase 1: logging (normal production mode).
     let rec = record(&spec, 2_000);
     let (tid, at, fault, fstep) = rec.fault.expect("the malformed request crashes a worker");
-    println!("logged run: {} steps, {} checkpoints, {} events logged", rec.result.steps, rec.stats.checkpoints, rec.stats.events_logged);
+    println!(
+        "logged run: {} steps, {} checkpoints, {} events logged",
+        rec.result.steps, rec.stats.checkpoints, rec.stats.events_logged
+    );
     println!("failure: thread {tid} at insn {at}: {fault} (step {fstep})");
 
     // Phase 2: execution reduction.
@@ -39,12 +38,11 @@ fn main() {
     );
 
     // Phase 3: replay the relevant region with tracing on.
-    let traced = replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
+    let traced =
+        replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
     println!(
         "replay: status {:?}, {} instructions traced, {} dependences captured",
-        traced.status,
-        traced.stats.instrs,
-        traced.stats.deps_recorded
+        traced.status, traced.stats.instrs, traced.stats.deps_recorded
     );
     assert!(
         matches!(traced.status, dift::vm::ExitStatus::Faulted { .. }),
@@ -54,29 +52,19 @@ fn main() {
     // Phase 4: fault avoidance — find an environment patch. The replay
     // log names the last input word the faulting thread consumed; records
     // around it are the prime suspects.
-    let suspect = rec
-        .log
-        .input_events
-        .iter()
-        .rev()
-        .find(|(step, t, _)| *t == tid && *step <= fstep)
-        .map(|(step, _, ch)| {
-            let idx = rec
-                .log
-                .input_events
-                .iter()
-                .filter(|(s, _, c)| c == ch && s < step)
-                .count();
-            (*ch, idx)
-        });
+    let suspect =
+        rec.log.input_events.iter().rev().find(|(step, t, _)| *t == tid && *step <= fstep).map(
+            |(step, _, ch)| {
+                let idx =
+                    rec.log.input_events.iter().filter(|(s, _, c)| c == ch && s < step).count();
+                (*ch, idx)
+            },
+        );
     println!("suspect input: {suspect:?}");
     let outcome = avoid_fault_hinted(&spec, 256, suspect);
     match outcome.patch {
         Some(patch) => {
-            println!(
-                "environment patch found after {} attempts: {patch:?}",
-                outcome.attempts
-            );
+            println!("environment patch found after {} attempts: {patch:?}", outcome.attempts);
             println!("future runs consult the patch file and avoid the fault.");
         }
         None => println!("no avoiding alteration found in {} attempts", outcome.attempts),

@@ -2,7 +2,7 @@
 //! substrate that every experiment depends on.
 
 use dift::replay::{record, replay_full, RunSpec};
-use dift::vm::{Machine, MachineConfig, SchedPolicy};
+use dift::vm::{Machine, MachineConfig};
 use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -58,7 +58,7 @@ fn emit_thread_body(b: &mut ProgramBuilder, ops: &[u8], shared_hits: u8, base: i
     b.li(Reg(16), 4);
     b.label(&format!("{p}_l"));
     b.bini(BinOp::Sub, Reg(16), Reg(16), 1);
-    b.branch(BranchCond::Ne, Reg(16), Reg(0), &format!("{p}_l"));
+    b.branch(BranchCond::Ne, Reg(16), Reg(0), format!("{p}_l"));
 }
 
 proptest! {

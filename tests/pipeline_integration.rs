@@ -55,12 +55,15 @@ fn server_record_replay_round_trip() {
     assert!(rec.result.status.is_clean());
     let (m, r) = replay_full(&spec, &rec.log);
     assert_eq!(r.steps, rec.result.steps, "replay step count");
-    assert_eq!(m.output(1), {
-        let mut m2 = spec.machine();
-        m2.run();
-        m2.output(1).to_vec()
-    }
-    .as_slice());
+    assert_eq!(
+        m.output(1),
+        {
+            let mut m2 = spec.machine();
+            m2.run();
+            m2.output(1).to_vec()
+        }
+        .as_slice()
+    );
 }
 
 /// The full §2.2 story: buggy server → log → reduce → traced replay →
@@ -72,7 +75,8 @@ fn buggy_server_reduction_and_fault_slice() {
     let rec = record(&spec, 600);
     let (_, _, _, fstep) = rec.fault.expect("bug fires");
     let plan = reduce(&rec.log, fstep);
-    let traced = replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
+    let traced =
+        replay_reduced_with_tracing(&spec, &rec.log, &plan, OnTracConfig::unoptimized(1 << 24));
     assert!(matches!(traced.status, ExitStatus::Faulted { .. }));
 
     // Slice backward from the last traced step (the wild jump's feeder).

@@ -1,0 +1,137 @@
+//! Offline vendored mini-criterion.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group`
+//! surface the workspace benches use, but measures with plain
+//! `std::time::Instant` and prints one line per benchmark. Honors
+//! `sample_size` and `measurement_time` loosely; no statistics, plots,
+//! or baselines. In `cargo test` mode (bench binaries built as tests)
+//! the loop is short enough to be instant.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    /// Quick mode: single sample per bench (used when run under
+    /// `cargo test`, where bench bodies only need to be exercised).
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Criterion's harness=false binaries receive `--bench` from
+        // `cargo bench` and `--test` from `cargo test --benches`.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1000),
+            quick: self.quick,
+            _crit: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, &mut f);
+        g.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    quick: bool,
+    _crit: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        if self.quick {
+            f(&mut b);
+        } else {
+            let deadline = Instant::now() + self.measurement_time;
+            for _ in 0..self.sample_size {
+                f(&mut b);
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+        let per_iter = if b.iters > 0 { b.elapsed.as_nanos() as f64 / b.iters as f64 } else { 0.0 };
+        let label = if self.name.is_empty() { name } else { format!("{}/{}", self.name, name) };
+        println!("bench: {label:<40} {per_iter:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one closure invocation (repeated by the harness loop).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

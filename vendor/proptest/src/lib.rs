@@ -1,0 +1,162 @@
+//! Offline vendored mini-proptest.
+//!
+//! Implements the slice of proptest this workspace uses: the
+//! `proptest!` test macro with `pat in strategy` bindings and an
+//! optional `#![proptest_config(...)]`, integer-range / tuple / `Just` /
+//! `prop_map` / `prop_oneof!` / `collection::vec` strategies, and the
+//! `prop_assert*` / `prop_assume!` macros. Generation is a deterministic
+//! xorshift stream (same values every run); there is no shrinking — a
+//! failing case panics with the assertion message directly.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Anything usable as the size argument of [`vec`].
+    pub trait IntoSizeRange {
+        fn bounds(self) -> (usize, usize);
+    }
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end.max(self.start + 1))
+        }
+    }
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// `vec(strategy, 1..30)` or `vec(strategy, 11)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+}
+
+/// Run configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Result of one generated case: either ran to completion or was
+/// discarded by `prop_assume!`.
+pub enum TestCaseOutcome {
+    Ran,
+    Discarded,
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            // Deterministic per-test seed derived from the test name.
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let __outcome = (|| -> $crate::TestCaseOutcome {
+                    $crate::proptest!(@bind __rng; $($args)*);
+                    $body
+                    $crate::TestCaseOutcome::Ran
+                })();
+                let _ = (__case, __outcome);
+            }
+        }
+    )*};
+    // Argument munchers: `pat in strategy` and `name: Type` (Arbitrary).
+    (@bind $rng:ident;) => {};
+    (@bind $rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $name:ident: $ty:ty) => {
+        let $name = <$ty as $crate::strategy::Arbitrary>::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::strategy::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// Discard the current case if the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::TestCaseOutcome::Discarded;
+        }
+    };
+}

@@ -1,0 +1,6 @@
+//! Deserialization error plumbing (the slice of `serde::de` used here).
+
+/// Errors constructible from a message, as `serde::de::Error` provides.
+pub trait Error: Sized + std::fmt::Debug {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}

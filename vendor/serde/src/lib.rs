@@ -1,0 +1,260 @@
+//! Offline vendored mini-serde.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a small, functional replacement for the slice of
+//! serde it actually uses: `#[derive(Serialize, Deserialize)]` on plain
+//! structs/enums (including `#[serde(with = "...")]`), and JSON
+//! round-trips via the sibling `serde_json` vendor crate.
+//!
+//! The design collapses serde's visitor architecture into a concrete
+//! [`Value`] tree: serializers receive a fully-built `Value`, and
+//! deserializers hand one out. That is all the workspace needs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod value;
+
+pub use value::Value;
+
+/// A type that can serialize itself into a [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Receives a fully-built [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: de::Error;
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Hands out a fully-built [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can deserialize itself from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    match t.serialize(value::ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Reconstruct a value from a [`Value`] tree (`None` on shape mismatch).
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: &Value) -> Option<T> {
+    T::deserialize(value::ValueDeserializer::new(v.clone())).ok()
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                v.as_u64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| de::Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                v.as_i64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| de::Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            _ => Err(de::Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            _ => Err(de::Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            _ => Err(de::Error::custom("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|x| to_value(x)).collect()))
+    }
+}
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        let seq = v.as_seq().ok_or_else(|| de::Error::custom("expected sequence"))?;
+        seq.iter().map(|x| from_value(x).ok_or_else(|| de::Error::custom("bad element"))).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(match self {
+            Some(x) => to_value(x),
+            None => Value::Null,
+        })
+    }
+}
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Null => Ok(None),
+            other => {
+                from_value(&other).map(Some).ok_or_else(|| de::Error::custom("bad option payload"))
+            }
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (*self).serialize(s)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$n)),+]))
+            }
+        }
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let v = d.take_value()?;
+                let seq = v.as_seq().ok_or_else(|| de::Error::custom("expected tuple"))?;
+                Ok(($(
+                    from_value(seq.get($n).ok_or_else(|| de::Error::custom("short tuple"))?)
+                        .ok_or_else(|| de::Error::custom("bad tuple element"))?,
+                )+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys serialized as JSON object keys (strings).
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Option<Self>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Option<Self> {
+        Some(s.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Option<Self> {
+                s.parse().ok()
+            }
+        }
+    )*};
+}
+int_map_key!(u8, u16, u32, u64, usize, i64);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Map(self.iter().map(|(k, v)| (k.to_key(), to_value(v))).collect()))
+    }
+}
+impl<'de, K: MapKey + Ord, V: for<'a> Deserialize<'a>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        let entries = v.as_map().ok_or_else(|| de::Error::custom("expected map"))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                let key = K::from_key(k).ok_or_else(|| de::Error::custom("bad map key"))?;
+                let val = from_value(v).ok_or_else(|| de::Error::custom("bad map value"))?;
+                Ok((key, val))
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,124 @@
+//! The concrete data-model tree all (de)serialization flows through.
+
+use crate::de;
+
+/// A JSON-shaped value tree. Maps preserve insertion order so emitted
+/// JSON is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) => u64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            Value::U64(x) => i64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Look up a struct field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.as_map()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Interpret a single-entry map as an enum variant `(name, payload)`.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self.as_map()? {
+            [(k, v)] => Some((k.as_str(), v)),
+            _ => None,
+        }
+    }
+}
+
+/// Serializer whose output *is* the [`Value`] tree. Infallible.
+pub struct ValueSerializer;
+
+/// The uninhabited error of [`ValueSerializer`].
+#[derive(Debug)]
+pub enum NoError {}
+
+impl de::Error for NoError {
+    fn custom<T: std::fmt::Display>(_msg: T) -> Self {
+        unreachable!("ValueSerializer never fails")
+    }
+}
+
+impl crate::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = NoError;
+    fn serialize_value(self, v: Value) -> Result<Value, NoError> {
+        Ok(v)
+    }
+}
+
+/// Deserializer reading back out of a [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub fn new(value: Value) -> ValueDeserializer {
+        ValueDeserializer { value }
+    }
+}
+
+/// Error for [`ValueDeserializer`].
+#[derive(Debug)]
+pub struct ValueError(pub String);
+
+impl de::Error for ValueError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<'de> crate::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.value)
+    }
+}

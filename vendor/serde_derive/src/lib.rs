@@ -1,0 +1,408 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! Implemented directly on `proc_macro` token trees (the offline build
+//! has no `syn`/`quote`): a small parser extracts the item's shape —
+//! struct with named fields, tuple struct, or enum with unit / tuple /
+//! struct variants — and code is generated as formatted strings. The
+//! only field attribute honoured is `#[serde(with = "module")]`, which
+//! routes that field through `module::serialize` / `module::deserialize`
+//! exactly like real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model --------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(with = "...")]` module path, if present.
+    with: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---- parsing -----------------------------------------------------------
+
+/// Extract `with = "..."` from a `#[serde(...)]` attribute body.
+fn serde_with(group: &proc_macro::Group) -> Option<String> {
+    let mut trees = group.stream().into_iter();
+    match trees.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match trees.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let mut it = inner.stream().into_iter();
+    while let Some(t) = it.next() {
+        if let TokenTree::Ident(i) = &t {
+            if i.to_string() == "with" {
+                // `with = "module"`
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (it.next(), it.next())
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Split a token list on top-level commas, tracking `<...>` depth so
+/// multi-parameter generics like `BTreeMap<String, Addr>` stay whole.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse one named field: attrs, optional visibility, `name: Type`.
+fn parse_field(tokens: &[TokenTree]) -> Option<Field> {
+    let mut with = None;
+    let mut i = 0;
+    // Attributes.
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g)) if p.as_char() == '#' => {
+                if let Some(w) = serde_with(g) {
+                    with = Some(w);
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    // `name : Type`
+    match (&tokens.get(i), &tokens.get(i + 1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(c))) if c.as_char() == ':' => {
+            Some(Field { name: name.to_string(), with })
+        }
+        _ => None,
+    }
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Option<Variant> {
+    let mut i = 0;
+    // Skip attributes (doc comments etc.).
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(_)) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    let shape = match tokens.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantShape::Tuple(split_commas(&inner).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fields = split_commas(&inner).iter().filter_map(|f| parse_field(f)).collect();
+            VariantShape::Struct(fields)
+        }
+        _ => VariantShape::Unit,
+    };
+    Some(Variant { name, shape })
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match (&tokens.get(i), &tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(_))) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct or enum".into()),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 2;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("mini-serde derive does not support generics on `{name}`"));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        _ => return Err(format!("expected a body for `{name}`")),
+    };
+    let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            let fields = split_commas(&inner).iter().filter_map(|f| parse_field(f)).collect();
+            Ok(Item::Struct { name, fields })
+        }
+        ("struct", Delimiter::Parenthesis) => {
+            Ok(Item::TupleStruct { name, arity: split_commas(&inner).len() })
+        }
+        ("enum", Delimiter::Brace) => {
+            let variants = split_commas(&inner).iter().filter_map(|v| parse_variant(v)).collect();
+            Ok(Item::Enum { name, variants })
+        }
+        _ => Err(format!("unsupported item shape for `{name}`")),
+    }
+}
+
+// ---- codegen -----------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    Some(module) => pushes.push_str(&format!(
+                        "__m.push((\"{fname}\".to_string(), match {module}::serialize(&self.{fname}, ::serde::value::ValueSerializer) {{ Ok(v) => v, Err(e) => match e {{}} }}));\n"
+                    )),
+                    None => pushes.push_str(&format!(
+                        "__m.push((\"{fname}\".to_string(), ::serde::to_value(&self.{fname})));\n"
+                    )),
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize<S: ::serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {{
+                        let mut __m: Vec<(String, ::serde::Value)> = Vec::new();
+                        {pushes}
+                        ::serde::Serializer::serialize_value(s, ::serde::Value::Map(__m))
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> =
+                    (0..*arity).map(|i| format!("::serde::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize<S: ::serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {{
+                        ::serde::Serializer::serialize_value(s, {body})
+                    }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> =
+                                binds.iter().map(|b| format!("::serde::to_value({b})")).collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{0}\".to_string(), ::serde::to_value({0}))", f.name)
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize<S: ::serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {{
+                        let __v = match self {{ {arms} }};
+                        ::serde::Serializer::serialize_value(s, __v)
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    Some(module) => inits.push_str(&format!(
+                        "{fname}: {module}::deserialize(::serde::value::ValueDeserializer::new(__v.field(\"{fname}\")?.clone())).ok()?,\n"
+                    )),
+                    None => inits.push_str(&format!(
+                        "{fname}: ::serde::from_value(__v.field(\"{fname}\")?)?,\n"
+                    )),
+                }
+            }
+            (name, format!("Some({name} {{ {inits} }})"))
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Some({name}(::serde::from_value(&__v)?))")
+            } else {
+                let elems: Vec<String> =
+                    (0..*arity).map(|i| format!("::serde::from_value(__seq.get({i})?)?")).collect();
+                format!("{{ let __seq = __v.as_seq()?; Some({name}({})) }}", elems.join(", "))
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Some({name}::{vname}),\n"))
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let ctor = if *arity == 1 {
+                            format!("Some({name}::{vname}(::serde::from_value(__inner)?))")
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::from_value(__seq.get({i})?)?"))
+                                .collect();
+                            format!(
+                                "{{ let __seq = __inner.as_seq()?; Some({name}::{vname}({})) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vname}\" => {ctor},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{0}: ::serde::from_value(__inner.field(\"{0}\")?)?",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => Some({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "{{
+                    if let Some(__s) = __v.as_str() {{
+                        return match __s {{ {unit_arms} _ => None }};
+                    }}
+                    let (__k, __inner) = __v.as_variant()?;
+                    match __k {{ {payload_arms} _ => None }}
+                }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{
+            fn deserialize<D: ::serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {{
+                let __v = ::serde::Deserializer::take_value(d)?;
+                let __r: Option<Self> = (|| {body})();
+                match __r {{
+                    Some(x) => Ok(x),
+                    None => Err(<D::Error as ::serde::de::Error>::custom(\"invalid {name}\")),
+                }}
+            }}
+        }}"
+    )
+}
+
+fn emit(result: Result<String, String>) -> TokenStream {
+    match result {
+        Ok(code) => code.parse().expect("mini-serde derive generated invalid code"),
+        Err(msg) => format!("compile_error!(\"{msg}\");").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(parse_item(input).map(|item| gen_serialize(&item)))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(parse_item(input).map(|item| gen_deserialize(&item)))
+}
