@@ -1,9 +1,12 @@
-//! E3 machinery: inline vs helper-thread DIFT (both channel models).
+//! E3 machinery: inline vs helper-thread DIFT (both channel models),
+//! plus epoch-parallel summarization at 1 and 4 workers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dift_multicore::{run_helper_dift, run_inline_dift, ChannelModel};
+use dift_dbi::{Engine, Tool};
+use dift_multicore::{epoch_process_stream, run_helper_dift, run_inline_dift, ChannelModel};
 use dift_taint::{BitTaint, TaintPolicy};
-use dift_workloads::spec::{mcf_like, Size};
+use dift_vm::{Machine, StepEffects};
+use dift_workloads::spec::{compress_like, mcf_like, Size};
 
 fn bench_multicore(c: &mut Criterion) {
     let mut g = c.benchmark_group("multicore-dift");
@@ -41,5 +44,40 @@ fn bench_multicore(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_multicore);
+/// Capture a workload's effects stream once so the epoch benches time
+/// pure summarize + compose work, no VM in the loop.
+#[derive(Default)]
+struct Capture {
+    fxs: Vec<StepEffects>,
+}
+
+impl Tool for Capture {
+    fn after(&mut self, _m: &mut Machine, fx: &StepEffects) {
+        self.fxs.push(fx.clone());
+    }
+}
+
+fn bench_epoch_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epoch-dift");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let w = compress_like(Size::Tiny);
+    let mem_words = w.machine().mem_words();
+    let mut cap = Capture::default();
+    Engine::new(w.machine()).run_tool(&mut cap);
+    let stream = cap.fxs;
+    let policy = TaintPolicy::propagate_only();
+    for workers in [1usize, 4] {
+        g.bench_function(format!("epochs-w{workers}"), |b| {
+            b.iter(|| {
+                epoch_process_stream::<BitTaint>(&stream, policy, mem_words, 128, workers)
+                    .tainted_words()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multicore, bench_epoch_scaling);
 criterion_main!(benches);

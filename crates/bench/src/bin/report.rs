@@ -5,6 +5,8 @@
 //! report e1 e4        # selected experiments
 //! report ablations    # E2a/E3a/E5a/E7a
 //! report taint        # T1 wall-clock DIFT throughput (+ BENCH_taint.json)
+//! report multicore-scaling
+//!                     # T2 epoch-parallel scaling (+ BENCH_multicore_scaling.json)
 //! report --test       # CI scale
 //! report --json       # machine-readable output
 //! ```
@@ -12,7 +14,9 @@
 //! Running `taint` (included in the default/`all` selection) also writes
 //! `BENCH_taint.json` to the working directory: per-benchmark instrs/sec
 //! for the paged-shadow hot path vs the HashMap reference engine, and
-//! for inline / sw-helper / hw-helper end-to-end DIFT.
+//! for inline / sw-helper / hw-helper end-to-end DIFT. Likewise
+//! `multicore-scaling` writes `BENCH_multicore_scaling.json`: wall-clock
+//! and modeled epoch-parallel DIFT at 1/2/4/8 helper shards.
 
 use dift_bench::{
     e10_races, e1_slowdown, e2_trace_density, e2a_optimization_ablation, e3_multicore,
@@ -86,9 +90,26 @@ fn main() {
         }
         ran += 1;
     }
+    if wanted("multicore-scaling") {
+        // Measured once; the table and BENCH_multicore_scaling.json
+        // share the run.
+        let report = dift_bench::multicore_scaling_report(scale);
+        let t = dift_bench::scaling_to_table(&report);
+        if json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{t}");
+        }
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write("BENCH_multicore_scaling.json", &payload) {
+            Ok(()) => eprintln!("wrote BENCH_multicore_scaling.json"),
+            Err(e) => eprintln!("could not write BENCH_multicore_scaling.json: {e}"),
+        }
+        ran += 1;
+    }
     if ran == 0 {
         eprintln!(
-            "unknown selection {selected:?}; available: e1..e10, e2a, e3a, e5a, e7a, taint, ablations, all"
+            "unknown selection {selected:?}; available: e1..e10, e2a, e3a, e5a, e7a, taint, multicore-scaling, ablations, all"
         );
         std::process::exit(2);
     }

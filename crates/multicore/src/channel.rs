@@ -85,6 +85,50 @@ impl QueueSim {
     }
 }
 
+/// Timing model of a fanned-out channel: one bounded queue per helper
+/// shard, each with its own helper clock. The producer steers every
+/// message to one shard (epoch-parallel DIFT sends a whole epoch to the
+/// same shard) and only stalls on *that* shard's backpressure; overall
+/// helper-side completion is the slowest shard's clock.
+#[derive(Debug)]
+pub struct MultiQueueSim {
+    shards: Vec<QueueSim>,
+}
+
+impl MultiQueueSim {
+    pub fn new(model: ChannelModel, shards: usize) -> MultiQueueSim {
+        assert!(shards >= 1, "at least one helper shard");
+        MultiQueueSim { shards: (0..shards).map(|_| QueueSim::new(model)).collect() }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueue onto `shard` at main-core time `now`; returns the stall
+    /// the producer absorbs (only this shard's queue can block it).
+    pub fn enqueue(&mut self, shard: usize, now: u64) -> u64 {
+        self.shards[shard].enqueue(now)
+    }
+
+    /// The slowest shard's clock — helper-side completion time.
+    pub fn max_helper_clock(&self) -> u64 {
+        self.shards.iter().map(|s| s.helper_clock).max().unwrap_or(0)
+    }
+
+    pub fn stall_cycles(&self) -> u64 {
+        self.shards.iter().map(|s| s.stall_cycles).sum()
+    }
+
+    pub fn messages(&self) -> u64 {
+        self.shards.iter().map(|s| s.messages).sum()
+    }
+
+    pub fn helper_busy(&self) -> u64 {
+        self.shards.iter().map(|s| s.helper_busy).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +177,38 @@ mod tests {
         // A late message starts at its arrival time.
         q.enqueue(100);
         assert_eq!(q.helper_clock, 103);
+    }
+
+    #[test]
+    fn sharded_queues_progress_independently() {
+        let m = ChannelModel { enqueue_cycles: 1, helper_per_msg: 10, queue_depth: 2 };
+        let mut q = MultiQueueSim::new(m, 2);
+        // Interleaving across two shards halves each shard's pressure:
+        // the same traffic that stalls a single queue stays stall-free.
+        let mut single = QueueSim::new(m);
+        let mut stalled = 0;
+        for t in 0..4u64 {
+            stalled += single.enqueue(t);
+            assert_eq!(q.enqueue((t % 2) as usize, t), 0);
+        }
+        assert!(stalled > 0, "the single queue must have stalled");
+        assert_eq!(q.stall_cycles(), 0);
+        assert_eq!(q.messages(), 4);
+        assert_eq!(q.helper_busy(), 40);
+        // Completion is the slowest shard, not the sum.
+        assert!(q.max_helper_clock() < single.helper_clock);
+    }
+
+    #[test]
+    fn one_shard_matches_the_plain_queue() {
+        let m = ChannelModel { enqueue_cycles: 1, helper_per_msg: 7, queue_depth: 3 };
+        let mut multi = MultiQueueSim::new(m, 1);
+        let mut plain = QueueSim::new(m);
+        for t in [0u64, 1, 2, 3, 10, 11, 50] {
+            assert_eq!(multi.enqueue(0, t), plain.enqueue(t));
+        }
+        assert_eq!(multi.max_helper_clock(), plain.helper_clock);
+        assert_eq!(multi.stall_cycles(), plain.stall_cycles);
+        assert_eq!(multi.helper_busy(), plain.helper_busy);
     }
 }

@@ -1,0 +1,559 @@
+//! Epoch-parallel DIFT across N helper shards.
+//!
+//! The single-helper offload ([`crate::helper::run_helper_dift`]) leaves
+//! the helper a serial consumer: its clock lower-bounds completion no
+//! matter how fast the channel is. This module fans propagation out:
+//! the effects stream is split into fixed-size **epochs**, whole epochs
+//! are steered round-robin to N shard threads, and each shard computes
+//! its epochs' *taint transfer summaries* (`dift_taint::summary`) — the
+//! epoch's output labels over symbolic unknown incoming labels, which
+//! requires no upstream taint state and therefore no inter-shard
+//! coordination. A cheap sequential composition pass then stitches the
+//! summaries in epoch order, producing results **bit-identical** to the
+//! serial engine: labels, alerts (with origins), output lineage, and
+//! exact peak statistics.
+//!
+//! Two independent views of the same fan-out:
+//!
+//! * **Real parallelism** — shard threads genuinely run on other cores
+//!   ([`run_epoch_dift`] with threads, [`epoch_process_stream`] for a
+//!   pre-captured stream), so wall-clock analysis throughput scales
+//!   with cores.
+//! * **Modeled timing** — [`EpochModel`] extends [`ChannelModel`] with a
+//!   fan-out steering cost, per-shard bounded queues
+//!   ([`MultiQueueSim`]), and a per-epoch composition charge at the
+//!   barrier; reported cycles stay deterministic and host-independent.
+
+use crate::channel::{ChannelModel, MultiQueueSim};
+use crate::helper::{join_or_propagate, DiftRun, MulticoreStats, BATCH_SIZE};
+use crossbeam::channel as xbeam;
+use dift_dbi::{Engine, Tool};
+use dift_taint::{
+    summarize_epoch, EpochSummarizer, EpochSummary, IoBase, TaintEngine, TaintLabel, TaintPolicy,
+};
+use dift_vm::{Machine, RunResult, StepEffects};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// Timing model of the epoch-parallel offload.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochModel {
+    /// The per-shard channel (each shard owns a queue of this shape).
+    pub chan: ChannelModel,
+    /// Helper shards propagation fans out across.
+    pub workers: usize,
+    /// Instructions per epoch. Larger epochs amortize composition but
+    /// coarsen load balancing.
+    pub epoch_len: usize,
+    /// Extra main-core cycles per message to steer it to a shard (the
+    /// software fan-out pays an extra indirection; dedicated hardware
+    /// routes by epoch counter for free).
+    pub fanout_cycles: u64,
+    /// Cycles of the sequential composition pass charged per epoch at
+    /// the barrier (resolving a summary's incoming labels and replaying
+    /// its events is proportional to epoch state touched, bounded and
+    /// small relative to the epoch itself).
+    pub compose_per_epoch: u64,
+}
+
+impl EpochModel {
+    /// Shared-memory fan-out: software steering pays a cycle per message.
+    ///
+    /// `epoch_len` equals the per-shard queue depth: a whole epoch is
+    /// steered to one shard back-to-back, so the shard's queue must
+    /// buffer a full epoch for the producer to race ahead to the next
+    /// shard while this one drains — that overlap is where fan-out wins.
+    /// A longer epoch than the queue re-serializes the producer on the
+    /// current shard no matter how many shards exist.
+    pub fn software(workers: usize) -> EpochModel {
+        let chan = ChannelModel::software();
+        EpochModel {
+            chan,
+            workers,
+            epoch_len: chan.queue_depth,
+            fanout_cycles: 1,
+            compose_per_epoch: 64,
+        }
+    }
+
+    /// Hardware fan-out: the interconnect routes by epoch counter.
+    pub fn hardware(workers: usize) -> EpochModel {
+        let chan = ChannelModel::hardware();
+        EpochModel {
+            chan,
+            workers,
+            epoch_len: chan.queue_depth,
+            fanout_cycles: 0,
+            compose_per_epoch: 64,
+        }
+    }
+}
+
+/// One physical channel send: a batch of records belonging to a single
+/// epoch. The first batch of an epoch carries the per-channel I/O counts
+/// of the stream prefix (a label-independent fact the producer tracks),
+/// which the shard needs to seed global source/output indices.
+struct ShardBatch {
+    epoch: usize,
+    base: Option<IoBase>,
+    records: Vec<StepEffects>,
+}
+
+/// Tool that splits the effects stream into epochs and ships each epoch
+/// to its round-robin shard, charging the fan-out timing model.
+struct EpochOffloader {
+    txs: Vec<Option<xbeam::Sender<ShardBatch>>>,
+    batch: Vec<StepEffects>,
+    batches: u64,
+    queues: MultiQueueSim,
+    model: EpochModel,
+    /// Steps shipped so far (the epoch counter's numerator).
+    seen: u64,
+    /// Current epoch (`usize::MAX` until the first step).
+    cur_epoch: usize,
+    /// Running per-channel I/O counts through the current position.
+    running: IoBase,
+    /// Snapshot of `running` at the current epoch's start.
+    epoch_base: IoBase,
+    /// Whether the next flush is the epoch's first (must carry the base).
+    need_base: bool,
+}
+
+impl EpochOffloader {
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let shard = self.cur_epoch % self.txs.len();
+        if let Some(tx) = &self.txs[shard] {
+            let records = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH_SIZE));
+            let base = self.need_base.then(|| self.epoch_base.clone());
+            let _ = tx.send(ShardBatch { epoch: self.cur_epoch, base, records });
+            self.need_base = false;
+            self.batches += 1;
+        }
+    }
+}
+
+impl Tool for EpochOffloader {
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        let e = (self.seen / self.model.epoch_len as u64) as usize;
+        if e != self.cur_epoch {
+            // Epoch boundary: ship the previous epoch's tail before any
+            // record of the new one, then snapshot the I/O counts the
+            // new epoch's summarizer must be seeded with.
+            self.flush();
+            self.cur_epoch = e;
+            self.epoch_base = self.running.clone();
+            self.need_base = true;
+        }
+        // Producer cost: enqueue + shard steering, plus any stall from
+        // *this* epoch's shard queue (other shards never block it).
+        m.charge(self.model.chan.enqueue_cycles + self.model.fanout_cycles);
+        let shard = self.cur_epoch % self.queues.shards();
+        let stall = self.queues.enqueue(shard, m.cycles());
+        if stall > 0 {
+            m.charge(stall);
+        }
+        self.batch.push(fx.clone());
+        if let Some((ch, _)) = fx.input {
+            *self.running.inputs.entry(ch).or_insert(0) += 1;
+        }
+        if let Some((ch, _)) = fx.output {
+            *self.running.outputs.entry(ch).or_insert(0) += 1;
+        }
+        self.seen += 1;
+        if self.batch.len() >= BATCH_SIZE || stall > 0 || fx.spawned.is_some() {
+            self.flush();
+        }
+    }
+
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
+        self.flush();
+    }
+}
+
+/// A shard's consumer loop: summarize every epoch steered to it. Epochs
+/// arrive in this shard's stream order, so one live summarizer suffices.
+fn shard_loop<T: TaintLabel>(
+    rx: xbeam::Receiver<ShardBatch>,
+    policy: TaintPolicy,
+) -> Vec<(usize, EpochSummary<T>)> {
+    let mut done: Vec<(usize, EpochSummary<T>)> = Vec::new();
+    let mut cur: Option<(usize, EpochSummarizer<T>)> = None;
+    while let Ok(b) = rx.recv() {
+        let switch = cur.as_ref().is_none_or(|(e, _)| *e != b.epoch);
+        if switch {
+            if let Some((e, s)) = cur.take() {
+                done.push((e, s.finish()));
+            }
+            let base = b.base.as_ref().expect("first batch of an epoch carries its I/O base");
+            cur = Some((b.epoch, EpochSummarizer::new(policy, base)));
+        }
+        let (_, s) = cur.as_mut().expect("summarizer active");
+        for fx in &b.records {
+            s.step(fx);
+        }
+    }
+    if let Some((e, s)) = cur.take() {
+        done.push((e, s.finish()));
+    }
+    done
+}
+
+/// Run `machine` with taint propagation fanned out across
+/// `model.workers` helper shards, composing epoch summaries into a
+/// final engine bit-identical to the serial offload.
+pub fn run_epoch_dift<T: TaintLabel + Send + 'static>(
+    machine: Machine,
+    model: EpochModel,
+    policy: TaintPolicy,
+) -> DiftRun<T> {
+    assert!(model.workers >= 1, "at least one shard");
+    assert!(model.epoch_len >= 1, "epochs must be non-empty");
+    let mut helper_policy = policy;
+    helper_policy.charge_cycles = false; // the timing model owns the cost
+    let mem_words = machine.mem_words();
+
+    // Per-shard channels in batch units, as in the single-helper path.
+    let cap = (model.chan.queue_depth / BATCH_SIZE).max(4);
+    let mut txs = Vec::with_capacity(model.workers);
+    let mut handles = Vec::with_capacity(model.workers);
+    for _ in 0..model.workers {
+        let (tx, rx) = xbeam::bounded::<ShardBatch>(cap);
+        txs.push(Some(tx));
+        handles.push(thread::spawn(move || shard_loop::<T>(rx, helper_policy)));
+    }
+
+    let mut off = EpochOffloader {
+        txs,
+        batch: Vec::with_capacity(BATCH_SIZE),
+        batches: 0,
+        queues: MultiQueueSim::new(model.chan, model.workers),
+        model,
+        seen: 0,
+        cur_epoch: usize::MAX,
+        running: IoBase::default(),
+        epoch_base: IoBase::default(),
+        need_base: false,
+    };
+    let mut dbi = Engine::new(machine);
+    let result = dbi.run_tool(&mut off);
+    off.flush();
+    for tx in &mut off.txs {
+        tx.take(); // close the channels so shards drain and exit
+    }
+
+    let mut summaries: Vec<(usize, EpochSummary<T>)> = Vec::new();
+    for h in handles {
+        summaries.extend(join_or_propagate(h, "epoch shard thread"));
+    }
+    // Composition: summaries splice in epoch order; the result is
+    // bit-identical to serial processing (see DESIGN.md §9).
+    summaries.sort_by_key(|(e, _)| *e);
+    let mut engine = TaintEngine::<T>::new(helper_policy);
+    engine.pre_size(mem_words);
+    for (_, s) in &summaries {
+        engine.apply_summary(s);
+    }
+
+    let epochs = summaries.len() as u64;
+    let compose_cycles = model.compose_per_epoch * epochs;
+    let main_cycles = result.cycles;
+    let stats = MulticoreStats {
+        main_cycles,
+        helper_busy: off.queues.helper_busy(),
+        stall_cycles: off.queues.stall_cycles(),
+        messages: off.queues.messages(),
+        batches: off.batches,
+        // The composition pass is the sequential barrier after both the
+        // main core and the slowest shard finish.
+        completion_cycles: main_cycles.max(off.queues.max_helper_clock()) + compose_cycles,
+        workers: model.workers,
+        epochs,
+        compose_cycles,
+    };
+    DiftRun { engine, result, stats }
+}
+
+/// Epoch-parallel propagation over a pre-captured effects stream: the
+/// wall-clock scaling primitive (no VM in the loop, no timing model).
+/// `workers` scoped threads claim epochs from a shared counter,
+/// summarize them concurrently, and the caller's thread composes the
+/// summaries in order. Bit-identical to serially `process`ing `stream`.
+pub fn epoch_process_stream<T: TaintLabel + Send + Sync>(
+    stream: &[StepEffects],
+    policy: TaintPolicy,
+    mem_words: usize,
+    epoch_len: usize,
+    workers: usize,
+) -> TaintEngine<T> {
+    assert!(epoch_len >= 1, "epochs must be non-empty");
+    assert!(workers >= 1, "at least one worker");
+    let chunks: Vec<&[StepEffects]> = stream.chunks(epoch_len).collect();
+    // Sequential pre-scan: per-channel I/O counts at each epoch start
+    // (label-independent, so it does not limit scaling).
+    let mut bases = Vec::with_capacity(chunks.len());
+    let mut base = IoBase::default();
+    for c in &chunks {
+        bases.push(base.clone());
+        base.advance(c);
+    }
+
+    let summaries: Vec<OnceLock<EpochSummary<T>>> =
+        chunks.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                let sum = summarize_epoch::<T>(chunks[i], policy, &bases[i]);
+                let _ = summaries[i].set(sum);
+            });
+        }
+    });
+
+    let mut engine = TaintEngine::<T>::new(policy);
+    engine.pre_size(mem_words);
+    for s in &summaries {
+        engine.apply_summary(s.get().expect("every epoch summarized"));
+    }
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helper::{run_helper_dift, run_inline_dift};
+    use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg};
+    use dift_taint::{BitTaint, PcTaint};
+    use dift_vm::MachineConfig;
+    use std::sync::Arc;
+
+    fn taint_workload() -> (Arc<Program>, Vec<u64>) {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.li(Reg(2), 0);
+        b.li(Reg(3), 500);
+        b.label("loop");
+        b.add(Reg(2), Reg(2), Reg(1));
+        b.bini(BinOp::Rem, Reg(4), Reg(2), 97);
+        b.li(Reg(5), 300);
+        b.store(Reg(4), Reg(5), 0);
+        b.load(Reg(6), Reg(5), 0);
+        b.bini(BinOp::Sub, Reg(3), Reg(3), 1);
+        b.branch(BranchCond::Ne, Reg(3), Reg(0), "loop");
+        b.output(Reg(2), 0);
+        b.halt();
+        (Arc::new(b.build().unwrap()), vec![7])
+    }
+
+    fn machine(p: &Arc<Program>, inputs: &[u64]) -> Machine {
+        let mut m = Machine::new(p.clone(), MachineConfig::small());
+        m.feed_input(0, inputs);
+        m
+    }
+
+    fn small_model(workers: usize) -> EpochModel {
+        // Short epochs so even the test workload spans many of them.
+        let mut m = EpochModel::software(workers);
+        m.epoch_len = 256;
+        m.compose_per_epoch = 64;
+        m
+    }
+
+    #[test]
+    fn epoch_runner_matches_inline_at_every_width() {
+        let (p, inputs) = taint_workload();
+        let inline =
+            run_inline_dift::<BitTaint>(machine(&p, &inputs), TaintPolicy::propagate_only());
+        for workers in [1, 2, 3, 4] {
+            let run = run_epoch_dift::<BitTaint>(
+                machine(&p, &inputs),
+                small_model(workers),
+                TaintPolicy::propagate_only(),
+            );
+            assert_eq!(run.engine.output_labels, inline.engine.output_labels);
+            assert_eq!(run.engine.alerts, inline.engine.alerts);
+            assert_eq!(run.engine.tainted_words(), inline.engine.tainted_words());
+            assert_eq!(run.engine.stats(), inline.engine.stats(), "workers={workers}");
+            assert!(run.stats.epochs > 1, "workload must span multiple epochs");
+            assert_eq!(run.stats.workers, workers);
+        }
+    }
+
+    #[test]
+    fn epoch_runner_detects_attacks_like_the_single_helper() {
+        // PC-taint attack detection across the fan-out (§3.3 + §2.1):
+        // alerts, origins and the root-cause PC must survive epoch
+        // composition even when the detection epoch differs from the
+        // taint-introduction epoch.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.addi(Reg(2), Reg(1), 100); // tainted address, last writer
+                                     // Pad so the alerting store lands in a later epoch.
+        for _ in 0..40 {
+            b.addi(Reg(6), Reg(6), 1);
+        }
+        b.li(Reg(3), 1);
+        b.store(Reg(3), Reg(2), 0); // alert: tainted store address
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let single = run_helper_dift::<PcTaint>(
+            machine(&p, &[4]),
+            ChannelModel::hardware(),
+            TaintPolicy::default(),
+        );
+        let mut model = small_model(3);
+        model.epoch_len = 16;
+        let fanned = run_epoch_dift::<PcTaint>(machine(&p, &[4]), model, TaintPolicy::default());
+        assert_eq!(fanned.engine.alerts, single.engine.alerts);
+        assert_eq!(fanned.engine.alerts.len(), 1);
+        assert_eq!(fanned.engine.alerts[0].label.pc(), Some(1), "addi is the last writer");
+        assert!(fanned.stats.epochs >= 3);
+    }
+
+    #[test]
+    fn epoch_runner_handles_spawned_threads() {
+        // Tainted data crosses threads through shared memory; the
+        // summarizer's per-tid register files and the composition must
+        // reproduce the interleaved serial result exactly.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.li(Reg(2), 700);
+        b.store(Reg(1), Reg(2), 0); // mem[700] tainted
+        b.spawn(Reg(5), "w", Reg(1));
+        b.spawn(Reg(6), "w", Reg(1));
+        b.join(Reg(5));
+        b.join(Reg(6));
+        b.load(Reg(3), Reg(2), 0);
+        b.output(Reg(3), 0);
+        b.halt();
+        b.func("w");
+        b.li(Reg(1), 700);
+        b.li(Reg(2), 12);
+        b.label("loop");
+        b.load(Reg(3), Reg(1), 0);
+        b.addi(Reg(3), Reg(3), 1);
+        b.store(Reg(3), Reg(1), 0);
+        b.bini(BinOp::Sub, Reg(2), Reg(2), 1);
+        b.branch(BranchCond::Ne, Reg(2), Reg(0), "loop");
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+
+        let mk = || {
+            let mut m = Machine::new(p.clone(), MachineConfig::small().with_quantum(3));
+            m.feed_input(0, &[9]);
+            m
+        };
+        let inline = run_inline_dift::<BitTaint>(mk(), TaintPolicy::propagate_only());
+        assert!(!inline.engine.output_labels[0].2.is_clean(), "taint crosses threads");
+        let mut model = small_model(2);
+        model.epoch_len = 8;
+        let fanned = run_epoch_dift::<BitTaint>(mk(), model, TaintPolicy::propagate_only());
+        assert_eq!(fanned.engine.output_labels, inline.engine.output_labels);
+        assert_eq!(fanned.engine.tainted_words(), inline.engine.tainted_words());
+        assert_eq!(fanned.engine.stats(), inline.engine.stats());
+    }
+
+    /// A helper-bound model: the shard needs far longer per message than
+    /// the producer takes per instruction, and each shard's queue holds a
+    /// full epoch so fan-out can overlap shard drains.
+    fn helper_bound_model(workers: usize) -> EpochModel {
+        EpochModel {
+            chan: ChannelModel { enqueue_cycles: 2, helper_per_msg: 9, queue_depth: 128 },
+            workers,
+            epoch_len: 128,
+            fanout_cycles: 1,
+            compose_per_epoch: 32,
+        }
+    }
+
+    #[test]
+    fn modeled_completion_improves_with_more_shards() {
+        let (p, inputs) = taint_workload();
+        let c1 = run_epoch_dift::<BitTaint>(
+            machine(&p, &inputs),
+            helper_bound_model(1),
+            TaintPolicy::propagate_only(),
+        )
+        .stats;
+        let c4 = run_epoch_dift::<BitTaint>(
+            machine(&p, &inputs),
+            helper_bound_model(4),
+            TaintPolicy::propagate_only(),
+        )
+        .stats;
+        assert!(
+            c1.stall_cycles > 0,
+            "one shard must be the bottleneck for the comparison to mean anything"
+        );
+        assert!(
+            c4.completion_cycles < c1.completion_cycles,
+            "4 shards must beat 1: {} vs {}",
+            c4.completion_cycles,
+            c1.completion_cycles
+        );
+        assert_eq!(c1.messages, c4.messages, "same modeled traffic");
+        assert!(c4.stall_cycles < c1.stall_cycles, "fan-out relieves backpressure");
+    }
+
+    #[test]
+    fn modeled_stats_are_deterministic() {
+        let (p, inputs) = taint_workload();
+        let a = run_epoch_dift::<BitTaint>(
+            machine(&p, &inputs),
+            small_model(3),
+            TaintPolicy::propagate_only(),
+        )
+        .stats;
+        let b = run_epoch_dift::<BitTaint>(
+            machine(&p, &inputs),
+            small_model(3),
+            TaintPolicy::propagate_only(),
+        )
+        .stats;
+        assert_eq!(a.main_cycles, b.main_cycles);
+        assert_eq!(a.completion_cycles, b.completion_cycles);
+        assert_eq!(a.stall_cycles, b.stall_cycles);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.compose_cycles, b.compose_cycles);
+    }
+
+    #[test]
+    fn stream_parallel_path_matches_serial_processing() {
+        use dift_dbi::Tool;
+        let (p, inputs) = taint_workload();
+        let m = machine(&p, &inputs);
+        let mem_words = m.mem_words();
+        #[derive(Default)]
+        struct Cap(Vec<StepEffects>);
+        impl Tool for Cap {
+            fn after(&mut self, _m: &mut Machine, fx: &StepEffects) {
+                self.0.push(fx.clone());
+            }
+        }
+        let mut cap = Cap::default();
+        Engine::new(m).run_tool(&mut cap);
+
+        let policy = TaintPolicy::propagate_only();
+        let mut serial = TaintEngine::<PcTaint>::new(policy);
+        serial.pre_size(mem_words);
+        for fx in &cap.0 {
+            serial.process(fx);
+        }
+        for workers in [1, 4] {
+            let par = epoch_process_stream::<PcTaint>(&cap.0, policy, mem_words, 64, workers);
+            assert_eq!(par.output_labels, serial.output_labels, "workers={workers}");
+            assert_eq!(par.tainted_words(), serial.tainted_words());
+            assert_eq!(par.stats(), serial.stats());
+        }
+    }
+}

@@ -34,6 +34,14 @@ pub struct MulticoreStats {
     /// End-to-end completion: main finish vs helper drain, whichever is
     /// later.
     pub completion_cycles: u64,
+    /// Helper shards the propagation work fanned out across (0 for the
+    /// inline baseline, 1 for the single-helper offload).
+    pub workers: usize,
+    /// Epochs the stream was split into (0 when not epoch-parallel).
+    pub epochs: u64,
+    /// Modeled cycles of the sequential composition pass stitching epoch
+    /// summaries (0 when not epoch-parallel).
+    pub compose_cycles: u64,
 }
 
 impl MulticoreStats {
@@ -143,7 +151,7 @@ pub fn run_helper_dift<T: TaintLabel + Send + 'static>(
     // drains and exits.
     offloader.flush();
     offloader.tx.take();
-    let engine = handle.join().expect("helper thread completes");
+    let engine = join_or_propagate(handle, "helper DIFT thread");
 
     let main_cycles = result.cycles;
     let stats = MulticoreStats {
@@ -153,8 +161,30 @@ pub fn run_helper_dift<T: TaintLabel + Send + 'static>(
         messages: offloader.queue.messages,
         batches: offloader.batches,
         completion_cycles: main_cycles.max(offloader.queue.helper_clock),
+        workers: 1,
+        epochs: 0,
+        compose_cycles: 0,
     };
     DiftRun { engine, result, stats }
+}
+
+/// Join a worker, re-raising its panic *message* on the caller's thread
+/// instead of the opaque `Any` payload a bare `join().expect(..)` shows.
+/// A failed differential run then reports the real cause (the helper's
+/// assertion text), and no partial state escapes: the handle's result is
+/// consumed either way.
+pub(crate) fn join_or_propagate<R>(handle: thread::JoinHandle<R>, who: &str) -> R {
+    match handle.join() {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("{who} panicked: {msg}");
+        }
+    }
 }
 
 /// Baseline: the same taint tracking performed inline on the main core
@@ -170,6 +200,9 @@ pub fn run_inline_dift<T: TaintLabel>(machine: Machine, policy: TaintPolicy) -> 
         batches: 0,
         helper_busy: 0,
         stall_cycles: 0,
+        workers: 0,
+        epochs: 0,
+        compose_cycles: 0,
     };
     DiftRun { engine, result, stats }
 }
@@ -293,6 +326,54 @@ mod tests {
         );
         assert_eq!(run.engine.alerts.len(), 1);
         assert_eq!(run.engine.alerts[0].label.pc(), Some(1), "addi is the last writer");
+    }
+
+    /// A label whose propagation panics on tainted input — stands in for
+    /// any helper-side bug a differential run might trip.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    struct PanickyLabel(bool);
+
+    impl dift_taint::TaintLabel for PanickyLabel {
+        fn is_clean(&self) -> bool {
+            !self.0
+        }
+        fn propagate(sources: &[Self], _ctx: &dift_taint::LabelCtx) -> Self {
+            if sources.iter().any(|s| s.0) {
+                panic!("synthetic helper-side label fault");
+            }
+            PanickyLabel(false)
+        }
+        fn source(_ctx: &dift_taint::LabelCtx, _channel: u16, _index: u64) -> Self {
+            PanickyLabel(true)
+        }
+        fn shadow_bytes(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn helper_panics_surface_their_message() {
+        let (p, inputs) = taint_workload();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_helper_dift::<PanickyLabel>(
+                machine(&p, &inputs),
+                ChannelModel::hardware(),
+                TaintPolicy::propagate_only(),
+            )
+        }));
+        let payload = match caught {
+            Ok(_) => panic!("the helper's panic must propagate"),
+            Err(p) => p,
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("propagated panic carries a String message");
+        assert!(
+            msg.contains("helper DIFT thread panicked")
+                && msg.contains("synthetic helper-side label fault"),
+            "panic must name the helper and carry the original payload, got: {msg}"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! support.
 
 pub mod channel;
+pub mod epoch;
 pub mod helper;
 
-pub use channel::ChannelModel;
+pub use channel::{ChannelModel, MultiQueueSim, QueueSim};
+pub use epoch::{epoch_process_stream, run_epoch_dift, EpochModel};
 pub use helper::{run_helper_dift, run_inline_dift, DiftRun, MulticoreStats};

@@ -1,0 +1,61 @@
+//! Differential property test: `QueueSim`'s incremental bounded-queue
+//! simulation vs a brute-force discrete-event model.
+//!
+//! The brute force keeps every message's completion time explicitly. A
+//! producer that absorbs its stalls (as the offloader's machine does by
+//! charging them) sees, for message `i` into a depth-`d` queue:
+//!
+//! ```text
+//! stall_i  = max(0, finish[i-d] - now_i)          (0 for i < d)
+//! finish_i = max(finish[i-1], now_i + stall_i) + per_msg
+//! ```
+//!
+//! because removals (retirement and full-queue waits) are strictly FIFO,
+//! so the slot message `i` needs is the one message `i-d` frees. The
+//! incremental simulation must agree on every stall, the helper clock,
+//! total stall cycles, and busy time for any arrival pattern and model.
+
+use dift_multicore::{ChannelModel, QueueSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queue_sim_matches_brute_force_discrete_event_model(
+        deltas in proptest::collection::vec(0u64..8, 1..200),
+        per_msg in 1u64..12,
+        enqueue_cycles in 1u64..4,
+        depth in 1usize..12,
+    ) {
+        let model = ChannelModel { enqueue_cycles, helper_per_msg: per_msg, queue_depth: depth };
+        let mut sim = QueueSim::new(model);
+
+        let mut finish: Vec<u64> = Vec::with_capacity(deltas.len());
+        let mut now = 0u64;
+        let mut total_stall = 0u64;
+        for (i, d) in deltas.iter().enumerate() {
+            // The producer pays the enqueue cost and whatever work the
+            // gap represents before the message arrives.
+            now += d + enqueue_cycles;
+            let want_stall =
+                if i >= depth { finish[i - depth].saturating_sub(now) } else { 0 };
+            let got_stall = sim.enqueue(now);
+            prop_assert_eq!(
+                got_stall, want_stall,
+                "message {} at now={} (depth {}, per_msg {})", i, now, depth, per_msg
+            );
+            let arrival = now + want_stall;
+            let start = finish.last().copied().unwrap_or(0).max(arrival);
+            finish.push(start + per_msg);
+            total_stall += want_stall;
+            // The producer absorbs the stall: later arrivals shift.
+            now += want_stall;
+        }
+
+        prop_assert_eq!(sim.helper_clock, *finish.last().unwrap(), "helper clock is the last completion");
+        prop_assert_eq!(sim.stall_cycles, total_stall);
+        prop_assert_eq!(sim.helper_busy, deltas.len() as u64 * per_msg);
+        prop_assert_eq!(sim.messages, deltas.len() as u64);
+    }
+}

@@ -62,24 +62,28 @@ pub struct TaintStats {
 }
 
 /// The DIFT engine, generic over the label lattice.
+///
+/// Fields are crate-visible so the epoch-summary composition pass
+/// (`crate::summary`) can splice a summarized window of execution into
+/// the engine's state exactly as if it had been processed serially.
 pub struct TaintEngine<T: TaintLabel> {
-    policy: TaintPolicy,
+    pub(crate) policy: TaintPolicy,
     /// Origins feed alert root-cause pointers only; when the policy has
     /// every check disabled they are unobservable, so the hot path skips
     /// maintaining them.
-    track_origins: bool,
-    regs: Vec<Vec<T>>,
+    pub(crate) track_origins: bool,
+    pub(crate) regs: Vec<Vec<T>>,
     /// Per (tid, reg): the memory cell a register was most recently
     /// loaded from (None after any non-load definition).
-    origins: Vec<Vec<Option<MemAddr>>>,
-    mem: ShadowMap<T>,
-    input_counts: HashMap<u16, u64>,
+    pub(crate) origins: Vec<Vec<Option<MemAddr>>>,
+    pub(crate) mem: ShadowMap<T>,
+    pub(crate) input_counts: HashMap<u16, u64>,
     pub alerts: Vec<TaintAlert<T>>,
     /// Labels observed at `Out` instructions: `(channel, emit index,
     /// label)` — the lineage of each output word.
     pub output_labels: Vec<(u16, u64, T)>,
-    output_counts: HashMap<u16, u64>,
-    stats: TaintStats,
+    pub(crate) output_counts: HashMap<u16, u64>,
+    pub(crate) stats: TaintStats,
 }
 
 impl<T: TaintLabel> TaintEngine<T> {
@@ -102,6 +106,11 @@ impl<T: TaintLabel> TaintEngine<T> {
         &self.stats
     }
 
+    /// The policy this engine runs under.
+    pub fn policy(&self) -> TaintPolicy {
+        self.policy
+    }
+
     /// Reserve the shadow page table for `mem_words` of data memory so
     /// the steady-state hot path never grows it. Called automatically
     /// from [`Tool::on_start`]; the multicore helper, which drives
@@ -115,7 +124,7 @@ impl<T: TaintLabel> TaintEngine<T> {
         &self.mem
     }
 
-    fn ensure_tid(&mut self, tid: ThreadId) {
+    pub(crate) fn ensure_tid(&mut self, tid: ThreadId) {
         while self.regs.len() <= tid as usize {
             self.regs.push(vec![T::default(); NUM_REGS]);
             self.origins.push(vec![None; NUM_REGS]);
@@ -134,7 +143,7 @@ impl<T: TaintLabel> TaintEngine<T> {
     }
 
     #[inline]
-    fn set_mem_label(&mut self, addr: MemAddr, label: T) {
+    pub(crate) fn set_mem_label(&mut self, addr: MemAddr, label: T) {
         self.mem.set(addr, label);
         // Running counters make peak tracking O(1) per write; the old
         // HashMap engine rescanned the whole map at every new peak.
@@ -182,17 +191,23 @@ impl<T: TaintLabel> TaintEngine<T> {
             // One outer bounds check for the whole gather.
             let regs_t = &self.regs[t];
             for r in &data_uses {
+                debug_assert!(nsrc < MAX_SOURCES, "data-use gather exceeds MAX_SOURCES");
                 sources[nsrc] = regs_t[r.index()].clone();
                 nsrc += 1;
             }
             if self.policy.propagate_through_addr {
                 for r in &addr_uses {
+                    debug_assert!(nsrc < MAX_SOURCES, "addr-use gather exceeds MAX_SOURCES");
                     sources[nsrc] = regs_t[r.index()].clone();
                     nsrc += 1;
                 }
             }
         }
         if let Some((addr, _)) = fx.mem_read {
+            debug_assert!(
+                nsrc < MAX_SOURCES,
+                "memory-read gather exceeds MAX_SOURCES; widen the budget for this ISA shape"
+            );
             sources[nsrc] = self.mem.get(addr);
             nsrc += 1;
         }
@@ -469,6 +484,54 @@ mod tests {
         assert!(e.reg_label(7, Reg(3)).is_clean());
         // Read-only observation: no per-thread state materialized.
         assert_eq!(e.tainted_words(), 0);
+    }
+
+    #[test]
+    fn widest_cas_shape_stays_within_source_budget() {
+        // CAS under pointer-taint propagation is the widest gather the
+        // ISA produces today: a data use (`new`), an address use
+        // (`base`, gathered because `propagate_through_addr` is on), and
+        // the memory-read label — all through a tainted pointer, so the
+        // address checks fire too. The debug_assert guards in
+        // `process()` must hold and the labels must match the reference
+        // engine bit for bit.
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0); // tainted value
+        b.input(Reg(2), 0); // tainted index
+        b.bini(BinOp::And, Reg(3), Reg(2), 63);
+        b.li(Reg(4), 100);
+        b.add(Reg(4), Reg(4), Reg(3)); // tainted address
+        b.store(Reg(1), Reg(4), 0); // seed tainted memory through it
+        b.cas(Reg(5), Reg(4), Reg(1), Reg(1)); // base + expected + new, reads and writes memory
+        b.output(Reg(5), 0);
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let pol = TaintPolicy { propagate_through_addr: true, ..Default::default() };
+
+        let mut m = Machine::new(p.clone(), MachineConfig::small());
+        m.feed_input(0, &[9, 5]);
+        let mut cap_fx: Vec<dift_vm::StepEffects> = Vec::new();
+        struct Cap<'a>(&'a mut Vec<dift_vm::StepEffects>);
+        impl Tool for Cap<'_> {
+            fn after(&mut self, _m: &mut Machine, fx: &dift_vm::StepEffects) {
+                self.0.push(fx.clone());
+            }
+        }
+        Engine::new(m).run_tool(&mut Cap(&mut cap_fx));
+
+        let mut fast = TaintEngine::<PcTaint>::new(pol);
+        let mut oracle = crate::ReferenceTaintEngine::<PcTaint>::new(pol);
+        for fx in &cap_fx {
+            fast.process(fx);
+            oracle.process(fx);
+        }
+        // The tainted store address and the tainted CAS address both alert.
+        assert_eq!(fast.alerts.len(), 2);
+        assert_eq!(fast.alerts[1].kind, AlertKind::TaintedStoreAddr);
+        assert!(!fast.output_labels[0].2.is_clean(), "CAS result carries taint");
+        assert_eq!(fast.output_labels, oracle.output_labels);
+        assert_eq!(fast.alerts, oracle.alerts);
     }
 
     #[test]

@@ -24,12 +24,16 @@ pub mod label;
 pub mod policy;
 pub mod reference;
 pub mod shadow;
+pub mod summary;
 
 pub use engine::{AlertKind, TaintAlert, TaintEngine, TaintStats};
 pub use label::{BitTaint, LabelCtx, PcTaint, TaintLabel};
 pub use policy::TaintPolicy;
 pub use reference::ReferenceTaintEngine;
 pub use shadow::ShadowMap;
+pub use summary::{
+    process_by_epochs, summarize_epoch, EpochSummarizer, EpochSummary, IoBase, Loc, SymLabel,
+};
 
 /// Cycle charges for the software (same-core) DIFT engine. Calibrated so
 /// inline software DIFT lands at a few-× slowdown, the regime from which

@@ -9,7 +9,10 @@
 
 use dift_dbi::{Engine, Tool};
 use dift_isa::{BinOp, Program, ProgramBuilder, Reg};
-use dift_taint::{BitTaint, PcTaint, ReferenceTaintEngine, TaintEngine, TaintLabel, TaintPolicy};
+use dift_taint::{
+    process_by_epochs, BitTaint, PcTaint, ReferenceTaintEngine, TaintEngine, TaintLabel,
+    TaintPolicy,
+};
 use dift_vm::{Machine, MachineConfig, StepEffects};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -133,6 +136,25 @@ fn assert_engines_agree<T: TaintLabel>(p: &Arc<Program>, inputs: &[u64], policy:
         fast.shadow().iter_tainted().map(|(a, l)| (a, l.clone())).collect();
     assert_eq!(fast_cells, oracle.tainted_cells(), "live shadow cells must agree");
     assert_eq!(fast.stats(), oracle.stats(), "stats incl. exact peaks must agree");
+
+    // Epoch-parallel summaries composed in order must be bit-identical
+    // too: same labels, alerts (with origins), output lineage, live
+    // cells, and exact peak statistics, at every epoch granularity.
+    for epoch_len in [5usize, 17, 64] {
+        let mut epoch = TaintEngine::<T>::new(policy);
+        epoch.pre_size(mem_words);
+        process_by_epochs(&mut epoch, &cap.fxs, epoch_len);
+        assert_eq!(
+            epoch.output_labels, oracle.output_labels,
+            "epoch_len={epoch_len}: output lineage must agree"
+        );
+        assert_eq!(epoch.alerts, oracle.alerts, "epoch_len={epoch_len}: alerts must agree");
+        assert_eq!(epoch.tainted_words(), oracle.tainted_words(), "epoch_len={epoch_len}");
+        let cells: Vec<(u64, T)> =
+            epoch.shadow().iter_tainted().map(|(a, l)| (a, l.clone())).collect();
+        assert_eq!(cells, oracle.tainted_cells(), "epoch_len={epoch_len}: live cells");
+        assert_eq!(epoch.stats(), oracle.stats(), "epoch_len={epoch_len}: stats incl. peaks");
+    }
 }
 
 proptest! {
