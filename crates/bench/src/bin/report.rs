@@ -1,4 +1,4 @@
-//! `report` — regenerate the experiment tables.
+//! `report` — regenerate the experiment tables and gate regressions.
 //!
 //! ```text
 //! report              # all experiments at paper scale
@@ -7,6 +7,9 @@
 //! report taint        # T1 wall-clock DIFT throughput (+ BENCH_taint.json)
 //! report multicore-scaling
 //!                     # T2 epoch-parallel scaling (+ BENCH_multicore_scaling.json)
+//! report obs          # dift-obs counter sweep (+ BENCH_obs.json)
+//! report compare <baseline.json> <candidate.json> [--thresholds <file>]
+//!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
 //! report --json       # machine-readable output
 //! ```
@@ -15,19 +18,59 @@
 //! `BENCH_taint.json` to the working directory: per-benchmark instrs/sec
 //! for the paged-shadow hot path vs the HashMap reference engine, and
 //! for inline / sw-helper / hw-helper end-to-end DIFT. Likewise
-//! `multicore-scaling` writes `BENCH_multicore_scaling.json`: wall-clock
-//! and modeled epoch-parallel DIFT at 1/2/4/8 helper shards.
+//! `multicore-scaling` writes `BENCH_multicore_scaling.json` (wall-clock
+//! and modeled epoch-parallel DIFT at 1/2/4/8 helper shards) and `obs`
+//! writes `BENCH_obs.json` (the full dift-obs metric tree).
+//!
+//! `compare` is the CI bench gate: it flattens both JSON files, checks
+//! every metric a `bench_thresholds.toml` rule matches, and exits
+//! nonzero when any metric (or the geomean across them) regressed past
+//! its noise threshold. Exit codes: 0 ok, 1 regression, 2 usage or I/O
+//! error.
 
 use dift_bench::{
     e10_races, e1_slowdown, e2_trace_density, e2a_optimization_ablation, e3_multicore,
     e3a_channel_sweep, e4_execution_reduction, e5_tm, e5a_spin_length, e6_attacks, e7_lineage,
-    e7a_overlap_sweep, e8_omission, e9_value_replacement, Scale, Table,
+    e7a_overlap_sweep, e8_omission, e9_value_replacement, Scale, Table, Thresholds,
 };
+use serde::Value;
+
+const SELECTIONS: &str =
+    "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, ablations, all";
+
+fn usage() {
+    eprintln!(
+        "usage: report [SELECTION...] [--test] [--json]\n\
+         \x20      report compare <baseline.json> <candidate.json> [--thresholds <file>]\n\
+         \n\
+         selections: {SELECTIONS}\n\
+         \x20 --test        run at CI scale (default: paper scale)\n\
+         \x20 --json        machine-readable table output\n\
+         \n\
+         compare diffs the numeric leaves of two BENCH_*.json files under\n\
+         per-metric noise thresholds; exit 0 = ok, 1 = regression, 2 = error."
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    if args.first().map(|a| a.as_str()) == Some("compare") {
+        std::process::exit(run_compare(&args[1..]));
+    }
+
     let json = args.iter().any(|a| a == "--json");
     let scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
+    if let Some(flag) =
+        args.iter().find(|a| a.starts_with("--") && *a != "--json" && *a != "--test")
+    {
+        eprintln!("unknown flag `{flag}`\n");
+        usage();
+        std::process::exit(2);
+    }
     let selected: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
 
@@ -54,63 +97,139 @@ fn main() {
         ("e7a", e7a_overlap_sweep),
     ];
 
+    // Reject unknown selections up front — a typo must not silently run
+    // nothing (or everything).
+    let known = |id: &str| -> bool {
+        id == "all"
+            || id == "ablations"
+            || id == "taint"
+            || id == "multicore-scaling"
+            || id == "obs"
+            || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
+    };
+    if let Some(bad) = selected.iter().find(|id| !known(id)) {
+        eprintln!("unknown selection `{bad}`\n");
+        usage();
+        std::process::exit(2);
+    }
+
     let wanted = |id: &str| -> bool {
         if selected.is_empty() || selected.contains(&"all") {
             return true;
         }
         (selected.contains(&"ablations") && id.ends_with('a')) || selected.contains(&id)
     };
-
-    let mut ran = 0;
-    for (id, gen) in main_exps.iter().chain(ablations) {
-        if !wanted(id) {
-            continue;
-        }
-        let t = gen(scale);
+    let print = |t: &Table| {
         if json {
             println!("{}", t.to_json());
         } else {
             println!("{t}");
         }
-        ran += 1;
+    };
+    let write_json = |name: &str, payload: &str| match std::fs::write(name, payload) {
+        Ok(()) => eprintln!("wrote {name}"),
+        Err(e) => eprintln!("could not write {name}: {e}"),
+    };
+
+    for (id, gen) in main_exps.iter().chain(ablations) {
+        if wanted(id) {
+            print(&gen(scale));
+        }
     }
     if wanted("taint") {
         // Measured once; the table and BENCH_taint.json share the run.
         let report = dift_bench::taint_throughput_report(scale);
-        let t = dift_bench::report_to_table(&report);
-        if json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{t}");
-        }
+        print(&dift_bench::report_to_table(&report));
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
-        match std::fs::write("BENCH_taint.json", &payload) {
-            Ok(()) => eprintln!("wrote BENCH_taint.json"),
-            Err(e) => eprintln!("could not write BENCH_taint.json: {e}"),
-        }
-        ran += 1;
+        write_json("BENCH_taint.json", &payload);
     }
     if wanted("multicore-scaling") {
         // Measured once; the table and BENCH_multicore_scaling.json
         // share the run.
         let report = dift_bench::multicore_scaling_report(scale);
-        let t = dift_bench::scaling_to_table(&report);
-        if json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{t}");
-        }
+        print(&dift_bench::scaling_to_table(&report));
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
-        match std::fs::write("BENCH_multicore_scaling.json", &payload) {
-            Ok(()) => eprintln!("wrote BENCH_multicore_scaling.json"),
-            Err(e) => eprintln!("could not write BENCH_multicore_scaling.json: {e}"),
-        }
-        ran += 1;
+        write_json("BENCH_multicore_scaling.json", &payload);
     }
-    if ran == 0 {
-        eprintln!(
-            "unknown selection {selected:?}; available: e1..e10, e2a, e3a, e5a, e7a, taint, multicore-scaling, ablations, all"
-        );
-        std::process::exit(2);
+    if wanted("obs") {
+        let report = dift_bench::obs_report(scale);
+        print(&report.to_table());
+        let payload = serde_json::to_string_pretty(&report.to_value()).expect("obs serializes");
+        write_json("BENCH_obs.json", &payload);
+    }
+}
+
+/// `report compare <base> <cand> [--thresholds <file>]`; returns the
+/// process exit code.
+fn run_compare(args: &[String]) -> i32 {
+    let mut files = Vec::new();
+    let mut thresholds_path: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--thresholds" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--thresholds needs a file argument\n");
+                    usage();
+                    return 2;
+                };
+                thresholds_path = Some(p);
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`\n");
+                usage();
+                return 2;
+            }
+            path => {
+                files.push(path);
+                i += 1;
+            }
+        }
+    }
+    let &[base_path, cand_path] = files.as_slice() else {
+        eprintln!("compare needs exactly a baseline and a candidate file\n");
+        usage();
+        return 2;
+    };
+    let load = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e:?}"))
+    };
+    let thresholds = match thresholds_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match Thresholds::parse(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{p}: {e}");
+                    return 2;
+                }
+            },
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                return 2;
+            }
+        },
+        None => Thresholds::default(),
+    };
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return 2;
+        }
+    };
+    let cmp = dift_bench::compare(&base, &cand, &thresholds);
+    print!("{}", dift_bench::render(&cmp));
+    if cmp.checked.is_empty() {
+        eprintln!("no gated metrics matched — check the thresholds file against the inputs");
+        return 2;
+    }
+    if cmp.regressed() {
+        1
+    } else {
+        0
     }
 }

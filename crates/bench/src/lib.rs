@@ -11,6 +11,8 @@
 
 pub mod ablations;
 pub mod apps_exps;
+pub mod compare;
+pub mod obs_report;
 pub mod scaling;
 pub mod table;
 pub mod throughput;
@@ -20,6 +22,8 @@ pub use ablations::{
     e2a_optimization_ablation, e2b_selective, e3a_channel_sweep, e5a_spin_length, e7a_overlap_sweep,
 };
 pub use apps_exps::{e10_races, e5_tm, e6_attacks, e7_lineage, e8_omission, e9_value_replacement};
+pub use compare::{compare, render, Comparison, Thresholds};
+pub use obs_report::{obs_report, ObsReport};
 pub use scaling::{
     multicore_scaling_report, scaling_to_table, t2_multicore_scaling, MulticoreScalingReport,
 };

@@ -1,0 +1,206 @@
+//! End-to-end tests of the `report` binary: every selection's `--test`
+//! mode, the JSON artifacts, the `compare` exit-code contract, and the
+//! usage/exit(2) behavior on bad input.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn report() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_report"))
+}
+
+/// Fresh scratch directory so BENCH_*.json artifacts never land in the
+/// source tree.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("report_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_in(dir: &Path, args: &[&str]) -> Output {
+    report().current_dir(dir).args(args).output().expect("spawn report")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn every_table_selection_runs_in_test_mode() {
+    // One invocation covering every table-producing selection; each
+    // prints its own JSON table, so presence of each id's title line
+    // proves it ran.
+    let all = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "mix", "e1b", "e2a", "e2b",
+        "e3a", "e5a", "e7a",
+    ];
+    let dir = scratch("tables");
+    let mut args: Vec<&str> = all.to_vec();
+    args.extend(["--test", "--json"]);
+    let o = run_in(&dir, &args);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    // One JSON table per selection.
+    assert_eq!(out.lines().filter(|l| l.contains("\"id\"")).count(), all.len(), "{out}");
+}
+
+#[test]
+fn ablations_alias_selects_the_a_suffixed_tables() {
+    let dir = scratch("ablations");
+    let o = run_in(&dir, &["ablations", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    for id in ["E2a", "E3a", "E5a", "E7a"] {
+        assert!(stdout(&o).contains(id), "missing {id}");
+    }
+}
+
+#[test]
+fn taint_selection_writes_the_json_artifact() {
+    let dir = scratch("taint");
+    let o = run_in(&dir, &["taint", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_taint.json")).expect("artifact");
+    assert!(payload.contains("geomean_hot_speedup"));
+}
+
+#[test]
+fn multicore_scaling_selection_writes_the_json_artifact() {
+    let dir = scratch("mc");
+    let o = run_in(&dir, &["multicore-scaling", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let payload =
+        std::fs::read_to_string(dir.join("BENCH_multicore_scaling.json")).expect("artifact");
+    assert!(payload.contains("geomean_modeled_speedup_4w"));
+}
+
+#[test]
+fn obs_selection_writes_the_full_metric_tree() {
+    let dir = scratch("obs");
+    let o = run_in(&dir, &["obs", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_obs.json")).expect("artifact");
+    for needle in ["schema_version", "sections", "taint", "shadow", "ddg_levels", "queue_depth"] {
+        assert!(payload.contains(needle), "BENCH_obs.json missing {needle}");
+    }
+}
+
+#[test]
+fn unknown_selection_prints_usage_and_exits_2() {
+    let dir = scratch("unknown");
+    let o = run_in(&dir, &["e99", "--test"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown selection"), "{err}");
+    assert!(err.contains("usage:"), "usage text must be printed: {err}");
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_exits_2() {
+    let dir = scratch("badflag");
+    let o = run_in(&dir, &["--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("usage:"));
+}
+
+#[test]
+fn help_exits_0_with_usage() {
+    let dir = scratch("help");
+    let o = run_in(&dir, &["--help"]);
+    assert!(o.status.success());
+    assert!(stderr(&o).contains("compare"));
+}
+
+/// A tiny taint-report-shaped document the default thresholds gate.
+fn synthetic(hot: f64) -> String {
+    format!(
+        r#"{{
+  "scale": "test",
+  "geomean_hot_speedup": {hot},
+  "rows": [
+    {{ "name": "gzip_like", "hot_speedup": {hot}, "shadow_hot": 1.0e7 }},
+    {{ "name": "mcf_like", "hot_speedup": {hot}, "shadow_hot": 2.0e7 }}
+  ]
+}}"#
+    )
+}
+
+#[test]
+fn compare_identical_inputs_exits_0() {
+    let dir = scratch("cmp_ok");
+    let base = dir.join("base.json");
+    std::fs::write(&base, synthetic(3.0)).unwrap();
+    let o = run_in(&dir, &["compare", base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("geomean ratio 1.000"), "{}", stdout(&o));
+}
+
+#[test]
+fn compare_regression_exits_1() {
+    let dir = scratch("cmp_bad");
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    std::fs::write(&base, synthetic(3.0)).unwrap();
+    std::fs::write(&cand, synthetic(1.0)).unwrap();
+    let o = run_in(&dir, &["compare", base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(1), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("REGRESSED"), "{}", stdout(&o));
+}
+
+#[test]
+fn compare_uses_the_checked_in_thresholds_file() {
+    let dir = scratch("cmp_toml");
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    std::fs::write(&base, synthetic(3.0)).unwrap();
+    // 10% down: inside the 25% geomean band and the 40% row band.
+    std::fs::write(&cand, synthetic(2.7)).unwrap();
+    let toml = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_thresholds.toml");
+    let o = run_in(
+        &dir,
+        &[
+            "compare",
+            base.to_str().unwrap(),
+            cand.to_str().unwrap(),
+            "--thresholds",
+            toml.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(o.status.code(), Some(0), "stderr: {}", stderr(&o));
+}
+
+#[test]
+fn compare_bad_inputs_exit_2() {
+    let dir = scratch("cmp_err");
+    let base = dir.join("base.json");
+    std::fs::write(&base, synthetic(3.0)).unwrap();
+    // Missing candidate file.
+    let o = run_in(&dir, &["compare", base.to_str().unwrap(), "nope.json"]);
+    assert_eq!(o.status.code(), Some(2));
+    // Too few arguments.
+    let o = run_in(&dir, &["compare", base.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("usage:"));
+    // Unparseable thresholds.
+    let badtoml = dir.join("bad.toml");
+    std::fs::write(&badtoml, "[server]\nwat = 1").unwrap();
+    let o = run_in(
+        &dir,
+        &[
+            "compare",
+            base.to_str().unwrap(),
+            base.to_str().unwrap(),
+            "--thresholds",
+            badtoml.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(o.status.code(), Some(2));
+    // No gated metrics matched at all (rules that fit nothing).
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "{ \"unrelated\": 1 }").unwrap();
+    let o = run_in(&dir, &["compare", empty.to_str().unwrap(), empty.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(2), "no-matches must fail loudly");
+}

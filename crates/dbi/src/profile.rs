@@ -93,6 +93,18 @@ impl ProfileTool {
         }
     }
 
+    /// One-shot flush of the profile's headline counters into an
+    /// observability recorder (`dbi/profile/*` metrics).
+    pub fn record_into<R: dift_obs::Recorder>(&self, obs: &mut R) {
+        if R::ENABLED {
+            obs.add(dift_obs::Metric::DbiInstrs, self.instrs);
+            obs.add(dift_obs::Metric::DbiBlockEntries, self.block_entries);
+            obs.add(dift_obs::Metric::DbiDistinctBlocks, self.distinct_blocks);
+            obs.add(dift_obs::Metric::DbiBranches, self.total_branches);
+            obs.add(dift_obs::Metric::DbiTakenBranches, self.taken_branches);
+        }
+    }
+
     /// Dynamic coverage concentration: fraction of block entries landing
     /// on the hottest 10% of blocks (how "loopy" the workload is).
     pub fn hot10_concentration(&self) -> f64 {

@@ -50,6 +50,9 @@ pub struct CircularTraceBuffer {
     pub bytes_appended: u64,
     /// Records evicted to respect the budget.
     pub evicted: u64,
+    /// Head records re-accounted as absolute anchors after an eviction
+    /// (each re-anchor can grow the byte count — see `push`).
+    pub reanchors: u64,
 }
 
 impl CircularTraceBuffer {
@@ -62,6 +65,7 @@ impl CircularTraceBuffer {
             appended: 0,
             bytes_appended: 0,
             evicted: 0,
+            reanchors: 0,
         }
     }
 
@@ -106,6 +110,9 @@ impl CircularTraceBuffer {
             // *grow* the byte count, hence inside the budget loop).
             if let Some(front) = self.records.front_mut() {
                 let new_sz = Self::anchored_size(&front.0) as u32;
+                if new_sz != front.1 {
+                    self.reanchors += 1;
+                }
                 self.bytes = self.bytes - front.1 as usize + new_sz as usize;
                 front.1 = new_sz;
             }
@@ -249,6 +256,7 @@ mod tests {
             b.push(rec(1_000_000 + i, 1_000_000 + i - 1));
         }
         assert!(b.evicted > 0, "must evict past the anchor");
+        assert!(b.reanchors > 0, "surviving heads were re-accounted");
         assert_eq!(b.bytes(), decodable_bytes(&b), "accounting must match a real decoder");
         assert!(b.bytes() <= b.capacity_bytes());
         // Anchored head (3+1+1) + 3-byte deltas: the budget holds fewer

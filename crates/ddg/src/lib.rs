@@ -7,7 +7,7 @@
 //! * [`shadow`] — the tracer's shadow state: last-writer timestamps for
 //!   every register and memory word, plus the online dynamic
 //!   control-dependence stack (the Xin–Zhang ISSTA'07 region-stack
-//!   algorithm, reference [11] of the paper).
+//!   algorithm, reference \[11\] of the paper).
 //! * [`buffer`] — ONTRAC's fixed-size in-memory **circular trace buffer**:
 //!   dependences are appended with a compact delta encoding and the oldest
 //!   records are evicted when the byte budget is exceeded, bounding the

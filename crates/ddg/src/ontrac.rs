@@ -29,6 +29,7 @@ use crate::graph::DdgGraph;
 use crate::shadow::{ControlStack, ShadowState};
 use dift_dbi::{Tool, TraceBuilder};
 use dift_isa::{Addr, FuncId, Opcode, Program, StmtId};
+use dift_obs::{Metric, NoopRecorder, Recorder};
 use dift_vm::{Machine, Pending, RunResult, StepEffects, ThreadId};
 use std::collections::HashSet;
 
@@ -127,8 +128,9 @@ struct TraceInstance {
     prev_start: u64,
 }
 
-/// The ONTRAC tracer tool.
-pub struct OnTrac {
+/// The ONTRAC tracer tool, generic over an observability recorder
+/// (default [`NoopRecorder`]: probes monomorphize away entirely).
+pub struct OnTrac<R: Recorder = NoopRecorder> {
     cfg: OnTracConfig,
     shadow: ShadowState,
     control: ControlStack,
@@ -150,10 +152,26 @@ pub struct OnTrac {
     /// full def-side metadata. Pruned to the buffer window.
     step_meta: std::collections::HashMap<u64, (Addr, StmtId)>,
     stats: OnTracStats,
+    /// The probe sink (ZST under the default [`NoopRecorder`]).
+    pub obs: R,
 }
 
 impl OnTrac {
+    /// Unprobed tracer (`R = NoopRecorder`; `new` lives on this concrete
+    /// impl because default type parameters do not drive fn inference).
     pub fn new(program: &Program, mem_words: usize, cfg: OnTracConfig) -> OnTrac {
+        OnTrac::with_recorder(program, mem_words, cfg, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> OnTrac<R> {
+    /// Tracer wired to a live recorder.
+    pub fn with_recorder(
+        program: &Program,
+        mem_words: usize,
+        cfg: OnTracConfig,
+        obs: R,
+    ) -> OnTrac<R> {
         OnTrac {
             buffer: CircularTraceBuffer::new(cfg.buffer_bytes),
             traces: TraceBuilder::new(cfg.trace_hot_threshold, cfg.trace_max_blocks),
@@ -166,6 +184,7 @@ impl OnTrac {
             step_meta: std::collections::HashMap::new(),
             cfg,
             stats: OnTracStats::default(),
+            obs,
         }
     }
 
@@ -216,6 +235,9 @@ impl OnTrac {
     ) {
         self.stats.deps_considered += 1;
         m.charge(costs::ONLINE_PER_DEP_LOOKUP);
+        if R::ENABLED {
+            self.obs.add(Metric::DdgDepsConsidered, 1);
+        }
 
         // Optimization filters.
         if kind == DepKind::RegData {
@@ -248,6 +270,11 @@ impl OnTrac {
         }
 
         let (def_addr, def_stmt) = self.step_meta.get(&def).copied().unwrap_or((0, 0));
+        let (bytes_before, evicted_before, reanchors_before) = if R::ENABLED {
+            (self.buffer.bytes_appended, self.buffer.evicted, self.buffer.reanchors)
+        } else {
+            (0, 0, 0)
+        };
         self.buffer.push(BufRecord {
             dep: Dependence::new(user, def, kind),
             user_addr,
@@ -257,11 +284,19 @@ impl OnTrac {
         });
         self.stats.deps_recorded += 1;
         self.stats.bytes_appended = self.buffer.bytes_appended;
+        if R::ENABLED {
+            self.obs.add(Metric::DdgDepsRecorded, 1);
+            let record_bytes = self.buffer.bytes_appended - bytes_before;
+            self.obs.add(Metric::DdgBytesStored, record_bytes);
+            self.obs.observe(Metric::DdgRecordBytes, record_bytes);
+            self.obs.add(Metric::DdgEvictions, self.buffer.evicted - evicted_before);
+            self.obs.add(Metric::DdgReanchors, self.buffer.reanchors - reanchors_before);
+        }
         m.charge(costs::ONLINE_PER_RECORD);
     }
 }
 
-impl Tool for OnTrac {
+impl<R: Recorder> Tool for OnTrac<R> {
     fn on_block(&mut self, _m: &mut Machine, tid: ThreadId, entry: Addr, _is_new: bool) {
         self.ensure_tid(tid);
         let t = tid as usize;
@@ -420,6 +455,9 @@ impl Tool for OnTrac {
             } else {
                 self.stats.deps_considered += 1;
                 m.charge(costs::ONLINE_PER_DEP_LOOKUP);
+                if R::ENABLED {
+                    self.obs.add(Metric::DdgDepsConsidered, 1);
+                }
             }
         }
         // WAR/WAW (multithreaded slicing extension).
@@ -505,5 +543,9 @@ impl Tool for OnTrac {
 
     fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
         self.stats.window_len = self.buffer.window_len();
+        if R::ENABLED {
+            self.obs.gauge(Metric::DdgWindowLen, self.buffer.window_len());
+            self.obs.gauge(Metric::DdgResidentBytes, self.buffer.bytes() as u64);
+        }
     }
 }

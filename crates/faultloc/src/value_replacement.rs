@@ -1,4 +1,4 @@
-//! Value-replacement fault ranking (reference [2] of the paper).
+//! Value-replacement fault ranking (reference \[2\] of the paper).
 //!
 //! "The key idea is to see which program statements exercised during a
 //! failing run use values that can be altered so that the execution

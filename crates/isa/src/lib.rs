@@ -13,7 +13,7 @@
 //!   def/use queries ([`Instruction::def`], [`Instruction::reg_uses`]).
 //! * [`Program`] and [`ProgramBuilder`] — an in-memory assembler with
 //!   labels, functions and an initial data image.
-//! * [`cfg`] — basic-block discovery and control-flow graphs.
+//! * [`mod@cfg`] — basic-block discovery and control-flow graphs.
 //! * [`dom`] — dominator / post-dominator trees and static control
 //!   dependence (needed by slicing and by ONTRAC's static optimizations).
 //! * [`static_dep`] — intra-block static def-use inference, the analysis

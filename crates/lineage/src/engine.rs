@@ -154,7 +154,7 @@ impl<B: LineageBackend> Tool for LineageEngine<B> {
             *idx += 1;
         }
 
-        if self.stats.instrs.is_multiple_of(self.sample_every) {
+        if self.stats.instrs % self.sample_every == 0 {
             self.sample_memory();
         }
     }

@@ -83,6 +83,12 @@ impl QueueSim {
         self.messages += 1;
         stall
     }
+
+    /// Messages currently in flight (queue occupancy as of the last
+    /// `enqueue` — retirement happens lazily at enqueue time).
+    pub fn depth(&self) -> usize {
+        self.in_flight.len()
+    }
 }
 
 /// Timing model of a fanned-out channel: one bounded queue per helper
@@ -126,6 +132,11 @@ impl MultiQueueSim {
 
     pub fn helper_busy(&self) -> u64 {
         self.shards.iter().map(|s| s.helper_busy).sum()
+    }
+
+    /// In-flight occupancy of one shard's queue.
+    pub fn depth(&self, shard: usize) -> usize {
+        self.shards[shard].depth()
     }
 }
 

@@ -28,6 +28,7 @@ use crate::channel::{ChannelModel, MultiQueueSim};
 use crate::helper::{join_or_propagate, DiftRun, MulticoreStats, BATCH_SIZE};
 use crossbeam::channel as xbeam;
 use dift_dbi::{Engine, Tool};
+use dift_obs::{Metric, NoopRecorder, Recorder};
 use dift_taint::{
     summarize_epoch, EpochSummarizer, EpochSummary, IoBase, TaintEngine, TaintLabel, TaintPolicy,
 };
@@ -102,7 +103,8 @@ struct ShardBatch {
 
 /// Tool that splits the effects stream into epochs and ships each epoch
 /// to its round-robin shard, charging the fan-out timing model.
-struct EpochOffloader {
+struct EpochOffloader<R: Recorder = NoopRecorder> {
+    obs: R,
     txs: Vec<Option<xbeam::Sender<ShardBatch>>>,
     batch: Vec<StepEffects>,
     batches: u64,
@@ -120,7 +122,7 @@ struct EpochOffloader {
     need_base: bool,
 }
 
-impl EpochOffloader {
+impl<R: Recorder> EpochOffloader<R> {
     fn flush(&mut self) {
         if self.batch.is_empty() {
             return;
@@ -132,11 +134,14 @@ impl EpochOffloader {
             let _ = tx.send(ShardBatch { epoch: self.cur_epoch, base, records });
             self.need_base = false;
             self.batches += 1;
+            if R::ENABLED {
+                self.obs.add(Metric::McBatches, 1);
+            }
         }
     }
 }
 
-impl Tool for EpochOffloader {
+impl<R: Recorder> Tool for EpochOffloader<R> {
     fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
         let e = (self.seen / self.model.epoch_len as u64) as usize;
         if e != self.cur_epoch {
@@ -155,6 +160,11 @@ impl Tool for EpochOffloader {
         let stall = self.queues.enqueue(shard, m.cycles());
         if stall > 0 {
             m.charge(stall);
+        }
+        if R::ENABLED {
+            self.obs.add(Metric::McMessages, 1);
+            self.obs.add(Metric::McStallCycles, stall);
+            self.obs.observe(Metric::McQueueDepth, self.queues.depth(shard) as u64);
         }
         self.batch.push(fx.clone());
         if let Some((ch, _)) = fx.input {
@@ -176,17 +186,28 @@ impl Tool for EpochOffloader {
 
 /// A shard's consumer loop: summarize every epoch steered to it. Epochs
 /// arrive in this shard's stream order, so one live summarizer suffices.
+/// With `timed` set (a live recorder upstream), each epoch's wall-clock
+/// summarization nanos are measured — busy time only, not queue waits —
+/// and returned alongside the summaries for the main thread to record.
 fn shard_loop<T: TaintLabel>(
     rx: xbeam::Receiver<ShardBatch>,
     policy: TaintPolicy,
-) -> Vec<(usize, EpochSummary<T>)> {
+    timed: bool,
+) -> (Vec<(usize, EpochSummary<T>)>, Vec<u64>) {
     let mut done: Vec<(usize, EpochSummary<T>)> = Vec::new();
+    let mut nanos: Vec<u64> = Vec::new();
     let mut cur: Option<(usize, EpochSummarizer<T>)> = None;
+    let mut busy = std::time::Duration::ZERO;
     while let Ok(b) = rx.recv() {
+        let start = timed.then(std::time::Instant::now);
         let switch = cur.as_ref().is_none_or(|(e, _)| *e != b.epoch);
         if switch {
             if let Some((e, s)) = cur.take() {
                 done.push((e, s.finish()));
+                if timed {
+                    nanos.push(busy.as_nanos() as u64);
+                    busy = std::time::Duration::ZERO;
+                }
             }
             let base = b.base.as_ref().expect("first batch of an epoch carries its I/O base");
             cur = Some((b.epoch, EpochSummarizer::new(policy, base)));
@@ -195,11 +216,19 @@ fn shard_loop<T: TaintLabel>(
         for fx in &b.records {
             s.step(fx);
         }
+        if let Some(start) = start {
+            busy += start.elapsed();
+        }
     }
     if let Some((e, s)) = cur.take() {
+        let start = timed.then(std::time::Instant::now);
         done.push((e, s.finish()));
+        if let Some(start) = start {
+            busy += start.elapsed();
+            nanos.push(busy.as_nanos() as u64);
+        }
     }
-    done
+    (done, nanos)
 }
 
 /// Run `machine` with taint propagation fanned out across
@@ -210,6 +239,20 @@ pub fn run_epoch_dift<T: TaintLabel + Send + 'static>(
     model: EpochModel,
     policy: TaintPolicy,
 ) -> DiftRun<T> {
+    run_epoch_dift_obs(machine, model, policy, NoopRecorder).0
+}
+
+/// [`run_epoch_dift`] with an observability recorder threaded through
+/// the offloader (messages, stalls, queue occupancy, batches) and the
+/// shard/compose stages (per-shard epoch latency, compose time). The
+/// recorder is returned alongside the run so callers can snapshot it;
+/// with [`NoopRecorder`] every probe compiles away.
+pub fn run_epoch_dift_obs<T: TaintLabel + Send + 'static, R: Recorder>(
+    machine: Machine,
+    model: EpochModel,
+    policy: TaintPolicy,
+    obs: R,
+) -> (DiftRun<T>, R) {
     assert!(model.workers >= 1, "at least one shard");
     assert!(model.epoch_len >= 1, "epochs must be non-empty");
     let mut helper_policy = policy;
@@ -223,10 +266,11 @@ pub fn run_epoch_dift<T: TaintLabel + Send + 'static>(
     for _ in 0..model.workers {
         let (tx, rx) = xbeam::bounded::<ShardBatch>(cap);
         txs.push(Some(tx));
-        handles.push(thread::spawn(move || shard_loop::<T>(rx, helper_policy)));
+        handles.push(thread::spawn(move || shard_loop::<T>(rx, helper_policy, R::ENABLED)));
     }
 
     let mut off = EpochOffloader {
+        obs,
         txs,
         batch: Vec::with_capacity(BATCH_SIZE),
         batches: 0,
@@ -245,20 +289,32 @@ pub fn run_epoch_dift<T: TaintLabel + Send + 'static>(
         tx.take(); // close the channels so shards drain and exit
     }
 
+    let mut obs = off.obs;
     let mut summaries: Vec<(usize, EpochSummary<T>)> = Vec::new();
     for h in handles {
-        summaries.extend(join_or_propagate(h, "epoch shard thread"));
+        let (done, nanos) = join_or_propagate(h, "epoch shard thread");
+        summaries.extend(done);
+        if R::ENABLED {
+            for n in nanos {
+                obs.observe(Metric::McShardEpochNanos, n);
+            }
+        }
     }
     // Composition: summaries splice in epoch order; the result is
     // bit-identical to serial processing (see DESIGN.md §9).
     summaries.sort_by_key(|(e, _)| *e);
     let mut engine = TaintEngine::<T>::new(helper_policy);
     engine.pre_size(mem_words);
-    for (_, s) in &summaries {
-        engine.apply_summary(s);
-    }
+    obs.timed(Metric::McComposeNanos, || {
+        for (_, s) in &summaries {
+            engine.apply_summary(s);
+        }
+    });
 
     let epochs = summaries.len() as u64;
+    if R::ENABLED {
+        obs.add(Metric::McEpochs, epochs);
+    }
     let compose_cycles = model.compose_per_epoch * epochs;
     let main_cycles = result.cycles;
     let stats = MulticoreStats {
@@ -274,7 +330,7 @@ pub fn run_epoch_dift<T: TaintLabel + Send + 'static>(
         epochs,
         compose_cycles,
     };
-    DiftRun { engine, result, stats }
+    (DiftRun { engine, result, stats }, obs)
 }
 
 /// Epoch-parallel propagation over a pre-captured effects stream: the

@@ -27,5 +27,5 @@ pub mod epoch;
 pub mod helper;
 
 pub use channel::{ChannelModel, MultiQueueSim, QueueSim};
-pub use epoch::{epoch_process_stream, run_epoch_dift, EpochModel};
+pub use epoch::{epoch_process_stream, run_epoch_dift, run_epoch_dift_obs, EpochModel};
 pub use helper::{run_helper_dift, run_inline_dift, DiftRun, MulticoreStats};

@@ -7,7 +7,7 @@
 //!   logging (scheduling decisions, inputs, periodic checkpoints). The
 //!   charged overhead lands near the paper's ~2× (for MySQL, 14.8 s →
 //!   16.8 s ≈ 1.14×).
-//! * [`reduce`] — the **execution reduction phase**: when a failure
+//! * [`mod@reduce`] — the **execution reduction phase**: when a failure
 //!   raises the need for DIFT, the replay log is analyzed to find the
 //!   execution region relevant to the failure (the segment from the last
 //!   checkpoint that still precedes it), and the **replay phase** re-runs

@@ -1,4 +1,4 @@
-//! Failure-inducing chops (ASE'05 — reference [1] of the paper).
+//! Failure-inducing chops (ASE'05 — reference \[1\] of the paper).
 //!
 //! A *chop* intersects the forward slice of the failure-inducing inputs
 //! with the backward slice of the erroneous output: only statements that

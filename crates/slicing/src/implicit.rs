@@ -1,5 +1,5 @@
 //! Implicit dependences via predicate switching (execution-omission
-//! errors, PLDI'07 — reference [16] of the paper).
+//! errors, PLDI'07 — reference \[16\] of the paper).
 //!
 //! Execution-omission errors fail because code that *should* have run did
 //! not; dynamic slices cannot see the missing statements. The fully

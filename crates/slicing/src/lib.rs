@@ -20,7 +20,7 @@
 //! * [`prune`] — confidence-based pruning (PLDI'06): statements whose
 //!   values also reach *correct* outputs get high confidence and are
 //!   pruned from the fault-candidate set.
-//! * [`chop`] — failure-inducing chops (ASE'05): the intersection of the
+//! * [`mod@chop`] — failure-inducing chops (ASE'05): the intersection of the
 //!   forward slice of suspicious inputs with the backward slice of the
 //!   failure.
 

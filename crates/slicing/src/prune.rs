@@ -1,4 +1,4 @@
-//! Confidence-based slice pruning (PLDI'06 — reference [17]).
+//! Confidence-based slice pruning (PLDI'06 — reference \[17\]).
 //!
 //! Idea: a statement instance that (transitively) produced *correct*
 //! output earns confidence that it is not faulty; pruning high-confidence

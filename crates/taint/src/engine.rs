@@ -6,6 +6,7 @@ use crate::policy::TaintPolicy;
 use crate::shadow::ShadowMap;
 use dift_dbi::Tool;
 use dift_isa::{Addr, MemAddr, Opcode, Reg, NUM_REGS};
+use dift_obs::{Metric, NoopRecorder, Recorder};
 use dift_vm::{Machine, RunResult, StepEffects, ThreadId};
 use std::collections::HashMap;
 
@@ -61,12 +62,18 @@ pub struct TaintStats {
     pub peak_shadow_bytes: usize,
 }
 
-/// The DIFT engine, generic over the label lattice.
+/// The DIFT engine, generic over the label lattice and an observability
+/// [`Recorder`].
+///
+/// With the default [`NoopRecorder`] every probe monomorphizes away and
+/// the engine compiles to the same machine code as an unprobed one
+/// (`crates/bench/benches/obs.rs` keeps that honest). Construct with a
+/// live recorder via [`TaintEngine::with_recorder`].
 ///
 /// Fields are crate-visible so the epoch-summary composition pass
 /// (`crate::summary`) can splice a summarized window of execution into
 /// the engine's state exactly as if it had been processed serially.
-pub struct TaintEngine<T: TaintLabel> {
+pub struct TaintEngine<T: TaintLabel, R: Recorder = NoopRecorder> {
     pub(crate) policy: TaintPolicy,
     /// Origins feed alert root-cause pointers only; when the policy has
     /// every check disabled they are unobservable, so the hot path skips
@@ -84,10 +91,23 @@ pub struct TaintEngine<T: TaintLabel> {
     pub output_labels: Vec<(u16, u64, T)>,
     pub(crate) output_counts: HashMap<u16, u64>,
     pub(crate) stats: TaintStats,
+    /// The probe sink. Public so callers can drain a live recorder
+    /// after a run; with [`NoopRecorder`] it is a ZST.
+    pub obs: R,
 }
 
 impl<T: TaintLabel> TaintEngine<T> {
+    /// Unprobed engine (the default `R = NoopRecorder` is inferred at
+    /// existing call sites; default type parameters do not drive fn
+    /// inference, which is why `new` lives on this narrower impl).
     pub fn new(policy: TaintPolicy) -> TaintEngine<T> {
+        TaintEngine::with_recorder(policy, NoopRecorder)
+    }
+}
+
+impl<T: TaintLabel, R: Recorder> TaintEngine<T, R> {
+    /// Engine wired to a live recorder.
+    pub fn with_recorder(policy: TaintPolicy, obs: R) -> TaintEngine<T, R> {
         TaintEngine {
             policy,
             track_origins: policy.check_mem_addr || policy.check_control,
@@ -99,6 +119,20 @@ impl<T: TaintLabel> TaintEngine<T> {
             output_labels: Vec::new(),
             output_counts: HashMap::new(),
             stats: TaintStats::default(),
+            obs,
+        }
+    }
+
+    /// Gauge the shadow-memory metrics into the recorder. Called from
+    /// [`Tool::on_finish`]; direct drivers (the multicore helper) call
+    /// it before draining `obs`.
+    pub fn flush_obs(&mut self) {
+        if R::ENABLED {
+            self.obs.gauge(Metric::TaintPageAllocs, self.mem.page_allocs());
+            self.obs.gauge(Metric::TaintPageFrees, self.mem.page_frees());
+            self.obs.gauge(Metric::TaintLivePages, self.mem.live_pages() as u64);
+            self.obs.gauge(Metric::TaintTaintedWords, self.mem.tainted_words() as u64);
+            self.obs.gauge(Metric::TaintShadowBytes, self.mem.shadow_bytes() as u64);
         }
     }
 
@@ -176,6 +210,9 @@ impl<T: TaintLabel> TaintEngine<T> {
         let tid = fx.tid;
         self.ensure_tid(tid);
         self.stats.instrs += 1;
+        if R::ENABLED {
+            self.obs.add(Metric::TaintProcessCalls, 1);
+        }
         let ctx = LabelCtx { addr: fx.addr, step: fx.step, stmt: fx.insn.stmt };
 
         // Operand queries are pure functions of the opcode — compute
@@ -243,6 +280,9 @@ impl<T: TaintLabel> TaintEngine<T> {
                         label: label.clone(),
                         origin,
                     });
+                    if R::ENABLED {
+                        self.obs.add(Metric::TaintAlerts, 1);
+                    }
                 }
             }
         }
@@ -266,6 +306,17 @@ impl<T: TaintLabel> TaintEngine<T> {
 
         if any_tainted || is_source {
             self.stats.tainted_instrs += 1;
+        }
+        if R::ENABLED {
+            if is_source {
+                self.obs.add(Metric::TaintSources, 1);
+            }
+            if any_tainted {
+                self.obs.add(Metric::TaintTaintedSteps, 1);
+                self.obs.observe(Metric::TaintJoinWidth, nsrc as u64);
+            } else if !is_source {
+                self.obs.add(Metric::TaintCleanFastPath, 1);
+            }
         }
 
         if let Some((r, _, _)) = fx.reg_write {
@@ -295,7 +346,7 @@ impl<T: TaintLabel> TaintEngine<T> {
     }
 }
 
-impl<T: TaintLabel> Tool for TaintEngine<T> {
+impl<T: TaintLabel, R: Recorder> Tool for TaintEngine<T, R> {
     fn on_start(&mut self, m: &mut Machine) {
         // Pre-size the shadow page table to the machine's data memory so
         // the steady-state hot path never reallocates it.
@@ -313,7 +364,9 @@ impl<T: TaintLabel> Tool for TaintEngine<T> {
         self.process(fx);
     }
 
-    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {}
+    fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
+        self.flush_obs();
+    }
 }
 
 #[cfg(test)]

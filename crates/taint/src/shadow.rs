@@ -33,6 +33,8 @@ pub struct ShadowMap<T> {
     tainted_words: usize,
     shadow_bytes: usize,
     live_pages: usize,
+    page_allocs: u64,
+    page_frees: u64,
 }
 
 impl<T: TaintLabel> Default for ShadowMap<T> {
@@ -43,7 +45,14 @@ impl<T: TaintLabel> Default for ShadowMap<T> {
 
 impl<T: TaintLabel> ShadowMap<T> {
     pub fn new() -> ShadowMap<T> {
-        ShadowMap { pages: Vec::new(), tainted_words: 0, shadow_bytes: 0, live_pages: 0 }
+        ShadowMap {
+            pages: Vec::new(),
+            tainted_words: 0,
+            shadow_bytes: 0,
+            live_pages: 0,
+            page_allocs: 0,
+            page_frees: 0,
+        }
     }
 
     /// Reserve page-table slots for `mem_words` of data memory so the
@@ -100,6 +109,7 @@ impl<T: TaintLabel> ShadowMap<T> {
                     return;
                 }
                 self.live_pages += 1;
+                self.page_allocs += 1;
                 slot.insert(Box::new(Page::new()))
             }
         };
@@ -126,6 +136,7 @@ impl<T: TaintLabel> ShadowMap<T> {
             // Last tainted word gone — return the page's slab.
             *slot = None;
             self.live_pages -= 1;
+            self.page_frees += 1;
         }
     }
 
@@ -144,6 +155,16 @@ impl<T: TaintLabel> ShadowMap<T> {
     /// Resident (allocated) shadow pages.
     pub fn live_pages(&self) -> usize {
         self.live_pages
+    }
+
+    /// Cumulative page allocations over the map's lifetime.
+    pub fn page_allocs(&self) -> u64 {
+        self.page_allocs
+    }
+
+    /// Cumulative page frees (pages whose last tainted word was cleaned).
+    pub fn page_frees(&self) -> u64 {
+        self.page_frees
     }
 
     /// All tainted `(addr, label)` pairs, ascending — for tests and
@@ -188,6 +209,10 @@ mod tests {
         assert_eq!(s.live_pages(), 0, "emptied page is returned");
         assert_eq!(s.tainted_words(), 0);
         assert_eq!(s.shadow_bytes(), 0);
+        // Cumulative churn counters keep counting across alloc/free.
+        s.set(a, BitTaint(true));
+        assert_eq!(s.page_allocs(), 2);
+        assert_eq!(s.page_frees(), 1);
     }
 
     #[test]

@@ -571,7 +571,7 @@ pub fn summarize_epoch<T: TaintLabel>(
     s.finish()
 }
 
-impl<T: TaintLabel> TaintEngine<T> {
+impl<T: TaintLabel, R: dift_obs::Recorder> TaintEngine<T, R> {
     /// Compose an epoch summary onto this engine's state — the
     /// sequential stitching pass of epoch-parallel DIFT. After the call
     /// the engine is bit-identical to having `process`ed the epoch's

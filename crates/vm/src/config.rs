@@ -78,7 +78,7 @@ pub struct MachineConfig {
     /// Scheduler quantum in instructions.
     pub quantum: u32,
     pub sched: SchedPolicy,
-    /// Safety fuse: machine stops with [`ExitStatus::StepLimit`]
+    /// Safety fuse: machine stops with `ExitStatus::StepLimit`
     /// (`crate::ExitStatus::StepLimit`) after this many steps.
     pub max_steps: u64,
     pub cycles: CycleModel,

@@ -28,7 +28,7 @@ pub struct SciencePipeline {
 /// `binning(n, bin)`: read `n` inputs; output the sum of each consecutive
 /// `bin`-sized group. Output k depends on inputs [k*bin, (k+1)*bin).
 pub fn binning(n: u64, bin: u64) -> SciencePipeline {
-    assert!(n.is_multiple_of(bin));
+    assert!(n % bin == 0);
     let mut b = ProgramBuilder::new();
     b.func("main");
     b.li(R(1), n as i64);
@@ -156,7 +156,7 @@ pub fn scatter_sum(n: u64, bins: u64) -> SciencePipeline {
     }
 }
 
-/// `prefix_sum(n)`: buffer[k] = buffer[k-1] + input[k], kept resident,
+/// `prefix_sum(n)`: `buffer[k] = buffer[k-1] + input[k]`, kept resident,
 /// then all cells are emitted. The lineage of cell k is `{0..=k}` —
 /// maximal overlap *and* clustering, resident in memory for the whole
 /// run: the showcase for the roBDD representation.

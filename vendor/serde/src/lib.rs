@@ -208,6 +208,19 @@ ser_de_tuple! {
     (0 A, 1 B, 2 C, 3 D)
 }
 
+/// A `Value` serializes as itself — lets hand-built trees flow through
+/// generic `Serialize` plumbing (e.g. mixed into derived structs).
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
 /// Map keys serialized as JSON object keys (strings).
 pub trait MapKey: Sized {
     fn to_key(&self) -> String;
