@@ -8,6 +8,8 @@
 //! report multicore-scaling
 //!                     # T2 epoch-parallel scaling (+ BENCH_multicore_scaling.json)
 //! report obs          # dift-obs counter sweep (+ BENCH_obs.json)
+//! report resilience   # T3 fault matrix + zero-fault overhead
+//!                     #   (+ BENCH_resilience.json)
 //! report compare <baseline.json> <candidate.json> [--thresholds <file>]
 //!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
@@ -19,8 +21,10 @@
 //! for the paged-shadow hot path vs the HashMap reference engine, and
 //! for inline / sw-helper / hw-helper end-to-end DIFT. Likewise
 //! `multicore-scaling` writes `BENCH_multicore_scaling.json` (wall-clock
-//! and modeled epoch-parallel DIFT at 1/2/4/8 helper shards) and `obs`
-//! writes `BENCH_obs.json` (the full dift-obs metric tree).
+//! and modeled epoch-parallel DIFT at 1/2/4/8 helper shards), `obs`
+//! writes `BENCH_obs.json` (the full dift-obs metric tree), and
+//! `resilience` writes `BENCH_resilience.json` (single-fault recovery
+//! matrix plus the zero-fault overhead of the tolerant runner).
 //!
 //! `compare` is the CI bench gate: it flattens both JSON files, checks
 //! every metric a `bench_thresholds.toml` rule matches, and exits
@@ -36,7 +40,8 @@ use dift_bench::{
 use serde::Value;
 
 const SELECTIONS: &str =
-    "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, ablations, all";
+    "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, resilience, \
+     ablations, all";
 
 fn usage() {
     eprintln!(
@@ -105,6 +110,7 @@ fn main() {
             || id == "taint"
             || id == "multicore-scaling"
             || id == "obs"
+            || id == "resilience"
             || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
     };
     if let Some(bad) = selected.iter().find(|id| !known(id)) {
@@ -156,6 +162,14 @@ fn main() {
         print(&report.to_table());
         let payload = serde_json::to_string_pretty(&report.to_value()).expect("obs serializes");
         write_json("BENCH_obs.json", &payload);
+    }
+    if wanted("resilience") {
+        // Measured once; the table and BENCH_resilience.json share the
+        // run.
+        let report = dift_bench::resilience_report(scale);
+        print(&dift_bench::resilience_to_table(&report));
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_json("BENCH_resilience.json", &payload);
     }
 }
 

@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod apps_exps;
 pub mod compare;
 pub mod obs_report;
+pub mod resilience;
 pub mod scaling;
 pub mod table;
 pub mod throughput;
@@ -24,6 +25,9 @@ pub use ablations::{
 pub use apps_exps::{e10_races, e5_tm, e6_attacks, e7_lineage, e8_omission, e9_value_replacement};
 pub use compare::{compare, render, Comparison, Thresholds};
 pub use obs_report::{obs_report, ObsReport};
+pub use resilience::{
+    resilience_report, resilience_to_table, t3_resilience, FaultMatrixRow, ResilienceReport,
+};
 pub use scaling::{
     multicore_scaling_report, scaling_to_table, t2_multicore_scaling, MulticoreScalingReport,
 };

@@ -89,6 +89,25 @@ fn obs_selection_writes_the_full_metric_tree() {
 }
 
 #[test]
+fn resilience_selection_writes_the_json_artifact() {
+    let dir = scratch("resilience");
+    let o = run_in(&dir, &["resilience", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    // The table goes to stdout, the artifact next to it.
+    assert!(stdout(&o).contains("\"id\""), "{}", stdout(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_resilience.json")).expect("artifact");
+    for needle in ["zero_fault_modeled_overhead", "identical_fraction", "matrix", "shard_panic@s0"]
+    {
+        assert!(payload.contains(needle), "BENCH_resilience.json missing {needle}");
+    }
+    // The gated fractions must be perfect even at CI scale.
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    for frac in ["completed_fraction", "identical_fraction"] {
+        assert_eq!(v.field(frac), Some(&serde_json::Value::F64(1.0)), "{frac}: {payload}");
+    }
+}
+
+#[test]
 fn unknown_selection_prints_usage_and_exits_2() {
     let dir = scratch("unknown");
     let o = run_in(&dir, &["e99", "--test"]);

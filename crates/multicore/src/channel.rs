@@ -49,6 +49,9 @@ pub struct QueueSim {
 
 impl QueueSim {
     pub fn new(model: ChannelModel) -> QueueSim {
+        // Guards the pop-when-full path below: with a depth of at least
+        // one, a full queue always has a front element to wait on.
+        assert!(model.queue_depth >= 1, "queue depth must be at least 1");
         QueueSim {
             model,
             in_flight: std::collections::VecDeque::new(),
@@ -67,13 +70,15 @@ impl QueueSim {
             self.in_flight.pop_front();
         }
         // Full queue: the producer waits until the oldest message
-        // completes.
+        // completes. `queue_depth >= 1` (asserted in `new`) makes a full
+        // queue non-empty, so the front always exists here.
         let mut stall = 0;
         if self.in_flight.len() >= self.model.queue_depth {
-            let oldest = *self.in_flight.front().expect("non-empty when full");
-            stall = oldest.saturating_sub(now);
-            self.stall_cycles += stall;
-            self.in_flight.pop_front();
+            if let Some(&oldest) = self.in_flight.front() {
+                stall = oldest.saturating_sub(now);
+                self.stall_cycles += stall;
+                self.in_flight.pop_front();
+            }
         }
         let arrival = now + stall;
         let start = self.helper_clock.max(arrival);

@@ -1,6 +1,7 @@
 //! The helper-thread DIFT runner.
 
 use crate::channel::{ChannelModel, QueueSim};
+use crate::resilience::RecoveryStats;
 use crossbeam::channel as xbeam;
 use dift_dbi::{Engine, Tool};
 use dift_taint::{TaintEngine, TaintLabel, TaintPolicy};
@@ -42,6 +43,9 @@ pub struct MulticoreStats {
     /// Modeled cycles of the sequential composition pass stitching epoch
     /// summaries (0 when not epoch-parallel).
     pub compose_cycles: u64,
+    /// What the fault-tolerance machinery did (all zeros on a fault-free
+    /// run, and always for the inline and single-helper paths).
+    pub recovery: RecoveryStats,
 }
 
 impl MulticoreStats {
@@ -164,8 +168,19 @@ pub fn run_helper_dift<T: TaintLabel + Send + 'static>(
         workers: 1,
         epochs: 0,
         compose_cycles: 0,
+        recovery: RecoveryStats::default(),
     };
     DiftRun { engine, result, stats }
+}
+
+/// The human-readable message inside a panic payload (the `Any` box a
+/// `join()` error or `catch_unwind` hands back).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Join a worker, re-raising its panic *message* on the caller's thread
@@ -176,14 +191,7 @@ pub fn run_helper_dift<T: TaintLabel + Send + 'static>(
 pub(crate) fn join_or_propagate<R>(handle: thread::JoinHandle<R>, who: &str) -> R {
     match handle.join() {
         Ok(r) => r,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&'static str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            panic!("{who} panicked: {msg}");
-        }
+        Err(payload) => panic!("{who} panicked: {}", panic_message(payload)),
     }
 }
 
@@ -203,6 +211,7 @@ pub fn run_inline_dift<T: TaintLabel>(machine: Machine, policy: TaintPolicy) -> 
         workers: 0,
         epochs: 0,
         compose_cycles: 0,
+        recovery: RecoveryStats::default(),
     };
     DiftRun { engine, result, stats }
 }

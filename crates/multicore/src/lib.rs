@@ -24,8 +24,18 @@
 
 pub mod channel;
 pub mod epoch;
+pub mod faultplan;
 pub mod helper;
+pub mod resilience;
 
 pub use channel::{ChannelModel, MultiQueueSim, QueueSim};
-pub use epoch::{epoch_process_stream, run_epoch_dift, run_epoch_dift_obs, EpochModel};
+pub use epoch::{
+    epoch_process_stream, epoch_process_stream_tolerant, run_epoch_dift, run_epoch_dift_obs,
+    run_epoch_dift_tolerant, EpochModel,
+};
+pub use faultplan::{
+    silence_injected_panics, FaultPlan, FaultSite, Injection, NoopFaults, ScriptedFaults,
+    INJECTED_PANIC_MARKER,
+};
 pub use helper::{run_helper_dift, run_inline_dift, DiftRun, MulticoreStats};
+pub use resilience::{RecoveryPolicy, RecoveryStats};

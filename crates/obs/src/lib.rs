@@ -117,6 +117,14 @@ metrics! {
     McEpochs            => ("multicore/epoch/epochs", Counter),
     McShardEpochNanos   => ("multicore/epoch/shard_epoch_nanos", Histogram),
     McComposeNanos      => ("multicore/epoch/compose_nanos", Counter),
+    // multicore::resilience — fault injection and recovery.
+    McFaultsInjected    => ("multicore/resilience/faults_injected", Counter),
+    McEpochsLost        => ("multicore/resilience/epochs_lost", Counter),
+    McEpochsRecovered   => ("multicore/resilience/epochs_recovered", Counter),
+    McRecoveryRetries   => ("multicore/resilience/retries", Counter),
+    McDegradedEpochs    => ("multicore/resilience/degraded_epochs", Counter),
+    McShardsLost        => ("multicore/resilience/shards_lost", Counter),
+    McRecoveryNanos     => ("multicore/resilience/recovery_nanos", Histogram),
     // dbi::profile — workload characterization.
     DbiInstrs           => ("dbi/profile/instrs", Counter),
     DbiBlockEntries     => ("dbi/profile/block_entries", Counter),

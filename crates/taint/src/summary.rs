@@ -182,6 +182,14 @@ impl<T: TaintLabel> EpochSummary<T> {
         self.events.len()
     }
 
+    /// Records the summarizer stepped to build this summary. A consumer
+    /// that knows how many records the epoch holds can use this as an
+    /// integrity check: a summary built from a partial or damaged stream
+    /// disagrees with the producer's count.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
     /// Evaluate a symbolic label against the resolved incoming cache.
     /// Iterative and memoized: each DAG node evaluates exactly once per
     /// composition, so chains shared by many events stay cheap.

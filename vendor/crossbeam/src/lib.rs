@@ -3,18 +3,39 @@
 
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::{Duration, Instant};
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Bounded channel; `send` blocks when the buffer is full, matching
     /// crossbeam's backpressure semantics.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap.max(1));
-        (Sender { tx }, Receiver { rx })
+        (Sender { tx: Tx::Bounded(tx) }, Receiver { rx })
+    }
+
+    /// Unbounded channel; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { tx: Tx::Unbounded(tx) }, Receiver { rx })
+    }
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+            }
+        }
     }
 
     pub struct Sender<T> {
-        tx: mpsc::SyncSender<T>,
+        tx: Tx<T>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -23,9 +44,52 @@ pub mod channel {
         }
     }
 
+    /// Why a `send_timeout` gave the value back.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The buffer stayed full for the whole timeout.
+        Timeout(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
     impl<T> Sender<T> {
         pub fn send(&self, v: T) -> Result<(), SendError<T>> {
-            self.tx.send(v)
+            match &self.tx {
+                Tx::Bounded(tx) => tx.send(v),
+                Tx::Unbounded(tx) => tx.send(v),
+            }
+        }
+
+        /// Bounded-channel send that gives up (returning the value) if
+        /// the buffer stays full past `timeout` — the primitive a
+        /// producer needs to survive a consumer that stopped draining.
+        /// Polls `try_send` with a short sleep; precise enough for
+        /// stall detection, which works in tens of milliseconds.
+        pub fn send_timeout(&self, v: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let tx = match &self.tx {
+                Tx::Bounded(tx) => tx,
+                Tx::Unbounded(tx) => {
+                    return tx.send(v).map_err(|e| SendTimeoutError::Disconnected(e.0))
+                }
+            };
+            let deadline = Instant::now() + timeout;
+            let mut v = v;
+            loop {
+                match tx.try_send(v) {
+                    Ok(()) => return Ok(()),
+                    Err(mpsc::TrySendError::Disconnected(back)) => {
+                        return Err(SendTimeoutError::Disconnected(back));
+                    }
+                    Err(mpsc::TrySendError::Full(back)) => {
+                        if Instant::now() >= deadline {
+                            return Err(SendTimeoutError::Timeout(back));
+                        }
+                        v = back;
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
         }
     }
 
@@ -42,8 +106,49 @@ pub mod channel {
             self.rx.try_recv()
         }
 
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout)
+        }
+
         pub fn iter(&self) -> mpsc::Iter<'_, T> {
             self.rx.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_timeout_returns_the_value_when_full() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            match tx.send_timeout(2, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Timeout(v)) => assert_eq!(v, 2),
+                other => panic!("expected timeout, got {other:?}"),
+            }
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.send_timeout(3, Duration::from_millis(10)).unwrap();
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn send_timeout_reports_disconnect() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(matches!(
+                tx.send_timeout(1, Duration::from_millis(5)),
+                Err(SendTimeoutError::Disconnected(1))
+            ));
+        }
+
+        #[test]
+        fn unbounded_never_blocks() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), 0);
         }
     }
 }
