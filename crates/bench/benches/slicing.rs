@@ -1,0 +1,89 @@
+//! Demand-driven slice queries vs rebuild-per-query, under criterion.
+//!
+//! One SPEC-like kernel traced at a budget that retains a meaningful
+//! window; the same mixed query set is answered by:
+//!
+//! * `rebuild-per-query` — materialize a fresh `DdgGraph` + `Slicer`
+//!   for every query (the status-quo path);
+//! * `indexed-single` — one `SliceService`, generation-checked refresh
+//!   per query (the designed single-query path);
+//! * `indexed-batched` — one `batch` call over one snapshot;
+//! * `snapshot` — the cost of freezing the index once (what a reader
+//!   thread pays to join).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dift_dbi::Engine;
+use dift_ddg::{DdgGraph, OnTrac, OnTracConfig};
+use dift_slicing::{KindMask, SliceQuery, SliceService, Slicer};
+use dift_workloads::spec::{mcf_like, Size};
+
+fn bench_slicing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slice-queries");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+
+    let w = mcf_like(Size::Tiny);
+    let mut cfg = OnTracConfig::unoptimized(16 << 10);
+    cfg.record_war_waw = true;
+    let m = w.machine();
+    let mem = m.config().mem_words;
+    let mut tracer = OnTrac::new(&w.program, mem, cfg);
+    Engine::new(m).run_tool(&mut tracer);
+    let buf = tracer.buffer();
+    let idx = tracer.slice_index().expect("presets enable the index");
+
+    let graph = DdgGraph::from_records(buf.records(), &w.program);
+    let mut steps: Vec<u64> = graph.steps().collect();
+    steps.sort_unstable();
+    let queries: Vec<SliceQuery> = steps
+        .iter()
+        .step_by((steps.len() / 8).max(1))
+        .flat_map(|&s| {
+            [
+                SliceQuery::Backward { criterion: vec![s], mask: KindMask::classic() },
+                SliceQuery::Forward { criterion: vec![s], mask: KindMask::data_only() },
+            ]
+        })
+        .collect();
+
+    g.bench_function("rebuild-per-query", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                let g = DdgGraph::from_records(buf.records(), &w.program);
+                let s = Slicer::new(&g);
+                total += match q {
+                    SliceQuery::Backward { criterion, mask } => s.backward(criterion, *mask).len(),
+                    SliceQuery::Forward { criterion, mask } => s.forward(criterion, *mask).len(),
+                    SliceQuery::BackwardFromAddr { addr, mask } => {
+                        s.backward_from_addr(*addr, *mask).len()
+                    }
+                };
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("indexed-single", |b| {
+        b.iter(|| {
+            let mut svc = SliceService::new(idx);
+            let mut total = 0usize;
+            for q in &queries {
+                svc.refresh(idx);
+                total += svc.batch(std::slice::from_ref(q))[0].len();
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("indexed-batched", |b| {
+        b.iter(|| {
+            let mut svc = SliceService::new(idx);
+            black_box(svc.batch(&queries).iter().map(|s| s.len()).sum::<usize>())
+        })
+    });
+    g.bench_function("snapshot", |b| b.iter(|| black_box(idx.snapshot().generation())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_slicing);
+criterion_main!(benches);

@@ -10,6 +10,8 @@
 //! report obs          # dift-obs counter sweep (+ BENCH_obs.json)
 //! report resilience   # T3 fault matrix + zero-fault overhead
 //!                     #   (+ BENCH_resilience.json)
+//! report slicing      # T4 demand-driven slice queries, indexed vs
+//!                     #   rebuild-per-query (+ BENCH_slicing.json)
 //! report compare <baseline.json> <candidate.json> [--thresholds <file>]
 //!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
@@ -22,9 +24,11 @@
 //! for inline / sw-helper / hw-helper end-to-end DIFT. Likewise
 //! `multicore-scaling` writes `BENCH_multicore_scaling.json` (wall-clock
 //! and modeled epoch-parallel DIFT at 1/2/4/8 helper shards), `obs`
-//! writes `BENCH_obs.json` (the full dift-obs metric tree), and
-//! `resilience` writes `BENCH_resilience.json` (single-fault recovery
-//! matrix plus the zero-fault overhead of the tolerant runner).
+//! writes `BENCH_obs.json` (the full dift-obs metric tree), `resilience`
+//! writes `BENCH_resilience.json` (single-fault recovery matrix plus the
+//! zero-fault overhead of the tolerant runner), and `slicing` writes
+//! `BENCH_slicing.json` (indexed vs rebuild-per-query slice latency,
+//! single and batched, across kernels and buffer budgets).
 //!
 //! `compare` is the CI bench gate: it flattens both JSON files, checks
 //! every metric a `bench_thresholds.toml` rule matches, and exits
@@ -41,7 +45,7 @@ use serde::Value;
 
 const SELECTIONS: &str =
     "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, resilience, \
-     ablations, all";
+     slicing, ablations, all";
 
 fn usage() {
     eprintln!(
@@ -111,6 +115,7 @@ fn main() {
             || id == "multicore-scaling"
             || id == "obs"
             || id == "resilience"
+            || id == "slicing"
             || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
     };
     if let Some(bad) = selected.iter().find(|id| !known(id)) {
@@ -170,6 +175,13 @@ fn main() {
         print(&dift_bench::resilience_to_table(&report));
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
         write_json("BENCH_resilience.json", &payload);
+    }
+    if wanted("slicing") {
+        // Measured once; the table and BENCH_slicing.json share the run.
+        let report = dift_bench::slicing_report(scale);
+        print(&dift_bench::slicing_to_table(&report));
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_json("BENCH_slicing.json", &payload);
     }
 }
 

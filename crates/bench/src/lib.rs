@@ -15,6 +15,7 @@ pub mod compare;
 pub mod obs_report;
 pub mod resilience;
 pub mod scaling;
+pub mod slicing_exp;
 pub mod table;
 pub mod throughput;
 pub mod tracing_exps;
@@ -31,6 +32,7 @@ pub use resilience::{
 pub use scaling::{
     multicore_scaling_report, scaling_to_table, t2_multicore_scaling, MulticoreScalingReport,
 };
+pub use slicing_exp::{slicing_report, slicing_to_table, t4_slicing, SlicingReport, SlicingRow};
 pub use table::Table;
 pub use throughput::{
     report_to_table, t1_taint_throughput, taint_throughput_report, TaintThroughputReport,

@@ -18,7 +18,8 @@ use dift_dbi::{Engine, ProfileTool};
 use dift_ddg::{costs, OnTrac, OnTracConfig};
 use dift_multicore::{run_epoch_dift_obs, ChannelModel, EpochModel};
 use dift_obs::snapshot::section_value;
-use dift_obs::{Metric, StatsRecorder, SCHEMA_VERSION};
+use dift_obs::{Metric, Recorder, StatsRecorder, SCHEMA_VERSION};
+use dift_slicing::{KindMask, SliceQuery, SliceService};
 use dift_taint::{BitTaint, TaintEngine, TaintPolicy};
 use dift_workloads::spec::all_spec;
 use serde::Value;
@@ -145,6 +146,33 @@ pub fn obs_report(scale: Scale) -> ObsReport {
         prof.record_into(&mut merged);
     }
 
+    // Slicing: demand-driven queries over each tracer's live window —
+    // queries served, slice sizes, snapshot latency, and one
+    // generation-stamped snapshot reuse per workload.
+    for w in &suite {
+        let m = w.machine();
+        let mut tracer =
+            OnTrac::new(&w.program, m.config().mem_words, OnTracConfig::optimized(4 << 10));
+        Engine::new(m).run_tool(&mut tracer);
+        let idx = tracer.slice_index().expect("optimized preset keeps the index");
+        let mut svc = SliceService::with_recorder(idx, StatsRecorder::new());
+        let mut steps: Vec<u64> = idx.steps().collect();
+        steps.sort_unstable();
+        let queries: Vec<SliceQuery> = steps
+            .iter()
+            .step_by((steps.len() / 4).max(1))
+            .map(|&s| SliceQuery::Backward { criterion: vec![s], mask: KindMask::classic() })
+            .collect();
+        svc.batch(&queries);
+        // Window unmoved, so refresh counts a snapshot reuse. Gauges are
+        // last-merge-wins, so the section that queried the index also
+        // reports its size.
+        svc.refresh(idx);
+        svc.obs.gauge(Metric::DdgIndexEdges, idx.edges());
+        svc.obs.gauge(Metric::DdgIndexBytes, idx.approx_bytes());
+        merged.merge(&svc.obs);
+    }
+
     ObsReport { scale, merged, ddg_levels }
 }
 
@@ -202,6 +230,11 @@ impl ObsReport {
             self.merged.hist(Metric::McQueueDepth).quantile(0.90).to_string(),
         ]);
         t.row(vec!["dbi/instrs".into(), g(Metric::DbiInstrs)]);
+        t.row(vec!["slicing/queries".into(), g(Metric::SlQueries)]);
+        t.row(vec![
+            "slicing/slice_steps p90".into(),
+            self.merged.hist(Metric::SlSliceSteps).quantile(0.90).to_string(),
+        ]);
         for l in &self.ddg_levels {
             t.row(vec![
                 format!("ddg level {}", l.name),
@@ -236,6 +269,12 @@ mod tests {
         assert!(r.merged.hist(Metric::McShardEpochNanos).count() > 0);
         assert!(r.merged.get(Metric::DbiInstrs) > 0);
         assert!(r.merged.get(Metric::DbiBlockEntries) > 0);
+        assert!(r.merged.get(Metric::SlQueries) > 0);
+        assert!(r.merged.get(Metric::SlBatches) > 0);
+        assert!(r.merged.get(Metric::SlSnapshotReuse) > 0);
+        assert!(r.merged.hist(Metric::SlSliceSteps).count() > 0);
+        assert!(r.merged.hist(Metric::SlSnapshotNanos).count() > 0);
+        assert!(r.merged.get(Metric::DdgIndexEdges) > 0, "l3 tracer window must be indexed");
 
         // The optimization ladder must be monotone: every extra
         // optimization can only shrink the stored trace.

@@ -108,6 +108,43 @@ fn resilience_selection_writes_the_json_artifact() {
 }
 
 #[test]
+fn slicing_selection_writes_the_json_artifact() {
+    let dir = scratch("slicing");
+    let o = run_in(&dir, &["slicing", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("\"id\""), "{}", stdout(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_slicing.json")).expect("artifact");
+    for needle in ["geomean_indexed_speedup", "identical_fraction", "rows", "index_bytes"] {
+        assert!(payload.contains(needle), "BENCH_slicing.json missing {needle}");
+    }
+    // The gated invariants must hold even at CI scale: bit-identical
+    // answers, and the acceptance floor on the indexed speedup.
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    assert_eq!(
+        v.field("identical_fraction"),
+        Some(&serde_json::Value::F64(1.0)),
+        "identical_fraction: {payload}"
+    );
+    match v.field("geomean_indexed_speedup") {
+        Some(&serde_json::Value::F64(g)) => {
+            assert!(g >= 5.0, "indexed speedup below the 5x floor: {g}")
+        }
+        other => panic!("geomean_indexed_speedup missing or non-float: {other:?}"),
+    }
+}
+
+#[test]
+fn slicing_selection_rejects_unknown_flags() {
+    let dir = scratch("slicing_badflag");
+    let o = run_in(&dir, &["slicing", "--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(!dir.join("BENCH_slicing.json").exists(), "must not run on bad flags");
+}
+
+#[test]
 fn unknown_selection_prints_usage_and_exits_2() {
     let dir = scratch("unknown");
     let o = run_in(&dir, &["e99", "--test"]);

@@ -70,22 +70,54 @@ impl CircularTraceBuffer {
     }
 
     /// Encoded size of `rec` given the previous appended record.
+    ///
+    /// The delta stream is only decodable if user steps never regress:
+    /// a negative gap has no varint encoding, and `saturating_sub`
+    /// would silently emit gap 0 — a corrupt stream with no signal.
+    /// The tracer derives records as instructions retire, so user steps
+    /// are monotone by construction; the assert documents (and, in
+    /// debug builds, enforces) that invariant at the encoding boundary.
     fn encoded_size(&self, rec: &BufRecord) -> usize {
+        debug_assert!(
+            rec.dep.user >= self.last_user,
+            "user step regressed below the previous record ({} < {}): \
+             the gap varint cannot encode it",
+            rec.dep.user,
+            self.last_user,
+        );
         let gap = rec.dep.user.saturating_sub(self.last_user);
-        let dist = rec.dep.user.saturating_sub(rec.dep.def);
-        varint_len(gap) + varint_len(dist) + 1
+        varint_len(gap) + varint_len(Self::dist(rec)) + 1
+    }
+
+    /// The user→def distance varint. A def cannot follow its user (a
+    /// dependence points backwards in time), so underflow here means a
+    /// malformed record, not a representable encoding.
+    fn dist(rec: &BufRecord) -> u64 {
+        debug_assert!(
+            rec.dep.def <= rec.dep.user,
+            "def step {} follows its user {}: the distance varint cannot encode it",
+            rec.dep.def,
+            rec.dep.user,
+        );
+        rec.dep.user.saturating_sub(rec.dep.def)
     }
 
     /// Encoded size of `rec` as the stream's first record: the head has
     /// no predecessor, so its "gap" varint must carry the absolute user
     /// step for the stream to be decodable.
     fn anchored_size(rec: &BufRecord) -> usize {
-        let dist = rec.dep.user.saturating_sub(rec.dep.def);
-        varint_len(rec.dep.user) + varint_len(dist) + 1
+        varint_len(rec.dep.user) + varint_len(Self::dist(rec)) + 1
     }
 
     /// Append a record, evicting the oldest ones if the budget overflows.
     pub fn push(&mut self, rec: BufRecord) {
+        self.push_with(rec, |_| {});
+    }
+
+    /// Append a record, invoking `on_evict` for every record dropped to
+    /// respect the byte budget (oldest first). This is how the tracer
+    /// keeps its slice index in lockstep with the window.
+    pub fn push_with(&mut self, rec: BufRecord, mut on_evict: impl FnMut(&BufRecord)) {
         // A record entering an empty buffer is the stream head even when
         // predecessors existed and were evicted — anchor it absolutely.
         let size = if self.records.is_empty() {
@@ -99,9 +131,10 @@ impl CircularTraceBuffer {
         self.appended += 1;
         self.bytes_appended += size as u64;
         while self.bytes > self.cap_bytes {
-            if let Some((_, sz)) = self.records.pop_front() {
+            if let Some((r, sz)) = self.records.pop_front() {
                 self.bytes -= sz as usize;
                 self.evicted += 1;
+                on_evict(&r);
             } else {
                 break;
             }
@@ -276,6 +309,56 @@ mod tests {
         assert_eq!(b.len(), 1, "head evicted to fit");
         assert_eq!(b.bytes(), decodable_bytes(&b));
         assert_eq!(b.bytes(), 5, "survivor re-anchored to absolute");
+    }
+
+    /// The delta encoding's decodability invariant: user steps are
+    /// monotone non-decreasing across pushes. A regressing record has
+    /// no gap-varint encoding; in debug builds the buffer refuses it
+    /// instead of silently accounting an undecodable gap-0 stream.
+    #[test]
+    #[should_panic(expected = "user step regressed")]
+    #[cfg(debug_assertions)]
+    fn regressing_user_step_is_rejected_in_debug() {
+        let mut b = CircularTraceBuffer::new(1 << 10);
+        b.push(rec(10, 9));
+        b.push(rec(9, 8)); // regresses below last_user = 10
+    }
+
+    /// Same for the user→def distance: a def after its user would make
+    /// the distance varint underflow.
+    #[test]
+    #[should_panic(expected = "follows its user")]
+    #[cfg(debug_assertions)]
+    fn def_after_user_is_rejected_in_debug() {
+        let mut b = CircularTraceBuffer::new(1 << 10);
+        b.push(rec(5, 7));
+    }
+
+    /// Equal user steps are fine (several dependences of one
+    /// instruction instance): gap 0 is a legal, decodable delta.
+    #[test]
+    fn equal_user_steps_are_accepted() {
+        let mut b = CircularTraceBuffer::new(1 << 10);
+        b.push(rec(10, 9));
+        b.push(rec(10, 8));
+        b.push(rec(10, 10)); // self-dependence: dist 0 is legal too
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn push_with_reports_evictions_oldest_first() {
+        let mut b = CircularTraceBuffer::new(30);
+        let mut evicted = Vec::new();
+        for i in 1..=100u64 {
+            b.push_with(rec(i, i - 1), |r| evicted.push(r.dep.user));
+        }
+        assert_eq!(evicted.len() as u64, b.evicted);
+        let mut sorted = evicted.clone();
+        sorted.sort_unstable();
+        assert_eq!(evicted, sorted, "evictions must be reported oldest first");
+        // Evicted + retained = appended, with no overlap.
+        let (lo, _) = b.window().unwrap();
+        assert!(evicted.iter().all(|&u| u < lo));
     }
 
     #[test]

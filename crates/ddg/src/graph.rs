@@ -9,12 +9,14 @@ use dift_isa::Program;
 use std::collections::HashMap;
 
 /// A queryable DDG: dependences sorted by user step, with per-step
-/// metadata and a reverse (def → users) index.
+/// metadata, a reverse (def → users) index, and an address → steps
+/// index (so `backward_from_addr` queries don't scan all metadata).
 #[derive(Clone, Debug, Default)]
 pub struct DdgGraph {
     deps: Vec<Dependence>,
     meta: HashMap<u64, StepMeta>,
     users_of: HashMap<u64, Vec<u32>>, // def step -> indices into deps
+    addr_steps: HashMap<dift_isa::Addr, Vec<u64>>, // addr -> sorted steps
 }
 
 impl DdgGraph {
@@ -50,6 +52,7 @@ impl DdgGraph {
             deps,
             meta: meta.into_iter().map(|m| (m.step, m)).collect(),
             users_of: HashMap::new(),
+            addr_steps: HashMap::new(),
         };
         g.finish();
         g
@@ -61,6 +64,16 @@ impl DdgGraph {
         self.users_of.clear();
         for (i, d) in self.deps.iter().enumerate() {
             self.users_of.entry(d.def).or_default().push(i as u32);
+        }
+        // Address index: meta keys are unique per step, so each step
+        // appears once; per-address lists are sorted to keep
+        // `steps_at_addr`'s ascending-output contract.
+        self.addr_steps.clear();
+        for m in self.meta.values() {
+            self.addr_steps.entry(m.addr).or_default().push(m.step);
+        }
+        for steps in self.addr_steps.values_mut() {
+            steps.sort_unstable();
         }
     }
 
@@ -103,12 +116,12 @@ impl DdgGraph {
         self.deps.last().map(|d| d.user)
     }
 
-    /// Steps whose instruction executed at the given program address.
-    pub fn steps_at_addr(&self, addr: dift_isa::Addr) -> Vec<u64> {
-        let mut v: Vec<u64> =
-            self.meta.values().filter(|m| m.addr == addr).map(|m| m.step).collect();
-        v.sort_unstable();
-        v
+    /// Steps whose instruction executed at the given program address,
+    /// ascending. Served from the index built in `finish()` — O(1)
+    /// lookup instead of the old O(all-steps) metadata scan that
+    /// `backward_from_addr` used to pay on every query.
+    pub fn steps_at_addr(&self, addr: dift_isa::Addr) -> &[u64] {
+        self.addr_steps.get(&addr).map_or(&[], Vec::as_slice)
     }
 
     /// Count dependences of one kind.
@@ -169,6 +182,36 @@ mod tests {
         assert_eq!(g.steps_at_addr(30), vec![3]);
         assert!(g.steps_at_addr(999).is_empty());
         assert_eq!(g.last_step(), Some(4));
+    }
+
+    /// Regression for the indexed `steps_at_addr`: identical output to
+    /// the old O(all-steps) scan over `meta.values()`, including the
+    /// sorted contract and multi-instance addresses.
+    #[test]
+    fn addr_index_matches_meta_scan() {
+        let g = DdgGraph::from_deps(
+            vec![
+                Dependence::new(10, 1, DepKind::RegData),
+                Dependence::new(20, 2, DepKind::MemData),
+                Dependence::new(30, 10, DepKind::Control),
+            ],
+            vec![
+                meta(1, 7),
+                meta(2, 7),
+                // Same address, several dynamic instances, inserted out
+                // of step order.
+                meta(30, 9),
+                meta(10, 9),
+                meta(20, 9),
+            ],
+        );
+        for addr in [7u32, 9, 999] {
+            let mut scan: Vec<u64> =
+                g.meta.values().filter(|m| m.addr == addr).map(|m| m.step).collect();
+            scan.sort_unstable();
+            assert_eq!(g.steps_at_addr(addr), scan, "addr {addr}");
+        }
+        assert_eq!(g.steps_at_addr(9), [10, 20, 30], "ascending across instances");
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Incrementally-maintained slice index over the live ONTRAC window.
+//!
+//! §2.1's motivation for the in-memory circular buffer is that when a
+//! fault fires, the backward slice is computed *from the window, right
+//! now*. Rebuilding a [`DdgGraph`](crate::DdgGraph) per query costs
+//! O(window · log window) (sort + dedup + two hash maps); this module
+//! keeps the same information **incrementally**: every record the
+//! tracer pushes adds its two adjacency mentions, every record the
+//! buffer evicts removes them, so a demand-driven slice walks only the
+//! edges it visits and a whole-window graph is never materialized.
+//!
+//! The index is exact — not an approximation of the window but an
+//! equivalent representation of it. `dift-slicing`'s differential
+//! proptest holds it bit-identical to `DdgGraph::from_records` over the
+//! same live window, across eviction-heavy budgets.
+//!
+//! Three FIFO facts make O(1) amortized maintenance possible:
+//!
+//! * user steps are **monotone non-decreasing** (the delta encoding in
+//!   [`crate::buffer`] already relies on this), so all records sharing
+//!   a user step are contiguous in the stream;
+//! * eviction is strictly oldest-first, so for any adjacency bucket the
+//!   evicted mention is always that bucket's front;
+//! * every mention of a step carries the same `(addr, stmt)` metadata
+//!   (an instruction instance has one address; def-side metadata is
+//!   captured at the def step itself), so per-step metadata can be
+//!   refcounted instead of re-derived.
+//!
+//! Snapshots ([`SliceSnapshot`]) freeze the index behind an `Arc` so
+//! reader threads can answer queries while tracing continues; the
+//! `generation` stamp lets holders (e.g. `dift-slicing`'s
+//! `SliceService`) skip re-snapshotting when the window has not moved.
+
+use crate::buffer::BufRecord;
+use crate::dep::DepKind;
+use dift_isa::{Addr, StmtId};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Refcounted per-step metadata: `count` live mentions (as user or def)
+/// keep the entry alive; the `(addr, stmt)` pair is fixed by the first
+/// mention (all mentions agree — debug-asserted on every touch).
+#[derive(Clone, Copy, Debug)]
+struct StepEntry {
+    addr: Addr,
+    stmt: StmtId,
+    count: u32,
+}
+
+/// The index proper — shared verbatim between the live [`SliceIndex`]
+/// and frozen [`SliceSnapshot`]s.
+#[derive(Clone, Debug, Default)]
+pub struct IndexData {
+    /// Edges grouped by *user* step (what the user depends on), in
+    /// stream order. Mirrors `DdgGraph::defs_of`.
+    defs_of: HashMap<u64, VecDeque<(u64, DepKind)>>,
+    /// Edges grouped by *def* step (who depends on the def), in stream
+    /// order. Mirrors `DdgGraph::users_of`.
+    users_of: HashMap<u64, VecDeque<(u64, DepKind)>>,
+    /// Live steps with their metadata.
+    steps: HashMap<u64, StepEntry>,
+    /// Program address → live steps executed there (sorted, so
+    /// `steps_at` keeps `DdgGraph::steps_at_addr`'s sorted contract).
+    addr_steps: HashMap<Addr, BTreeSet<u64>>,
+    /// Live edge (record) count.
+    edges: u64,
+}
+
+impl IndexData {
+    /// Dependences whose user is `step`: `(def, kind)` pairs.
+    pub fn defs(&self, step: u64) -> impl Iterator<Item = (u64, DepKind)> + '_ {
+        self.defs_of.get(&step).into_iter().flatten().copied()
+    }
+
+    /// Dependences whose def is `step`: `(user, kind)` pairs.
+    pub fn users(&self, step: u64) -> impl Iterator<Item = (u64, DepKind)> + '_ {
+        self.users_of.get(&step).into_iter().flatten().copied()
+    }
+
+    /// Metadata for a live step.
+    pub fn meta_of(&self, step: u64) -> Option<(Addr, StmtId)> {
+        self.steps.get(&step).map(|e| (e.addr, e.stmt))
+    }
+
+    /// Live steps whose instruction executed at `addr`, ascending.
+    pub fn steps_at(&self, addr: Addr) -> impl Iterator<Item = u64> + '_ {
+        self.addr_steps.get(&addr).into_iter().flatten().copied()
+    }
+
+    /// Number of live edges (= records in the window).
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Number of live steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// All live steps, in no particular order.
+    pub fn steps(&self) -> impl Iterator<Item = u64> + '_ {
+        self.steps.keys().copied()
+    }
+
+    /// Estimated resident bytes of the index (entries only; hash-map
+    /// load factors and allocator slack are not modeled). Feeds the
+    /// `ddg/index/resident_bytes` observability gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        // Each edge appears once in `defs_of` and once in `users_of`.
+        let edge_bytes = 2 * self.edges * size_of::<(u64, DepKind)>() as u64;
+        // A step entry plus its key, plus its `addr_steps` set member.
+        let step_bytes =
+            self.steps.len() as u64 * (size_of::<u64>() as u64 * 2 + size_of::<StepEntry>() as u64);
+        edge_bytes + step_bytes
+    }
+
+    fn touch(&mut self, step: u64, addr: Addr, stmt: StmtId) {
+        let e = self.steps.entry(step).or_insert(StepEntry { addr, stmt, count: 0 });
+        debug_assert!(
+            e.count == 0 || (e.addr, e.stmt) == (addr, stmt),
+            "step {step}: mention metadata diverged ({:?} vs {:?})",
+            (e.addr, e.stmt),
+            (addr, stmt),
+        );
+        if e.count == 0 {
+            self.addr_steps.entry(e.addr).or_default().insert(step);
+        }
+        e.count += 1;
+    }
+
+    fn untouch(&mut self, step: u64) {
+        let e = self.steps.get_mut(&step).expect("evicted mention of an unindexed step");
+        e.count -= 1;
+        if e.count == 0 {
+            let addr = e.addr;
+            self.steps.remove(&step);
+            if let Some(set) = self.addr_steps.get_mut(&addr) {
+                set.remove(&step);
+                if set.is_empty() {
+                    self.addr_steps.remove(&addr);
+                }
+            }
+        }
+    }
+}
+
+/// The live, incrementally-maintained index. Owned by the tracer
+/// ([`crate::OnTrac`]) next to the circular buffer; updated on every
+/// `push` and pruned on every eviction so its contents always equal the
+/// buffer's window.
+#[derive(Clone, Debug, Default)]
+pub struct SliceIndex {
+    data: IndexData,
+    generation: u64,
+}
+
+impl SliceIndex {
+    /// Index one record as it enters the window.
+    pub fn on_push(&mut self, rec: &BufRecord) {
+        let d = &mut self.data;
+        d.defs_of.entry(rec.dep.user).or_default().push_back((rec.dep.def, rec.dep.kind));
+        d.users_of.entry(rec.dep.def).or_default().push_back((rec.dep.user, rec.dep.kind));
+        d.touch(rec.dep.user, rec.user_addr, rec.user_stmt);
+        d.touch(rec.dep.def, rec.def_addr, rec.def_stmt);
+        d.edges += 1;
+        self.generation += 1;
+    }
+
+    /// Remove one record as the buffer evicts it. Eviction is strictly
+    /// FIFO, so the record is the front of both of its adjacency
+    /// buckets (debug-asserted).
+    pub fn on_evict(&mut self, rec: &BufRecord) {
+        let d = &mut self.data;
+        let bucket = d.defs_of.get_mut(&rec.dep.user).expect("evicted record not indexed");
+        let front = bucket.pop_front();
+        debug_assert_eq!(front, Some((rec.dep.def, rec.dep.kind)), "defs_of eviction not FIFO");
+        if bucket.is_empty() {
+            d.defs_of.remove(&rec.dep.user);
+        }
+        let bucket = d.users_of.get_mut(&rec.dep.def).expect("evicted record not indexed");
+        let front = bucket.pop_front();
+        debug_assert_eq!(front, Some((rec.dep.user, rec.dep.kind)), "users_of eviction not FIFO");
+        if bucket.is_empty() {
+            d.users_of.remove(&rec.dep.def);
+        }
+        d.untouch(rec.dep.user);
+        d.untouch(rec.dep.def);
+        d.edges -= 1;
+        self.generation += 1;
+    }
+
+    /// Mutation stamp: bumped on every push and eviction, so two equal
+    /// generations imply an identical window.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Freeze the current window into an immutable, `Send + Sync`
+    /// snapshot. O(window) clone with no sorting or re-binning — much
+    /// cheaper than a `DdgGraph` rebuild — and holders can compare
+    /// [`SliceSnapshot::generation`] against [`SliceIndex::generation`]
+    /// to skip the clone entirely when the window has not moved.
+    pub fn snapshot(&self) -> SliceSnapshot {
+        SliceSnapshot { data: Arc::new(self.data.clone()), generation: self.generation }
+    }
+}
+
+impl std::ops::Deref for SliceIndex {
+    type Target = IndexData;
+
+    fn deref(&self) -> &IndexData {
+        &self.data
+    }
+}
+
+/// An immutable snapshot of the index at one generation. Cheap to
+/// clone (one `Arc` bump) and safe to query from many reader threads
+/// while the tracer keeps pushing to the live index.
+#[derive(Clone, Debug)]
+pub struct SliceSnapshot {
+    data: Arc<IndexData>,
+    generation: u64,
+}
+
+impl SliceSnapshot {
+    /// The generation of the live index this snapshot froze.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl std::ops::Deref for SliceSnapshot {
+    type Target = IndexData;
+
+    fn deref(&self) -> &IndexData {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::record;
+    use crate::graph::DdgGraph;
+    use crate::CircularTraceBuffer;
+    use dift_isa::{Program, ProgramBuilder};
+
+    /// `DdgGraph::from_records` ignores the program; any program works.
+    fn dummy_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn rec(user: u64, def: u64, kind: DepKind) -> BufRecord {
+        record(user, def, kind, user as u32 % 7, def as u32 % 7, user as u32, def as u32)
+    }
+
+    /// Drive a buffer and index in lockstep, the way `OnTrac` does.
+    fn push(buf: &mut CircularTraceBuffer, idx: &mut SliceIndex, r: BufRecord) {
+        idx.on_push(&r);
+        buf.push_with(r, |evicted| idx.on_evict(evicted));
+    }
+
+    /// The index must describe exactly the buffer's live window. One
+    /// wrinkle: `from_records` dedups identical records while the index
+    /// keeps one mention per buffered record (FIFO eviction needs it) —
+    /// slices are step *sets*, so the deduped adjacency is what must
+    /// agree.
+    fn assert_matches_rebuild(buf: &CircularTraceBuffer, idx: &SliceIndex) {
+        fn sorted_dedup(mut v: Vec<(u64, DepKind)>) -> Vec<(u64, DepKind)> {
+            v.sort_unstable_by_key(|e| (e.0, e.1 as u8));
+            v.dedup();
+            v
+        }
+        let g = DdgGraph::from_records(buf.records(), &dummy_program());
+        for step in g.steps() {
+            let want = sorted_dedup(g.defs_of(step).iter().map(|d| (d.def, d.kind)).collect());
+            let got = sorted_dedup(idx.defs(step).collect());
+            assert_eq!(got, want, "defs_of({step})");
+            let want = sorted_dedup(g.users_of(step).map(|d| (d.user, d.kind)).collect());
+            let got = sorted_dedup(idx.users(step).collect());
+            assert_eq!(got, want, "users_of({step})");
+            let m = g.meta(step).unwrap();
+            assert_eq!(idx.meta_of(step), Some((m.addr, m.stmt)), "meta({step})");
+        }
+        // No phantom steps survive eviction.
+        assert_eq!(idx.step_count(), g.steps().count());
+        for addr in 0..7u32 {
+            let got: Vec<u64> = idx.steps_at(addr).collect();
+            assert_eq!(got, g.steps_at_addr(addr), "steps_at({addr})");
+        }
+    }
+
+    #[test]
+    fn push_and_query_without_eviction() {
+        let mut buf = CircularTraceBuffer::new(1 << 20);
+        let mut idx = SliceIndex::default();
+        for (u, d, k) in
+            [(3, 1, DepKind::RegData), (3, 2, DepKind::MemData), (5, 3, DepKind::Control)]
+        {
+            push(&mut buf, &mut idx, rec(u, d, k));
+        }
+        assert_eq!(idx.edges(), 3);
+        assert_eq!(idx.defs(3).count(), 2);
+        assert_eq!(idx.users(3).collect::<Vec<_>>(), vec![(5, DepKind::Control)]);
+        assert_matches_rebuild(&buf, &idx);
+    }
+
+    #[test]
+    fn eviction_prunes_edges_steps_and_addr_map() {
+        let mut buf = CircularTraceBuffer::new(30); // ~10 dense records
+        let mut idx = SliceIndex::default();
+        for i in 1..=100u64 {
+            push(&mut buf, &mut idx, rec(i, i - 1, DepKind::RegData));
+            assert_eq!(idx.edges(), buf.len() as u64);
+        }
+        assert!(buf.evicted > 0);
+        assert_matches_rebuild(&buf, &idx);
+    }
+
+    #[test]
+    fn duplicate_edges_refcount_correctly() {
+        let mut buf = CircularTraceBuffer::new(12);
+        let mut idx = SliceIndex::default();
+        // Same (user, def, kind) record repeatedly: the bucket holds one
+        // mention per record and eviction removes them one at a time.
+        for _ in 0..6 {
+            push(&mut buf, &mut idx, rec(9, 4, DepKind::MemData));
+        }
+        assert_eq!(idx.edges(), buf.len() as u64);
+        assert_matches_rebuild(&buf, &idx);
+    }
+
+    #[test]
+    fn full_drain_empties_the_index() {
+        let mut buf = CircularTraceBuffer::new(5);
+        let mut idx = SliceIndex::default();
+        push(&mut buf, &mut idx, rec(1_000_000, 999_999, DepKind::RegData));
+        push(&mut buf, &mut idx, rec(1_000_001, 1_000_000, DepKind::RegData));
+        assert_eq!(buf.len(), 1);
+        assert_matches_rebuild(&buf, &idx);
+        assert_eq!(idx.edges(), 1);
+        assert_eq!(idx.step_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_while_the_live_index_moves() {
+        let mut buf = CircularTraceBuffer::new(1 << 20);
+        let mut idx = SliceIndex::default();
+        for i in 1..=10u64 {
+            push(&mut buf, &mut idx, rec(i, i - 1, DepKind::RegData));
+        }
+        let snap = idx.snapshot();
+        let gen_at_snap = idx.generation();
+        assert_eq!(snap.generation(), gen_at_snap);
+        for i in 11..=20u64 {
+            push(&mut buf, &mut idx, rec(i, i - 1, DepKind::RegData));
+        }
+        assert_eq!(snap.edges(), 10, "snapshot must not see later pushes");
+        assert_eq!(idx.edges(), 20);
+        assert_ne!(idx.generation(), gen_at_snap);
+        // Snapshots are Send + Sync: queryable off-thread.
+        let s2 = snap.clone();
+        std::thread::spawn(move || {
+            assert_eq!(s2.defs(5).count(), 1);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn approx_bytes_tracks_the_window() {
+        let mut buf = CircularTraceBuffer::new(30);
+        let mut idx = SliceIndex::default();
+        for i in 1..=100u64 {
+            push(&mut buf, &mut idx, rec(i, i - 1, DepKind::RegData));
+        }
+        let small = idx.approx_bytes();
+        assert!(small > 0);
+        let mut big_buf = CircularTraceBuffer::new(1 << 20);
+        let mut big = SliceIndex::default();
+        for i in 1..=100u64 {
+            push(&mut big_buf, &mut big, rec(i, i - 1, DepKind::RegData));
+        }
+        assert!(big.approx_bytes() > small, "a wider window costs more index bytes");
+    }
+}

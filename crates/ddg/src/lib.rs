@@ -27,6 +27,12 @@
 //! * [`compact`] — the compact (post-processed) DDG representation with
 //!   per-static-edge timestamp-pair runs.
 //! * [`graph`] — an in-memory queryable DDG used by the slicing crate.
+//! * [`index`] — the incrementally-maintained slice index: per-step
+//!   adjacency plus an addr→steps map kept in lockstep with the buffer
+//!   (fed on push, pruned on eviction), so backward/forward slices over
+//!   the live window are demand-driven — O(|slice|), never a
+//!   whole-window graph rebuild — and snapshot cheaply for concurrent
+//!   readers.
 //!
 //! Cost calibration: instrumentation work is charged to the VM cycle
 //! counter via explicit constants in [`costs`]; the *ratios* between the
@@ -38,6 +44,7 @@ pub mod compact;
 pub mod costs;
 pub mod dep;
 pub mod graph;
+pub mod index;
 pub mod offline;
 pub mod ontrac;
 pub mod shadow;
@@ -47,6 +54,7 @@ pub use buffer::CircularTraceBuffer;
 pub use compact::CompactDdg;
 pub use dep::{DepKind, Dependence, StepMeta};
 pub use graph::DdgGraph;
+pub use index::{IndexData, SliceIndex, SliceSnapshot};
 pub use offline::{OfflinePipeline, OfflineStats};
 pub use ontrac::{OnTrac, OnTracConfig, OnTracStats};
 pub use shadow::{ControlStack, ShadowState};

@@ -26,6 +26,7 @@ use crate::buffer::{BufRecord, CircularTraceBuffer};
 use crate::costs;
 use crate::dep::{DepKind, Dependence};
 use crate::graph::DdgGraph;
+use crate::index::SliceIndex;
 use crate::shadow::{ControlStack, ShadowState};
 use dift_dbi::{Tool, TraceBuilder};
 use dift_isa::{Addr, FuncId, Opcode, Program, StmtId};
@@ -54,6 +55,12 @@ pub struct OnTracConfig {
     /// Additionally record WAR/WAW memory dependences (multithreaded
     /// slicing extension used by race detection, §3.1).
     pub record_war_waw: bool,
+    /// Maintain the incremental [`SliceIndex`] alongside the buffer so
+    /// slice queries over the live window are demand-driven (walk only
+    /// the edges they visit) instead of rebuilding a whole-window
+    /// [`DdgGraph`] per query. Off disables the maintenance entirely
+    /// for ablations.
+    pub slice_index: bool,
 }
 
 impl OnTracConfig {
@@ -70,6 +77,7 @@ impl OnTracConfig {
             trace_hot_threshold: 16,
             trace_max_blocks: 16,
             record_war_waw: false,
+            slice_index: true,
         }
     }
 
@@ -86,6 +94,7 @@ impl OnTracConfig {
             trace_hot_threshold: 16,
             trace_max_blocks: 16,
             record_war_waw: false,
+            slice_index: true,
         }
     }
 }
@@ -151,6 +160,10 @@ pub struct OnTrac<R: Recorder = NoopRecorder> {
     /// produced a definition or opened a control region, so records carry
     /// full def-side metadata. Pruned to the buffer window.
     step_meta: std::collections::HashMap<u64, (Addr, StmtId)>,
+    /// Demand-driven slice index over the live window; kept in lockstep
+    /// with the buffer (fed on push, pruned on eviction). `None` when
+    /// `cfg.slice_index` is off.
+    index: Option<SliceIndex>,
     stats: OnTracStats,
     /// The probe sink (ZST under the default [`NoopRecorder`]).
     pub obs: R,
@@ -182,6 +195,7 @@ impl<R: Recorder> OnTrac<R> {
             ctrl_recorded: Vec::new(),
             mem_last_read: vec![0; if cfg.record_war_waw { mem_words } else { 0 }],
             step_meta: std::collections::HashMap::new(),
+            index: cfg.slice_index.then(SliceIndex::default),
             cfg,
             stats: OnTracStats::default(),
             obs,
@@ -199,8 +213,20 @@ impl<R: Recorder> OnTrac<R> {
     }
 
     /// Build a queryable DDG from the records currently in the window.
+    ///
+    /// This materializes the whole window (O(window · log window));
+    /// for demand-driven queries over the live window use
+    /// [`slice_index`](Self::slice_index) instead.
     pub fn graph(&self, program: &Program) -> DdgGraph {
         DdgGraph::from_records(self.buffer.records(), program)
+    }
+
+    /// The incremental slice index over the live window (`None` when
+    /// `cfg.slice_index` is off). Bit-identical to
+    /// [`graph`](Self::graph) over the same window; query it directly
+    /// (O(|slice|)) or snapshot it for concurrent readers.
+    pub fn slice_index(&self) -> Option<&SliceIndex> {
+        self.index.as_ref()
     }
 
     fn ensure_tid(&mut self, tid: ThreadId) {
@@ -275,12 +301,24 @@ impl<R: Recorder> OnTrac<R> {
         } else {
             (0, 0, 0)
         };
-        self.buffer.push(BufRecord {
+        let rec = BufRecord {
             dep: Dependence::new(user, def, kind),
             user_addr,
             def_addr,
             user_stmt,
             def_stmt,
+        };
+        // Index before pushing: with a budget smaller than one record
+        // the buffer may evict the record it just accepted, and the
+        // eviction hook must find it indexed.
+        if let Some(idx) = self.index.as_mut() {
+            idx.on_push(&rec);
+        }
+        let index = &mut self.index;
+        self.buffer.push_with(rec, |evicted| {
+            if let Some(idx) = index.as_mut() {
+                idx.on_evict(evicted);
+            }
         });
         self.stats.deps_recorded += 1;
         self.stats.bytes_appended = self.buffer.bytes_appended;
@@ -546,6 +584,10 @@ impl<R: Recorder> Tool for OnTrac<R> {
         if R::ENABLED {
             self.obs.gauge(Metric::DdgWindowLen, self.buffer.window_len());
             self.obs.gauge(Metric::DdgResidentBytes, self.buffer.bytes() as u64);
+            if let Some(idx) = &self.index {
+                self.obs.gauge(Metric::DdgIndexEdges, idx.edges());
+                self.obs.gauge(Metric::DdgIndexBytes, idx.approx_bytes());
+            }
         }
     }
 }

@@ -109,6 +109,15 @@ metrics! {
     DdgRecordBytes      => ("ddg/buffer/record_bytes", Histogram),
     DdgWindowLen        => ("ddg/buffer/window_len", Gauge),
     DdgResidentBytes    => ("ddg/buffer/resident_bytes", Gauge),
+    // ddg::index — the incremental slice index over the live window.
+    DdgIndexEdges       => ("ddg/index/edges", Gauge),
+    DdgIndexBytes       => ("ddg/index/resident_bytes", Gauge),
+    // slicing::service — demand-driven slice queries.
+    SlQueries           => ("slicing/service/queries", Counter),
+    SlBatches           => ("slicing/service/batches", Counter),
+    SlSliceSteps        => ("slicing/service/slice_steps", Histogram),
+    SlSnapshotNanos     => ("slicing/service/snapshot_nanos", Histogram),
+    SlSnapshotReuse     => ("slicing/service/snapshot_reuse", Counter),
     // multicore::epoch / multicore::channel — the fan-out.
     McMessages          => ("multicore/channel/messages", Counter),
     McStallCycles       => ("multicore/channel/stall_cycles", Counter),

@@ -23,15 +23,25 @@
 //! * [`mod@chop`] — failure-inducing chops (ASE'05): the intersection of the
 //!   forward slice of suspicious inputs with the backward slice of the
 //!   failure.
+//! * [`service`] — demand-driven slice queries over the **live** ONTRAC
+//!   window: [`SliceService`] answers single and batched queries from an
+//!   immutable snapshot of the tracer's incrementally-maintained
+//!   [`SliceIndex`](dift_ddg::SliceIndex), walking only the edges a
+//!   slice visits instead of rebuilding a whole-window graph per query.
 
 pub mod chop;
 pub mod implicit;
 pub mod prune;
 pub mod relevant;
+pub mod service;
 pub mod slicer;
 
 pub use chop::{chop, chop_from_inputs};
 pub use implicit::{locate_omission_error, switch_predicate, OmissionReport, SwitchOutcome};
 pub use prune::{prune_with_confidence, ConfidenceReport};
 pub use relevant::{potential_dependences, relevant_slice, PotentialDep};
+pub use service::{
+    backward_from_addr_over, backward_over, batch_via_rebuild, forward_over, DepSource, SliceQuery,
+    SliceService,
+};
 pub use slicer::{KindMask, Slice, Slicer};

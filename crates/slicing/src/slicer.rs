@@ -133,7 +133,7 @@ impl<'g> Slicer<'g> {
     /// address (e.g. "slice from the failing output instruction").
     pub fn backward_from_addr(&self, addr: Addr, mask: KindMask) -> Slice {
         let steps = self.graph.steps_at_addr(addr);
-        self.backward(&steps, mask)
+        self.backward(steps, mask)
     }
 
     /// The graph being sliced.
