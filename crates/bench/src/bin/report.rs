@@ -12,6 +12,8 @@
 //!                     #   (+ BENCH_resilience.json)
 //! report slicing      # T4 demand-driven slice queries, indexed vs
 //!                     #   rebuild-per-query (+ BENCH_slicing.json)
+//! report summaries    # T5 hot-code summary cache, plain vs cached
+//!                     #   taint throughput (+ BENCH_summaries.json)
 //! report compare <baseline.json> <candidate.json> [--thresholds <file>]
 //!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
@@ -28,7 +30,10 @@
 //! writes `BENCH_resilience.json` (single-fault recovery matrix plus the
 //! zero-fault overhead of the tolerant runner), and `slicing` writes
 //! `BENCH_slicing.json` (indexed vs rebuild-per-query slice latency,
-//! single and batched, across kernels and buffer budgets).
+//! single and batched, across kernels and buffer budgets), and
+//! `summaries` writes `BENCH_summaries.json` (plain vs summary-cached
+//! taint throughput over the loop kernels, with bit-exactness and
+//! cache-coverage columns).
 //!
 //! `compare` is the CI bench gate: it flattens both JSON files, checks
 //! every metric a `bench_thresholds.toml` rule matches, and exits
@@ -45,7 +50,7 @@ use serde::Value;
 
 const SELECTIONS: &str =
     "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, resilience, \
-     slicing, ablations, all";
+     slicing, summaries, ablations, all";
 
 fn usage() {
     eprintln!(
@@ -116,6 +121,7 @@ fn main() {
             || id == "obs"
             || id == "resilience"
             || id == "slicing"
+            || id == "summaries"
             || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
     };
     if let Some(bad) = selected.iter().find(|id| !known(id)) {
@@ -182,6 +188,14 @@ fn main() {
         print(&dift_bench::slicing_to_table(&report));
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
         write_json("BENCH_slicing.json", &payload);
+    }
+    if wanted("summaries") {
+        // Measured once; the table and BENCH_summaries.json share the
+        // run.
+        let report = dift_bench::summaries_report(scale);
+        print(&dift_bench::summaries_to_table(&report));
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_json("BENCH_summaries.json", &payload);
     }
 }
 

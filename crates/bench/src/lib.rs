@@ -16,6 +16,7 @@ pub mod obs_report;
 pub mod resilience;
 pub mod scaling;
 pub mod slicing_exp;
+pub mod summaries_exp;
 pub mod table;
 pub mod throughput;
 pub mod tracing_exps;
@@ -33,6 +34,9 @@ pub use scaling::{
     multicore_scaling_report, scaling_to_table, t2_multicore_scaling, MulticoreScalingReport,
 };
 pub use slicing_exp::{slicing_report, slicing_to_table, t4_slicing, SlicingReport, SlicingRow};
+pub use summaries_exp::{
+    summaries_report, summaries_to_table, t5_summaries, SummariesReport, SummaryRow,
+};
 pub use table::Table;
 pub use throughput::{
     report_to_table, t1_taint_throughput, taint_throughput_report, TaintThroughputReport,

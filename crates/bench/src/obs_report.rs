@@ -9,9 +9,14 @@
 //!
 //! The `derived/ddg_levels` section reruns ONTRAC at the four
 //! optimization levels (none, +block-static, +trace-static,
-//! +redundant-load) and reports the stored-trace density and the
-//! compression ratio each level achieves over the raw 16 B/instr
-//! encoding — the paper's table 1 ladder, as observability data.
+//! +redundant-load) plus the summary-cache level (`l4_summaries`:
+//! dependences inside summarized hot sweeps are elided) and reports the
+//! stored-trace density and the compression ratio each level achieves
+//! over the raw 16 B/instr encoding — the paper's table 1 ladder
+//! extended by one rung, as observability data. The ladder suite is the
+//! SPEC-like workloads *plus* the loop kernels, so the summaries rung
+//! has hot regions to elide while the generic rungs stay honest on
+//! loop-heavy streams too.
 
 use crate::{Scale, Table};
 use dift_dbi::{Engine, ProfileTool};
@@ -20,8 +25,10 @@ use dift_multicore::{run_epoch_dift_obs, ChannelModel, EpochModel};
 use dift_obs::snapshot::section_value;
 use dift_obs::{Metric, Recorder, StatsRecorder, SCHEMA_VERSION};
 use dift_slicing::{KindMask, SliceQuery, SliceService};
-use dift_taint::{BitTaint, TaintEngine, TaintPolicy};
+use dift_taint::{BitTaint, SummaryCacheConfig, SummaryTool, TaintEngine, TaintPolicy};
+use dift_workloads::loops::all_loops;
 use dift_workloads::spec::all_spec;
+use dift_workloads::Workload;
 use serde::Value;
 
 /// One ONTRAC optimization level of the derived ladder.
@@ -33,6 +40,9 @@ pub struct DdgLevel {
     pub compression_vs_raw: f64,
     pub deps_recorded: u64,
     pub evictions: u64,
+    /// Dependences elided because they fell inside a summarized hot
+    /// sweep (only the `l4_summaries` level elides any).
+    pub deps_summarized: u64,
 }
 
 /// Everything `report obs` measures; `to_value` is the JSON schema.
@@ -55,6 +65,14 @@ fn ontrac_levels() -> [(&'static str, OnTracConfig); 4] {
         ("l2_trace_static", trace),
         ("l3_redundant_load", OnTracConfig::optimized(4 << 10)),
     ]
+}
+
+/// The compression-ladder suite: SPEC-like workloads plus the
+/// loop-dominated kernels whose hot sweeps the summaries rung elides.
+fn ladder_suite(scale: Scale) -> Vec<Workload> {
+    let mut suite = all_spec(scale.spec_size());
+    suite.extend(all_loops(scale.spec_size()));
+    suite
 }
 
 /// The modeled fan-out channel the multicore section runs under — the
@@ -88,25 +106,50 @@ pub fn obs_report(scale: Scale) -> ObsReport {
         merged.merge(&eng.obs);
     }
 
+    // Summary cache: the hot-code caching front-end as a DBI tool over
+    // the ladder suite. Its counters (hits, bails, regions, bytes
+    // saved) land in the `taint/summary_cache` section, and each
+    // workload's hit ranges feed the `l4_summaries` ladder rung below.
+    let ladder = ladder_suite(scale);
+    let mut elides: Vec<Vec<(u64, u64)>> = Vec::with_capacity(ladder.len());
+    for w in &ladder {
+        let cache_cfg = SummaryCacheConfig { hot_threshold: 2, ..SummaryCacheConfig::default() };
+        let mut tool = SummaryTool::<BitTaint, StatsRecorder>::with_recorder(
+            policy,
+            cache_cfg,
+            StatsRecorder::new(),
+        );
+        Engine::new(w.machine()).run_tool(&mut tool);
+        elides.push(tool.cached.hit_ranges().to_vec());
+        merged.merge(&tool.cached.engine().obs);
+    }
+
     // DDG: the optimized tracer feeds the main tree; the level ladder
-    // below is derived from separate runs.
+    // below is derived from separate runs. `l4_summaries` reruns the
+    // optimized tracer with each workload's summarized sweeps elided —
+    // the same deterministic execution, so step ranges line up.
+    let mut levels: Vec<(&'static str, OnTracConfig, bool)> =
+        ontrac_levels().into_iter().map(|(n, c)| (n, c, false)).collect();
+    levels.push(("l4_summaries", OnTracConfig::optimized(4 << 10), true));
     let mut ddg_levels = Vec::new();
-    for (name, cfg) in ontrac_levels() {
+    for (name, cfg, elide) in levels {
         let mut level_rec = StatsRecorder::new();
         let mut instrs = 0u64;
         let mut bytes = 0u64;
-        for w in &suite {
+        let mut deps_summarized = 0u64;
+        for (wi, w) in ladder.iter().enumerate() {
+            let mut cfg = cfg.clone();
+            if elide {
+                cfg.elide_steps = elides[wi].clone();
+            }
             let m = w.machine();
-            let mut tracer = OnTrac::with_recorder(
-                &w.program,
-                m.config().mem_words,
-                cfg.clone(),
-                StatsRecorder::new(),
-            );
+            let mut tracer =
+                OnTrac::with_recorder(&w.program, m.config().mem_words, cfg, StatsRecorder::new());
             Engine::new(m).run_tool(&mut tracer);
             let s = tracer.stats();
             instrs += s.instrs;
             bytes += s.bytes_appended;
+            deps_summarized += s.deps_summarized;
             level_rec.merge(&tracer.obs);
         }
         let bpi = if instrs == 0 { 0.0 } else { bytes as f64 / instrs as f64 };
@@ -120,6 +163,7 @@ pub fn obs_report(scale: Scale) -> ObsReport {
             },
             deps_recorded: level_rec.get(Metric::DdgDepsRecorded),
             evictions: level_rec.get(Metric::DdgEvictions),
+            deps_summarized,
         });
         if name == "l3_redundant_load" {
             merged.merge(&level_rec);
@@ -189,6 +233,7 @@ impl ObsReport {
                     ("compression_vs_raw".into(), Value::F64(l.compression_vs_raw)),
                     ("deps_recorded".into(), Value::U64(l.deps_recorded)),
                     ("evictions".into(), Value::U64(l.evictions)),
+                    ("deps_summarized".into(), Value::U64(l.deps_summarized)),
                 ])
             })
             .collect();
@@ -221,6 +266,8 @@ impl ObsReport {
             "taint/join_width p90".into(),
             self.merged.hist(Metric::TaintJoinWidth).quantile(0.90).to_string(),
         ]);
+        t.row(vec!["taint/summary_cache/hits".into(), g(Metric::TaintScHits)]);
+        t.row(vec!["taint/summary_cache/bytes_saved".into(), g(Metric::TaintScBytesSaved)]);
         t.row(vec!["ddg/deps_recorded".into(), g(Metric::DdgDepsRecorded)]);
         t.row(vec!["ddg/evictions".into(), g(Metric::DdgEvictions)]);
         t.row(vec!["mc/messages".into(), g(Metric::McMessages)]);
@@ -275,10 +322,14 @@ mod tests {
         assert!(r.merged.hist(Metric::SlSliceSteps).count() > 0);
         assert!(r.merged.hist(Metric::SlSnapshotNanos).count() > 0);
         assert!(r.merged.get(Metric::DdgIndexEdges) > 0, "l3 tracer window must be indexed");
+        assert!(r.merged.get(Metric::TaintScHits) > 0, "loop kernels must hit the cache");
+        assert!(r.merged.get(Metric::TaintScRegions) > 0);
+        assert!(r.merged.get(Metric::TaintScBytesSaved) > 0);
 
         // The optimization ladder must be monotone: every extra
-        // optimization can only shrink the stored trace.
-        assert_eq!(r.ddg_levels.len(), 4);
+        // optimization (and the summaries rung on top) can only shrink
+        // the stored trace.
+        assert_eq!(r.ddg_levels.len(), 5);
         for pair in r.ddg_levels.windows(2) {
             assert!(
                 pair[1].bytes_per_instr <= pair[0].bytes_per_instr + 1e-9,
@@ -290,6 +341,18 @@ mod tests {
             );
         }
         assert!(r.ddg_levels[3].compression_vs_raw > r.ddg_levels[0].compression_vs_raw);
+        let (l3, l4) = (&r.ddg_levels[3], &r.ddg_levels[4]);
+        assert_eq!(l4.name, "l4_summaries");
+        assert!(l4.deps_summarized > 0, "summarized sweeps must elide dependences");
+        assert!(
+            l4.bytes_per_instr < l3.bytes_per_instr,
+            "the summaries rung must shrink the suite mean ({} !< {})",
+            l4.bytes_per_instr,
+            l3.bytes_per_instr
+        );
+        for l in &r.ddg_levels[..4] {
+            assert_eq!(l.deps_summarized, 0, "{}: only l4 elides", l.name);
+        }
     }
 
     #[test]

@@ -134,6 +134,49 @@ fn slicing_selection_writes_the_json_artifact() {
 }
 
 #[test]
+fn summaries_selection_writes_the_json_artifact() {
+    let dir = scratch("summaries");
+    let o = run_in(&dir, &["summaries", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("\"id\""), "{}", stdout(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_summaries.json")).expect("artifact");
+    for needle in [
+        "geomean_summary_speedup",
+        "identical_fraction",
+        "summaries_bytes_per_instr",
+        "rows",
+        "guard_bails",
+    ] {
+        assert!(payload.contains(needle), "BENCH_summaries.json missing {needle}");
+    }
+    // The gated invariants must hold even at CI scale: bit-identical
+    // taint state, and the 2x acceptance floor on the cached geomean.
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    assert_eq!(
+        v.field("identical_fraction"),
+        Some(&serde_json::Value::F64(1.0)),
+        "identical_fraction: {payload}"
+    );
+    match v.field("geomean_summary_speedup") {
+        Some(&serde_json::Value::F64(g)) => {
+            assert!(g >= 2.0, "summary speedup below the 2x floor: {g}")
+        }
+        other => panic!("geomean_summary_speedup missing or non-float: {other:?}"),
+    }
+}
+
+#[test]
+fn summaries_selection_rejects_unknown_flags() {
+    let dir = scratch("summaries_badflag");
+    let o = run_in(&dir, &["summaries", "--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(!dir.join("BENCH_summaries.json").exists(), "must not run on bad flags");
+}
+
+#[test]
 fn slicing_selection_rejects_unknown_flags() {
     let dir = scratch("slicing_badflag");
     let o = run_in(&dir, &["slicing", "--frobnicate"]);

@@ -25,10 +25,16 @@ enum Recording {
     Yes { head: Addr, blocks: Vec<Addr> },
 }
 
+/// Cold hotness counters tracked before decay kicks in. A long run over
+/// a large code footprint otherwise accumulates one counter per block
+/// that ever executes — an unbounded leak for an always-on tool.
+const DEFAULT_COUNTER_BOUND: usize = 4096;
+
 /// Builds hot traces from a stream of block-entry events.
 pub struct TraceBuilder {
     hot_threshold: u32,
     max_blocks: usize,
+    counter_bound: usize,
     counts: HashMap<Addr, u32>,
     recording: HashMap<ThreadId, Recording>,
     traces: HashMap<Addr, HotTrace>,
@@ -39,10 +45,23 @@ impl TraceBuilder {
         TraceBuilder {
             hot_threshold,
             max_blocks,
+            counter_bound: DEFAULT_COUNTER_BOUND,
             counts: HashMap::new(),
             recording: HashMap::new(),
             traces: HashMap::new(),
         }
+    }
+
+    /// Override the cold-counter bound (tests and memory-tight tools).
+    pub fn with_counter_bound(mut self, bound: usize) -> TraceBuilder {
+        self.counter_bound = bound.max(1);
+        self
+    }
+
+    /// Hotness counters currently tracked (bounded; excludes heads whose
+    /// trace already formed).
+    pub fn tracked_counters(&self) -> usize {
+        self.counts.len()
     }
 
     /// Feed one block entry; returns a completed trace when this event
@@ -57,6 +76,10 @@ impl TraceBuilder {
                 let trace = HotTrace { head, blocks: std::mem::take(blocks) };
                 *state = Recording::No;
                 self.traces.insert(head, trace.clone());
+                // The head's trace has formed: its hotness counter will
+                // never be consulted again (formed heads short-circuit
+                // below), so keeping it would leak one entry per trace.
+                self.counts.remove(&head);
                 return Some(trace);
             }
             blocks.push(entry);
@@ -67,9 +90,28 @@ impl TraceBuilder {
         if self.traces.contains_key(&entry) {
             return None; // already have a trace for this head
         }
+        if self.counts.len() >= self.counter_bound && !self.counts.contains_key(&entry) {
+            // Table full and this is a new block: decay the cold mass
+            // (halve every counter, evict the zeros). Genuinely hot
+            // blocks survive halving and still cross the threshold;
+            // blocks seen once or twice — the leak on long runs — drop
+            // out. If everything is warm enough to survive, reset: a
+            // bounded table beats an exact one for an always-on tool.
+            self.counts.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+            if self.counts.len() >= self.counter_bound {
+                self.counts.clear();
+            }
+        }
         let c = self.counts.entry(entry).or_insert(0);
         *c += 1;
         if *c >= self.hot_threshold {
+            // Recording starts: the counter has served its purpose
+            // (either a trace forms — removed above on formation — or
+            // the recording aborts into a fresh count).
+            self.counts.remove(&entry);
             self.recording.insert(tid, Recording::Yes { head: entry, blocks: vec![entry] });
         }
         None
@@ -159,5 +201,71 @@ mod tests {
         assert!(tb.on_block(0, 5).is_none());
         assert!(tb.on_block(0, 6).is_none());
         assert_eq!(tb.trace_count(), 1);
+    }
+
+    #[test]
+    fn counter_is_pruned_when_a_trace_forms() {
+        // Regression: `counts` used to keep an entry forever for every
+        // head whose trace had already formed.
+        let mut tb = TraceBuilder::new(2, 4);
+        for head in 0..100u32 {
+            let a = head * 10;
+            let b = a + 1;
+            let mut formed = false;
+            for _ in 0..5 {
+                formed |= tb.on_block(0, a).is_some();
+                formed |= tb.on_block(0, b).is_some();
+                if formed {
+                    break;
+                }
+            }
+            assert!(formed, "loop at {a} should form a trace");
+        }
+        assert_eq!(tb.trace_count(), 100);
+        // Only the tail blocks (never heads) may still be counted.
+        assert!(
+            tb.tracked_counters() <= 100,
+            "formed heads must not leak counters: {}",
+            tb.tracked_counters()
+        );
+        for head in 0..100u32 {
+            assert!(!tb.counts.contains_key(&(head * 10)), "head {head} leaked");
+        }
+    }
+
+    #[test]
+    fn cold_counters_are_bounded() {
+        // Regression: a long run over a huge cold footprint used to grow
+        // `counts` without bound.
+        let mut tb = TraceBuilder::new(1000, 4).with_counter_bound(64);
+        for block in 0..10_000u32 {
+            assert!(tb.on_block(0, block).is_none());
+        }
+        assert!(
+            tb.tracked_counters() <= 64,
+            "cold counters must be bounded: {}",
+            tb.tracked_counters()
+        );
+        assert_eq!(tb.trace_count(), 0);
+    }
+
+    #[test]
+    fn hot_blocks_survive_cold_counter_decay() {
+        let mut tb = TraceBuilder::new(8, 4).with_counter_bound(32);
+        // Interleave one genuinely hot block with a stream of cold ones;
+        // decay must not stop the hot block from forming a trace.
+        let mut formed = false;
+        let mut cold = 1000u32;
+        for _ in 0..200 {
+            formed |= tb.on_block(0, 5).is_some();
+            formed |= tb.on_block(0, 6).is_some();
+            if formed {
+                break;
+            }
+            cold += 1;
+            tb.on_block(0, cold);
+        }
+        assert!(formed, "the hot loop must still form a trace under decay");
+        assert_eq!(tb.trace_for(5).map(|t| t.head), Some(5));
     }
 }

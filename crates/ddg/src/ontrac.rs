@@ -61,6 +61,14 @@ pub struct OnTracConfig {
     /// [`DdgGraph`] per query. Off disables the maintenance entirely
     /// for ablations.
     pub slice_index: bool,
+    /// Sorted, disjoint `[start, end)` step ranges whose dependences are
+    /// *summarized* elsewhere and therefore elided from the buffer — the
+    /// "L+summaries" ladder level: ranges covered by taint
+    /// summary-cache hits carry no per-instruction records (the cached
+    /// transfer summary reconstructs them). Dependences whose **user**
+    /// step falls in a range are skipped after being counted as
+    /// considered.
+    pub elide_steps: Vec<(u64, u64)>,
 }
 
 impl OnTracConfig {
@@ -78,6 +86,7 @@ impl OnTracConfig {
             trace_max_blocks: 16,
             record_war_waw: false,
             slice_index: true,
+            elide_steps: Vec::new(),
         }
     }
 
@@ -95,6 +104,7 @@ impl OnTracConfig {
             trace_max_blocks: 16,
             record_war_waw: false,
             slice_index: true,
+            elide_steps: Vec::new(),
         }
     }
 }
@@ -108,6 +118,9 @@ pub struct OnTracStats {
     pub deps_considered: u64,
     /// Dependences actually stored.
     pub deps_recorded: u64,
+    /// Dependences elided because their user step lies in a summarized
+    /// region ([`OnTracConfig::elide_steps`]).
+    pub deps_summarized: u64,
     /// Encoded bytes appended to the buffer (pre-eviction total).
     pub bytes_appended: u64,
     /// Steps covered by the buffer at the end of the run.
@@ -285,6 +298,15 @@ impl<R: Recorder> OnTrac<R> {
             // Control inside a formed trace is implied by the trace's
             // recorded path; nothing to store.
             if self.trace_inst[tid as usize].is_some() {
+                return;
+            }
+        }
+        if !self.cfg.elide_steps.is_empty() {
+            // Summarized regions carry no per-instruction records; the
+            // cached transfer summary reconstructs them on demand.
+            let i = self.cfg.elide_steps.partition_point(|&(_, end)| end <= user);
+            if self.cfg.elide_steps.get(i).is_some_and(|&(start, _)| start <= user) {
+                self.stats.deps_summarized += 1;
                 return;
             }
         }

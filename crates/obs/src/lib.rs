@@ -140,6 +140,13 @@ metrics! {
     DbiDistinctBlocks   => ("dbi/profile/distinct_blocks", Counter),
     DbiBranches         => ("dbi/profile/branches", Counter),
     DbiTakenBranches    => ("dbi/profile/taken_branches", Counter),
+    // taint::summary_cache — hot-region summary cache effectiveness.
+    TaintScHits             => ("taint/summary_cache/hits", Counter),
+    TaintScMisses           => ("taint/summary_cache/misses", Counter),
+    TaintScGuardBails       => ("taint/summary_cache/guard_bails", Counter),
+    TaintScRegions          => ("taint/summary_cache/regions", Counter),
+    TaintScInstrsSummarized => ("taint/summary_cache/instrs_summarized", Counter),
+    TaintScBytesSaved       => ("taint/summary_cache/bytes_saved", Counter),
 }
 
 #[cfg(test)]

@@ -15,6 +15,18 @@ pub struct LabelCtx {
 
 /// A taint label. `Default` must be the clean (bottom) element.
 pub trait TaintLabel: Clone + PartialEq + Default + std::fmt::Debug {
+    /// True when [`Self::propagate`] never reads `ctx.step` — its result
+    /// depends only on the sources plus the instruction's address and
+    /// statement. The hot-code summary cache
+    /// (`crate::summary_cache`) replays a summary recorded at one step
+    /// range at later step ranges; its guard pins every input of
+    /// `propagate` *except* `ctx.step`, so rebasing is provably exact
+    /// only for step-invariant labels (DESIGN.md §13). Labels that
+    /// stamp the step must leave this `false` (the conservative
+    /// default); the cache then degrades to the plain engine instead of
+    /// producing stale step stamps.
+    const STEP_INVARIANT: bool = false;
+
     /// True for the clean/bottom label.
     fn is_clean(&self) -> bool;
 
@@ -40,6 +52,9 @@ pub trait TaintLabel: Clone + PartialEq + Default + std::fmt::Debug {
 pub struct BitTaint(pub bool);
 
 impl TaintLabel for BitTaint {
+    /// Boolean OR ignores the context entirely.
+    const STEP_INVARIANT: bool = true;
+
     fn is_clean(&self) -> bool {
         !self.0
     }
@@ -75,6 +90,10 @@ impl PcTaint {
 }
 
 impl TaintLabel for PcTaint {
+    /// The stamp is `ctx.addr` — the guard pins instruction addresses,
+    /// so replay at a different step produces the identical label.
+    const STEP_INVARIANT: bool = true;
+
     fn is_clean(&self) -> bool {
         self.0 == 0
     }

@@ -25,6 +25,7 @@ pub mod policy;
 pub mod reference;
 pub mod shadow;
 pub mod summary;
+pub mod summary_cache;
 
 pub use engine::{AlertKind, TaintAlert, TaintEngine, TaintStats};
 pub use label::{BitTaint, LabelCtx, PcTaint, TaintLabel};
@@ -32,7 +33,11 @@ pub use policy::TaintPolicy;
 pub use reference::ReferenceTaintEngine;
 pub use shadow::ShadowMap;
 pub use summary::{
-    process_by_epochs, summarize_epoch, EpochSummarizer, EpochSummary, IoBase, Loc, SymLabel,
+    process_by_epochs, summarize_epoch, ApplyMemo, EpochSummarizer, EpochSummary, IoBase, Loc,
+    SymLabel,
+};
+pub use summary_cache::{
+    StepOutcome, SummaryCacheConfig, SummaryCacheStats, SummaryCachedEngine, SummaryTool,
 };
 
 /// Cycle charges for the software (same-core) DIFT engine. Calibrated so
@@ -43,4 +48,14 @@ pub mod costs {
     pub const TAINT_PER_INSN: u64 = 6;
     /// Extra per memory-shadow access.
     pub const TAINT_PER_MEM: u64 = 2;
+    /// Per-instruction guard comparison on the summary-cache fast path
+    /// (a fingerprint compare is far cheaper than shadow propagation).
+    pub const SUMMARY_GUARD_PER_INSN: u64 = 1;
+    /// Flat cost of composing one cached summary onto the engine.
+    pub const SUMMARY_APPLY_BASE: u64 = 16;
+    /// Per summary event (shadow write, alert check, output) replayed by
+    /// an application.
+    pub const SUMMARY_APPLY_PER_EVENT: u64 = 2;
+    /// Summarization overhead per instruction while recording a region.
+    pub const SUMMARY_RECORD_PER_INSN: u64 = 2;
 }

@@ -566,6 +566,59 @@ impl<T: TaintLabel> EpochSummarizer<T> {
     }
 }
 
+/// Memoized concrete replay of repeated applications of one summary —
+/// the hot-code summary cache's steady-state fast path.
+///
+/// Applying a summary is a pure function of the labels its `incoming`
+/// locations carry at application time. The cache applies the *same*
+/// summary over and over, and in steady state the incoming labels
+/// converge (a hot loop's taint state is stationary after the first
+/// sweeps). So the second application onward can skip the node-DAG
+/// evaluation entirely: resolve the incoming labels, compare with the
+/// previous application's, and on equality replay the fully
+/// concretized action list recorded then — same writes, same alerts,
+/// same stats, bit for bit, at a fraction of the cost.
+pub struct ApplyMemo<T: TaintLabel> {
+    /// Incoming labels at the last recorded application, in
+    /// `EpochSummary::incoming` order.
+    inputs: Vec<T>,
+    /// Concretized actions of that application; `None` until one runs
+    /// (or when the application is inherently non-memoizable).
+    replay: Option<Replay<T>>,
+}
+
+impl<T: TaintLabel> Default for ApplyMemo<T> {
+    fn default() -> ApplyMemo<T> {
+        ApplyMemo { inputs: Vec::new(), replay: None }
+    }
+}
+
+impl<T: TaintLabel> ApplyMemo<T> {
+    /// Approximate resident bytes (cache-storage accounting).
+    pub fn approx_bytes(&self) -> u64 {
+        let actions =
+            self.replay.as_ref().map(|r| r.actions.len() + r.reg_updates.len()).unwrap_or(0);
+        (self.inputs.len() + actions) as u64 * 16
+    }
+}
+
+struct Replay<T: TaintLabel> {
+    /// Writes, firing alerts, and outputs in event order. Alert steps
+    /// keep the summary's recorded values; the caller's `step_delta` is
+    /// added at replay time.
+    actions: Vec<ReplayAction<T>>,
+    /// Final concrete labels of registers the epoch wrote.
+    reg_updates: Vec<(ThreadId, Reg, T)>,
+    /// Conditional tainted steps that fired under these inputs.
+    tainted_resolved: u64,
+}
+
+enum ReplayAction<T: TaintLabel> {
+    Mem(MemAddr, T),
+    Alert(TaintAlert<T>),
+    Output(u16, u64, T),
+}
+
 /// Summarize one epoch of the effects stream in a single pass.
 pub fn summarize_epoch<T: TaintLabel>(
     fxs: &[StepEffects],
@@ -586,6 +639,161 @@ impl<T: TaintLabel, R: dift_obs::Recorder> TaintEngine<T, R> {
     /// stream serially: same labels, alerts, output lineage, shadow
     /// state, and exact peak statistics.
     pub fn apply_summary(&mut self, s: &EpochSummary<T>) {
+        self.apply_summary_rebased(s, 0);
+    }
+
+    /// [`Self::apply_summary`] with every recorded alert step shifted
+    /// forward by `step_delta` — the composition primitive of the hot-code
+    /// summary cache (`crate::summary_cache`), which replays a summary
+    /// recorded at one step range at a later, guard-identical execution
+    /// of the same region.
+    ///
+    /// Only alert steps are rebased: they are the sole absolute step
+    /// values a summary stores. Output emit indices are per-channel
+    /// *IoBase-relative* counts, not steps, and the cache never applies
+    /// summaries containing I/O. Symbolic `Prop` nodes keep their
+    /// recorded `ctx` (including the recorded step), which is exact for
+    /// labels with [`TaintLabel::STEP_INVARIANT`] — the cache refuses to
+    /// install regions for labels without it.
+    pub fn apply_summary_rebased(&mut self, s: &EpochSummary<T>, step_delta: u64) {
+        self.apply_summary_inner(s, step_delta, None);
+    }
+
+    /// [`Self::apply_summary_rebased`] through an [`ApplyMemo`]: when
+    /// the summary's incoming labels are unchanged since the memo's last
+    /// recorded application, the concretized action list replays without
+    /// evaluating the node DAG — the summary cache's steady-state hit
+    /// path. Falls back to (and re-records) the full application
+    /// whenever any incoming label changed. Either way the engine ends
+    /// bit-identical to [`Self::apply_summary_rebased`].
+    ///
+    /// Returns true when the memo matched (the concrete replay ran);
+    /// false when the full path ran and re-recorded the memo. The
+    /// summary cache uses this bit to prove replay *fixpoints* for the
+    /// even cheaper [`Self::apply_summary_sealed`] path.
+    pub fn apply_summary_memoized(
+        &mut self,
+        s: &EpochSummary<T>,
+        step_delta: u64,
+        memo: &mut ApplyMemo<T>,
+    ) -> bool {
+        if let Some(mt) = s.max_tid {
+            self.ensure_tid(mt);
+        }
+        if let Some(replay) = &memo.replay {
+            let same = memo.inputs.len() == s.incoming.len()
+                && s.incoming.iter().zip(&memo.inputs).all(|((_, loc), prev)| {
+                    let v = match *loc {
+                        Loc::Reg(tid, r) => self.reg_label(tid, r),
+                        Loc::Mem(a) => self.mem.get(a),
+                    };
+                    v == *prev
+                });
+            if same {
+                for a in &replay.actions {
+                    match a {
+                        ReplayAction::Mem(addr, l) => self.set_mem_label(*addr, l.clone()),
+                        ReplayAction::Alert(al) => {
+                            let mut al = al.clone();
+                            al.step += step_delta;
+                            self.alerts.push(al);
+                        }
+                        ReplayAction::Output(ch, idx, l) => {
+                            self.output_labels.push((*ch, *idx, l.clone()));
+                        }
+                    }
+                }
+                for (tid, r, l) in &replay.reg_updates {
+                    self.regs[*tid as usize][r.index()] = l.clone();
+                }
+                if self.track_origins {
+                    for (tid, r, o) in &s.origin_updates {
+                        self.origins[*tid as usize][r.index()] = *o;
+                    }
+                }
+                self.stats.instrs += s.instrs;
+                self.stats.sources += s.sources;
+                self.stats.tainted_instrs += s.tainted_known + replay.tainted_resolved;
+                for (ch, d) in &s.input_delta {
+                    *self.input_counts.entry(*ch).or_insert(0) += *d;
+                }
+                for (ch, d) in &s.output_delta {
+                    *self.output_counts.entry(*ch).or_insert(0) += *d;
+                }
+                return true;
+            }
+        }
+        // Inputs changed (or first application): run the full path while
+        // re-recording the concretized actions for the next hit.
+        memo.inputs.clear();
+        for (_, loc) in &s.incoming {
+            memo.inputs.push(match *loc {
+                Loc::Reg(tid, r) => self.reg_label(tid, r),
+                Loc::Mem(a) => self.mem.get(a),
+            });
+        }
+        let mut replay =
+            Replay { actions: Vec::new(), reg_updates: Vec::new(), tainted_resolved: 0 };
+        let memoizable = self.apply_summary_inner(s, step_delta, Some(&mut replay));
+        memo.replay = if memoizable { Some(replay) } else { None };
+        false
+    }
+
+    /// The *sealed* fast path of [`Self::apply_summary_memoized`]: valid
+    /// only when the caller proves — by counting engine mutations, see
+    /// `SummaryCachedEngine` — that the engine's label state is exactly
+    /// the post-state of this memo's replay applied to inputs equal to
+    /// the memo's. Every label write the replay would perform is then
+    /// already in place, so only the per-execution observables are
+    /// appended: alerts (rebased by `step_delta`), output lineage, and
+    /// statistics. Returns false (doing nothing) when the memo holds no
+    /// replay; the caller must then fall back to the memoized path.
+    pub fn apply_summary_sealed(
+        &mut self,
+        s: &EpochSummary<T>,
+        step_delta: u64,
+        memo: &ApplyMemo<T>,
+    ) -> bool {
+        let Some(replay) = &memo.replay else {
+            return false;
+        };
+        for a in &replay.actions {
+            match a {
+                // Sealed: the shadow already carries this exact label.
+                ReplayAction::Mem(..) => {}
+                ReplayAction::Alert(al) => {
+                    let mut al = al.clone();
+                    al.step += step_delta;
+                    self.alerts.push(al);
+                }
+                ReplayAction::Output(ch, idx, l) => {
+                    self.output_labels.push((*ch, *idx, l.clone()));
+                }
+            }
+        }
+        self.stats.instrs += s.instrs;
+        self.stats.sources += s.sources;
+        self.stats.tainted_instrs += s.tainted_known + replay.tainted_resolved;
+        for (ch, d) in &s.input_delta {
+            *self.input_counts.entry(*ch).or_insert(0) += *d;
+        }
+        for (ch, d) in &s.output_delta {
+            *self.output_counts.entry(*ch).or_insert(0) += *d;
+        }
+        true
+    }
+
+    /// Shared application body. When `rec` is given, every concrete
+    /// action is also recorded for memoized replay; returns false when
+    /// the application is non-memoizable (a firing alert resolved its
+    /// origin through live engine state rather than incoming labels).
+    fn apply_summary_inner(
+        &mut self,
+        s: &EpochSummary<T>,
+        step_delta: u64,
+        mut rec: Option<&mut Replay<T>>,
+    ) -> bool {
+        let mut memoizable = true;
         if let Some(mt) = s.max_tid {
             self.ensure_tid(mt);
         }
@@ -606,6 +814,9 @@ impl<T: TaintLabel, R: dift_obs::Recorder> TaintEngine<T, R> {
             match ev {
                 Event::MemWrite { addr, label } => {
                     let l = s.eval(&mut cache, label);
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.actions.push(ReplayAction::Mem(*addr, l.clone()));
+                    }
                     // The engine's own counter-maintaining write keeps
                     // peak statistics exact under replay.
                     self.set_mem_label(*addr, l);
@@ -618,23 +829,37 @@ impl<T: TaintLabel, R: dift_obs::Recorder> TaintEngine<T, R> {
                     let origin = match origin {
                         OriginRef::None => None,
                         OriginRef::Cell(cell, sym) => Some((*cell, s.eval(&mut cache, sym))),
-                        OriginRef::IncomingReg(r) => self
-                            .origins
-                            .get(*tid as usize)
-                            .and_then(|row| row[r.index()])
-                            .map(|cell| (cell, self.mem.get(cell))),
+                        OriginRef::IncomingReg(r) => {
+                            // Resolved through live engine state (the
+                            // epoch-entry origin table and mid-replay
+                            // shadow), not through incoming labels —
+                            // equal inputs do not pin it, so a replay
+                            // recording cannot keep this application.
+                            memoizable = false;
+                            self.origins
+                                .get(*tid as usize)
+                                .and_then(|row| row[r.index()])
+                                .map(|cell| (cell, self.mem.get(cell)))
+                        }
                     };
-                    self.alerts.push(TaintAlert {
+                    let alert = TaintAlert {
                         step: *step,
                         tid: *tid,
                         at: *at,
                         kind: *kind,
                         label: l,
                         origin,
-                    });
+                    };
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.actions.push(ReplayAction::Alert(alert.clone()));
+                    }
+                    self.alerts.push(TaintAlert { step: alert.step + step_delta, ..alert });
                 }
                 Event::Output { ch, idx, label } => {
                     let l = s.eval(&mut cache, label);
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.actions.push(ReplayAction::Output(*ch, *idx, l.clone()));
+                    }
                     self.output_labels.push((*ch, *idx, l));
                 }
             }
@@ -642,6 +867,9 @@ impl<T: TaintLabel, R: dift_obs::Recorder> TaintEngine<T, R> {
 
         for (tid, r, sym) in &s.reg_updates {
             let l = s.eval(&mut cache, sym);
+            if let Some(rp) = rec.as_deref_mut() {
+                rp.reg_updates.push((*tid, *r, l.clone()));
+            }
             self.regs[*tid as usize][r.index()] = l;
         }
         if self.track_origins {
@@ -656,6 +884,9 @@ impl<T: TaintLabel, R: dift_obs::Recorder> TaintEngine<T, R> {
         for deps in &s.tainted_cond {
             if deps.iter().any(|id| !s.eval_node(&mut cache, *id).is_clean()) {
                 self.stats.tainted_instrs += 1;
+                if let Some(r) = rec.as_deref_mut() {
+                    r.tainted_resolved += 1;
+                }
             }
         }
         for (ch, d) in &s.input_delta {
@@ -664,6 +895,7 @@ impl<T: TaintLabel, R: dift_obs::Recorder> TaintEngine<T, R> {
         for (ch, d) in &s.output_delta {
             *self.output_counts.entry(*ch).or_insert(0) += *d;
         }
+        memoizable
     }
 }
 

@@ -13,6 +13,9 @@
 //! * [`server`] — a multithreaded key-value server processing a request
 //!   stream, with an optional seeded memory-corruption bug that fires
 //!   late in the run (the MySQL 3.23.56 scenario of §2.2).
+//! * [`loops`] — loop-dominated kernels whose outer sweeps re-scan
+//!   fixed buffers: the regime the hot-code taint summary cache (T5)
+//!   targets, plus a cache-hostile sliding-window control.
 //! * [`parallel`] — barrier/lock/flag-synchronized parallel kernels in
 //!   the style of SPLASH (fft-like staged butterflies, lu-like blocked
 //!   elimination, radix-like counted histogramming).
@@ -22,6 +25,7 @@
 //! Every workload is a [`Workload`]: a program plus inputs and machine
 //! settings, so harnesses run them uniformly.
 
+pub mod loops;
 pub mod parallel;
 pub mod science;
 pub mod server;

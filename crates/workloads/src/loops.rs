@@ -1,0 +1,266 @@
+//! Loop-dominated kernels for the hot-code summary cache (T5).
+//!
+//! The SPEC-like kernels in [`crate::spec`] walk induction-variable
+//! addresses (edge arrays, pointer chases, data-dependent stores), so a
+//! shape-guarded summary cache bails on nearly every iteration — which
+//! is the honest behavior, but not the regime the cache targets. These
+//! kernels model the *other* dominant loop shape in long-running code:
+//! an outer loop whose body re-scans **fixed** buffers (reduction
+//! sweeps, stencils over a static grid, polynomial/hash evaluation over
+//! fixed tables). There the entire outer-loop body repeats its address
+//! stream and branch path exactly, only the *data* changes — and data
+//! values are precisely what the guard does not need to pin.
+//!
+//! Shape contract shared by the cacheable kernels:
+//!
+//! * ingest `n` tainted words from channel 0 into a fixed buffer
+//!   (an uncacheable prefix — `In` advances global input indices);
+//! * run [`SWEEPS`] outer iterations whose inner loop touches only
+//!   fixed addresses with a fixed branch path, threading a live
+//!   accumulator register through every sweep so the cached region has
+//!   real dataflow;
+//! * emit the accumulator as a checksum on channel 0.
+//!
+//! [`sliding_like`] deliberately breaks the contract (its inner base
+//! address advances every sweep) so harnesses can report the
+//! cache-hostile case alongside the wins.
+
+use crate::{Lcg, Workload};
+use dift_isa::{BinOp, BranchCond, ProgramBuilder, Reg};
+use std::sync::Arc;
+
+pub use crate::spec::Size;
+
+/// Outer-loop sweeps every kernel executes. With trace-formation
+/// thresholds in the single digits, all but the first few sweeps run
+/// out of the summary cache (~98 % coverage) — the long-running
+/// hot-code regime the cache targets, where detection, recording and
+/// summarization amortize to noise.
+pub const SWEEPS: i64 = 192;
+
+const A: u64 = 1_000; // ingested (tainted) buffer base
+const B: u64 = 18_000; // output/scratch buffer base
+
+const R: fn(u8) -> Reg = Reg;
+
+/// Emit the tainted-ingest prefix: read `n` words from channel 0 into
+/// `A[0..n]`.
+fn ingest(b: &mut ProgramBuilder, n: u64) {
+    b.li(R(7), n as i64);
+    b.li(R(1), 0);
+    b.li(R(2), A as i64);
+    b.label("ingest");
+    b.branch(BranchCond::Geu, R(1), R(7), "body");
+    b.input(R(5), 0);
+    b.add(R(6), R(2), R(1));
+    b.store(R(5), R(6), 0);
+    b.addi(R(1), R(1), 1);
+    b.jump("ingest");
+    b.label("body");
+}
+
+fn inputs(n: u64, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg::new(seed);
+    (0..n).map(|_| rng.next() & 0xff).collect()
+}
+
+/// `ssum`: repeated checksum reduction over a fixed buffer — the
+/// cache's best case (load + add inner loop, one store per sweep).
+pub fn ssum_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    ingest(&mut b, n);
+    b.li(R(3), SWEEPS); // sweeps left
+    b.li(R(9), B as i64);
+    b.label("sweep");
+    b.li(R(1), 0); // i
+    b.label("inner");
+    b.branch(BranchCond::Geu, R(1), R(7), "sweep_end");
+    b.add(R(6), R(2), R(1));
+    b.load(R(5), R(6), 0);
+    b.add(R(11), R(11), R(5)); // acc += A[i]
+    b.addi(R(1), R(1), 1);
+    b.jump("inner");
+    b.label("sweep_end");
+    b.store(R(11), R(9), 0); // B[0] = acc
+    b.bini(BinOp::Sub, R(3), R(3), 1);
+    b.branch(BranchCond::Ne, R(3), R(0), "sweep");
+    b.output(R(11), 0);
+    b.halt();
+    Workload::new(format!("ssum.{size:?}"), Arc::new(b.build().unwrap()))
+        .with_input(0, inputs(n, 0x55u64))
+}
+
+/// `stencil`: 3-point stencil from a fixed tainted grid into a fixed
+/// output grid — one store per inner iteration, so summary applications
+/// replay a large event list (the apply-cost stress case).
+pub fn stencil_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    ingest(&mut b, n);
+    b.li(R(3), SWEEPS);
+    b.li(R(9), B as i64);
+    b.bini(BinOp::Sub, R(8), R(7), 1); // n - 1
+    b.label("sweep");
+    b.li(R(1), 1); // i
+    b.label("inner");
+    b.branch(BranchCond::Geu, R(1), R(8), "sweep_end");
+    b.add(R(6), R(2), R(1));
+    b.load(R(4), R(6), -1);
+    b.load(R(5), R(6), 0);
+    b.add(R(4), R(4), R(5));
+    b.load(R(5), R(6), 1);
+    b.add(R(4), R(4), R(5));
+    b.add(R(4), R(4), R(11)); // + acc keeps sweeps data-dependent
+    b.add(R(6), R(9), R(1));
+    b.store(R(4), R(6), 0); // B[i]
+    b.mov(R(11), R(4));
+    b.addi(R(1), R(1), 1);
+    b.jump("inner");
+    b.label("sweep_end");
+    b.bini(BinOp::Sub, R(3), R(3), 1);
+    b.branch(BranchCond::Ne, R(3), R(0), "sweep");
+    b.output(R(11), 0);
+    b.halt();
+    Workload::new(format!("stencil.{size:?}"), Arc::new(b.build().unwrap()))
+        .with_input(0, inputs(n, 0x77u64))
+}
+
+/// `horner`: polynomial evaluation over fixed (tainted) coefficients —
+/// register-dense inner loop, one load per iteration, no stores inside
+/// the sweep.
+pub fn horner_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    ingest(&mut b, n);
+    b.li(R(3), SWEEPS);
+    b.li(R(10), 33); // x
+    b.label("sweep");
+    b.mov(R(4), R(11)); // h = acc
+    b.li(R(1), 0);
+    b.label("inner");
+    b.branch(BranchCond::Geu, R(1), R(7), "sweep_end");
+    b.add(R(6), R(2), R(1));
+    b.load(R(5), R(6), 0);
+    b.bin(BinOp::Mul, R(4), R(4), R(10)); // h = h*x + C[i]
+    b.add(R(4), R(4), R(5));
+    b.addi(R(1), R(1), 1);
+    b.jump("inner");
+    b.label("sweep_end");
+    b.add(R(11), R(11), R(4)); // acc += h
+    b.bini(BinOp::Sub, R(3), R(3), 1);
+    b.branch(BranchCond::Ne, R(3), R(0), "sweep");
+    b.output(R(11), 0);
+    b.halt();
+    Workload::new(format!("horner.{size:?}"), Arc::new(b.build().unwrap()))
+        .with_input(0, inputs(n, 0x99u64))
+}
+
+/// `hash`: multiply-xor-shift mixing over a fixed tainted table —
+/// ALU-dense with bit operations, the instruction mix of checksum and
+/// hash inner loops.
+pub fn hash_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    ingest(&mut b, n);
+    b.li(R(3), SWEEPS);
+    b.li(R(10), 0x100_0193); // FNV-ish multiplier
+    b.label("sweep");
+    b.li(R(1), 0);
+    b.label("inner");
+    b.branch(BranchCond::Geu, R(1), R(7), "sweep_end");
+    b.add(R(6), R(2), R(1));
+    b.load(R(5), R(6), 0);
+    b.bin(BinOp::Xor, R(11), R(11), R(5));
+    b.bin(BinOp::Mul, R(11), R(11), R(10));
+    b.bini(BinOp::Shr, R(4), R(11), 13);
+    b.bin(BinOp::Xor, R(11), R(11), R(4));
+    b.addi(R(1), R(1), 1);
+    b.jump("inner");
+    b.label("sweep_end");
+    b.bini(BinOp::Sub, R(3), R(3), 1);
+    b.branch(BranchCond::Ne, R(3), R(0), "sweep");
+    b.output(R(11), 0);
+    b.halt();
+    Workload::new(format!("hash.{size:?}"), Arc::new(b.build().unwrap()))
+        .with_input(0, inputs(n, 0xbbu64))
+}
+
+/// `sliding`: the cache-hostile control — identical structure to
+/// [`ssum_like`] but the scan base advances one word per sweep, so every
+/// sweep's address stream differs and shape guards must bail. Harnesses
+/// report it alongside the cacheable kernels as the honesty row.
+pub fn sliding_like(size: Size) -> Workload {
+    let n = size.n();
+    let mut b = ProgramBuilder::new();
+    b.func("main");
+    // Ingest n + SWEEPS words so every window stays in bounds.
+    ingest(&mut b, n + SWEEPS as u64);
+    b.li(R(7), n as i64); // window length (ingest left n + SWEEPS in R7)
+    b.li(R(3), SWEEPS);
+    b.label("sweep");
+    b.li(R(1), 0);
+    b.label("inner");
+    b.branch(BranchCond::Geu, R(1), R(7), "sweep_end");
+    b.add(R(6), R(2), R(1));
+    b.load(R(5), R(6), 0);
+    b.add(R(11), R(11), R(5));
+    b.addi(R(1), R(1), 1);
+    b.jump("inner");
+    b.label("sweep_end");
+    b.addi(R(2), R(2), 1); // slide the window base
+    b.bini(BinOp::Sub, R(3), R(3), 1);
+    b.branch(BranchCond::Ne, R(3), R(0), "sweep");
+    b.output(R(11), 0);
+    b.halt();
+    Workload::new(format!("sliding.{size:?}"), Arc::new(b.build().unwrap()))
+        .with_input(0, inputs(n + SWEEPS as u64, 0xddu64))
+}
+
+/// The loop suite at a size class: four cacheable kernels plus the
+/// cache-hostile control.
+pub fn all_loops(size: Size) -> Vec<Workload> {
+    vec![
+        ssum_like(size),
+        stencil_like(size),
+        horner_like(size),
+        hash_like(size),
+        sliding_like(size),
+    ]
+}
+
+/// The kernels whose sweeps are shape-stable (the gated geomean set —
+/// [`sliding_like`] is excluded by design, not by measurement).
+pub fn cacheable_loop_names() -> Vec<&'static str> {
+    vec!["ssum", "stencil", "horner", "hash"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_loop_kernels_run_and_emit_checksums() {
+        for w in all_loops(Size::Tiny) {
+            let mut m = w.machine();
+            let r = m.run();
+            assert!(r.status.is_clean(), "{} must finish cleanly: {:?}", w.name, r.status);
+            assert_eq!(m.output(0).len(), 1, "{} emits one checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn checksums_are_deterministic() {
+        for (a, b) in all_loops(Size::Tiny).iter().zip(all_loops(Size::Tiny)) {
+            let mut ma = a.machine();
+            let mut mb = b.machine();
+            ma.run();
+            mb.run();
+            assert_eq!(ma.output(0), mb.output(0), "{} must be deterministic", a.name);
+        }
+    }
+}
