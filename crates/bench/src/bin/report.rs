@@ -14,6 +14,8 @@
 //!                     #   rebuild-per-query (+ BENCH_slicing.json)
 //! report summaries    # T5 hot-code summary cache, plain vs cached
 //!                     #   taint throughput (+ BENCH_summaries.json)
+//! report history      # T6 tiered trace history: chunked snapshots +
+//!                     #   cold tier (+ BENCH_history.json)
 //! report compare <baseline.json> <candidate.json> [--thresholds <file>]
 //!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
@@ -33,7 +35,10 @@
 //! single and batched, across kernels and buffer budgets), and
 //! `summaries` writes `BENCH_summaries.json` (plain vs summary-cached
 //! taint throughput over the loop kernels, with bit-exactness and
-//! cache-coverage columns).
+//! cache-coverage columns), and `history` writes `BENCH_history.json`
+//! (steady-state chunked-snapshot cost across a 16x window spread,
+//! cold-tier bytes per evicted record, and stitched-query bit-identity
+//! against the offline full-trace slicer).
 //!
 //! `compare` is the CI bench gate: it flattens both JSON files, checks
 //! every metric a `bench_thresholds.toml` rule matches, and exits
@@ -50,7 +55,7 @@ use serde::Value;
 
 const SELECTIONS: &str =
     "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, resilience, \
-     slicing, summaries, ablations, all";
+     slicing, summaries, history, ablations, all";
 
 fn usage() {
     eprintln!(
@@ -122,6 +127,7 @@ fn main() {
             || id == "resilience"
             || id == "slicing"
             || id == "summaries"
+            || id == "history"
             || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
     };
     if let Some(bad) = selected.iter().find(|id| !known(id)) {
@@ -196,6 +202,13 @@ fn main() {
         print(&dift_bench::summaries_to_table(&report));
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
         write_json("BENCH_summaries.json", &payload);
+    }
+    if wanted("history") {
+        // Measured once; the table and BENCH_history.json share the run.
+        let report = dift_bench::history_report(scale);
+        print(&dift_bench::history_to_table(&report));
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_json("BENCH_history.json", &payload);
     }
 }
 

@@ -49,6 +49,47 @@ fn walk(v: &Value, path: String, out: &mut BTreeMap<String, f64>) {
     }
 }
 
+/// Numeric-leaf paths that live under any object carrying
+/// `"modeled_only": true`. Rows flag themselves that way when their
+/// numbers are serialization artifacts rather than measurements — e.g.
+/// wall-clock scaling rows taken on a 1-core host — and `compare`
+/// refuses to gate them.
+pub fn modeled_only_paths(v: &Value) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    walk_modeled(v, String::new(), false, &mut out);
+    out
+}
+
+fn walk_modeled(
+    v: &Value,
+    path: String,
+    inherited: bool,
+    out: &mut std::collections::BTreeSet<String>,
+) {
+    match v {
+        Value::U64(_) | Value::I64(_) | Value::F64(_) => {
+            if inherited {
+                out.insert(path);
+            }
+        }
+        Value::Map(entries) => {
+            let flagged = inherited
+                || entries
+                    .iter()
+                    .any(|(k, f)| k == "modeled_only" && matches!(f, Value::Bool(true)));
+            for (k, child) in entries {
+                walk_modeled(child, join(&path, k), flagged, out);
+            }
+        }
+        Value::Seq(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk_modeled(child, join(&path, &seq_key(child, i)), inherited, out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
 fn join(path: &str, seg: &str) -> String {
     if path.is_empty() {
         seg.to_string()
@@ -231,9 +272,10 @@ pub struct Comparison {
     pub checked: Vec<MetricDelta>,
     /// Gated paths present in only one of the two files.
     pub missing: Vec<String>,
-    /// Gated paths skipped because base or candidate was <= 0 (a ratio
-    /// would be meaningless — e.g. stall cycles that are legitimately
-    /// zero at one width).
+    /// Gated paths skipped with a reason: base or candidate was <= 0
+    /// (a ratio would be meaningless — e.g. stall cycles that are
+    /// legitimately zero at one width), or either side flags the row
+    /// `modeled_only` (the number is an artifact, not a measurement).
     pub skipped: Vec<String>,
     /// Geomean of `checked[*].ratio` (1.0 when nothing was checked).
     pub geomean_ratio: f64,
@@ -257,6 +299,10 @@ impl Comparison {
 
 /// Compare candidate against baseline under the given thresholds.
 pub fn compare(base: &Value, cand: &Value, thresholds: &Thresholds) -> Comparison {
+    // A row marked modeled-only on EITHER side is ungateable: one of
+    // the two numbers is an artifact, so any ratio is meaningless.
+    let mut modeled = modeled_only_paths(base);
+    modeled.extend(modeled_only_paths(cand));
     let base = flatten(base);
     let cand = flatten(cand);
     let mut out = Comparison {
@@ -269,12 +315,16 @@ pub fn compare(base: &Value, cand: &Value, thresholds: &Thresholds) -> Compariso
         let Some(rule) = thresholds.rules.iter().find(|r| r.matches(path)) else {
             continue;
         };
+        if modeled.contains(path) {
+            out.skipped.push(format!("{path} (modeled_only)"));
+            continue;
+        }
         let Some(&c) = cand.get(path) else {
             out.missing.push(format!("{path} (baseline only)"));
             continue;
         };
         if b <= 0.0 || c <= 0.0 {
-            out.skipped.push(path.clone());
+            out.skipped.push(format!("{path} (base or candidate <= 0)"));
             continue;
         }
         let ratio = if rule.higher_is_better { c / b } else { b / c };
@@ -291,7 +341,10 @@ pub fn compare(base: &Value, cand: &Value, thresholds: &Thresholds) -> Compariso
         ln_sum += ratio.ln();
     }
     for path in cand.keys() {
-        if !base.contains_key(path) && thresholds.rules.iter().any(|r| r.matches(path)) {
+        if !base.contains_key(path)
+            && !modeled.contains(path)
+            && thresholds.rules.iter().any(|r| r.matches(path))
+        {
             out.missing.push(format!("{path} (candidate only)"));
         }
     }
@@ -313,7 +366,7 @@ pub fn render(c: &Comparison) -> String {
         ));
     }
     for p in &c.skipped {
-        s.push_str(&format!("{:9} {p} (base or candidate <= 0)\n", "skipped"));
+        s.push_str(&format!("{:9} {p}\n", "skipped"));
     }
     for p in &c.missing {
         s.push_str(&format!("{:9} {p}\n", "missing"));
@@ -413,6 +466,54 @@ mod tests {
         let cand = Value::Map(vec![("geomean_hot_speedup".into(), Value::F64(3.0))]);
         let c = compare(&base, &cand, &Thresholds::default());
         assert!(c.missing.iter().any(|m| m.contains("baseline only")), "{:?}", c.missing);
+    }
+
+    /// A wall row as `report multicore-scaling` now writes it: stamped
+    /// with `host_cores` and flagged modeled-only on a 1-core host.
+    fn wall_report(speedup: f64, modeled_only: bool) -> Value {
+        Value::Map(vec![(
+            "rows".into(),
+            Value::Seq(vec![Value::Map(vec![
+                ("name".into(), Value::Str("gzip_like".into())),
+                (
+                    "wall".into(),
+                    Value::Seq(vec![Value::Map(vec![
+                        ("workers".into(), Value::U64(4)),
+                        ("speedup_vs_1".into(), Value::F64(speedup)),
+                        ("host_cores".into(), Value::U64(if modeled_only { 1 } else { 8 })),
+                        ("modeled_only".into(), Value::Bool(modeled_only)),
+                    ])]),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn modeled_only_rows_are_skipped_not_gated() {
+        let rules = Thresholds {
+            rules: vec![MetricRule {
+                pattern: "wall speedup_vs_1".into(),
+                higher_is_better: true,
+                max_regress_pct: 10.0,
+            }],
+            geomean_max_regress_pct: 10.0,
+        };
+        // A 4x "regression" in a modeled-only wall row must not fail
+        // the gate — the 1-core number is an artifact.
+        let c = compare(&wall_report(4.0, true), &wall_report(1.0, true), &rules);
+        assert!(!c.regressed(), "{c:?}");
+        assert!(c.checked.is_empty());
+        assert!(c.skipped.iter().any(|p| p.contains("modeled_only")), "{:?}", c.skipped);
+        // Either side flagged is enough.
+        let c = compare(&wall_report(4.0, false), &wall_report(1.0, true), &rules);
+        assert!(!c.regressed(), "{c:?}");
+        // Neither side flagged: the same delta IS gated.
+        let c = compare(&wall_report(4.0, false), &wall_report(1.0, false), &rules);
+        assert!(c.regressed(), "{c:?}");
+        // host_cores itself is a leaf under the flagged row: skipped
+        // from any rule that would match it.
+        assert!(modeled_only_paths(&wall_report(1.0, true))
+            .contains("rows/gzip_like/wall/w4/host_cores"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod apps_exps;
 pub mod compare;
+pub mod history_exp;
 pub mod obs_report;
 pub mod resilience;
 pub mod scaling;
@@ -26,6 +27,9 @@ pub use ablations::{
 };
 pub use apps_exps::{e10_races, e5_tm, e6_attacks, e7_lineage, e8_omission, e9_value_replacement};
 pub use compare::{compare, render, Comparison, Thresholds};
+pub use history_exp::{
+    history_report, history_to_table, t6_history, HistoryReport, HistoryRow, SnapshotRow,
+};
 pub use obs_report::{obs_report, ObsReport};
 pub use resilience::{
     resilience_report, resilience_to_table, t3_resilience, FaultMatrixRow, ResilienceReport,

@@ -37,6 +37,14 @@ pub struct WallPoint {
     pub workers: usize,
     pub instrs_per_sec: f64,
     pub speedup_vs_1: f64,
+    /// Cores the measuring host exposed when this row was taken. A
+    /// wall row from a 1-core host reads as "no speedup" no matter how
+    /// well the engine scales, so every row carries its provenance.
+    pub host_cores: usize,
+    /// True when `host_cores == 1`: the number is a serialization
+    /// artifact, not a measurement of scaling. `report compare` skips
+    /// gating numeric leaves under a `modeled_only: true` row.
+    pub modeled_only: bool,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -168,6 +176,7 @@ pub fn multicore_scaling_report(scale: Scale) -> MulticoreScalingReport {
         Scale::Paper => (2_000_000, 1024),
     };
     let policy = TaintPolicy::propagate_only();
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut rows = Vec::new();
     for w in &suite(scale) {
         let m = w.machine();
@@ -198,7 +207,13 @@ pub fn multicore_scaling_report(scale: Scale) -> MulticoreScalingReport {
                 let e = epoch_process_stream::<BitTaint>(s, policy, mem_words, epoch_len, workers);
                 std::hint::black_box(e.tainted_words());
             });
-            wall.push(WallPoint { workers, instrs_per_sec: ips, speedup_vs_1: 0.0 });
+            wall.push(WallPoint {
+                workers,
+                instrs_per_sec: ips,
+                speedup_vs_1: 0.0,
+                host_cores,
+                modeled_only: host_cores == 1,
+            });
         }
         let base = wall[0].instrs_per_sec;
         for p in &mut wall {
@@ -235,7 +250,7 @@ pub fn multicore_scaling_report(scale: Scale) -> MulticoreScalingReport {
         scale: format!("{scale:?}").to_lowercase(),
         label: "BitTaint, propagate-only; epoch summaries + sequential composition".into(),
         epoch_len,
-        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        host_cores,
         workers: WORKER_SWEEP.to_vec(),
         geomean_wall_speedup_4w: geomean(rows.iter().filter_map(|r| at4(&r.wall))),
         geomean_modeled_speedup_4w: geomean(rows.iter().filter_map(|r| at4m(&r.modeled))),
@@ -320,6 +335,12 @@ mod tests {
             assert_eq!(row.modeled.len(), WORKER_SWEEP.len());
             for p in &row.wall {
                 assert!(p.instrs_per_sec.is_finite() && p.instrs_per_sec > 0.0);
+                assert_eq!(p.host_cores, r.host_cores, "every wall row carries provenance");
+                assert_eq!(
+                    p.modeled_only,
+                    r.host_cores == 1,
+                    "1-core rows must be flagged modeled_only"
+                );
             }
             // The modeled sweep is deterministic: fan-out must relieve
             // the helper-bound channel on every workload.

@@ -89,7 +89,7 @@ fn run_ontrac(w: &Workload, budget: usize) -> OnTrac {
 
 /// Deterministic mixed query set over the live window: a spread of
 /// criterion steps and addresses, across all three mask presets.
-fn query_set(g: &DdgGraph, per_row: usize) -> Vec<SliceQuery> {
+pub(crate) fn query_set(g: &DdgGraph, per_row: usize) -> Vec<SliceQuery> {
     let mut steps: Vec<u64> = g.steps().collect();
     steps.sort_unstable();
     let sample = |n: usize| -> Vec<u64> {
@@ -110,7 +110,7 @@ fn query_set(g: &DdgGraph, per_row: usize) -> Vec<SliceQuery> {
 }
 
 /// Best-of-N wall time of `f`, in seconds, together with its output.
-fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+pub(crate) fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps {

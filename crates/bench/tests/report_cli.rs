@@ -166,6 +166,52 @@ fn summaries_selection_writes_the_json_artifact() {
 }
 
 #[test]
+fn history_selection_writes_the_json_artifact() {
+    let dir = scratch("history");
+    let o = run_in(&dir, &["history", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("\"id\""), "{}", stdout(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_history.json")).expect("artifact");
+    for needle in [
+        "snapshot_growth_16x",
+        "deep_growth_16x",
+        "cold_bytes_per_record",
+        "identical_fraction",
+        "snapshot",
+        "chunk_copies_per_cycle",
+        "rows",
+    ] {
+        assert!(payload.contains(needle), "BENCH_history.json missing {needle}");
+    }
+    // The gated invariants must hold even at CI scale: stitched answers
+    // bit-identical to the offline slicer, and the snapshot cost flat
+    // within 2x across the 16x window spread.
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    assert_eq!(
+        v.field("identical_fraction"),
+        Some(&serde_json::Value::F64(1.0)),
+        "identical_fraction: {payload}"
+    );
+    match v.field("snapshot_growth_16x") {
+        Some(&serde_json::Value::F64(g)) => {
+            assert!(g < 2.0, "chunked snapshot must stay flat across 16x windows: {g}")
+        }
+        other => panic!("snapshot_growth_16x missing or non-float: {other:?}"),
+    }
+}
+
+#[test]
+fn history_selection_rejects_unknown_flags() {
+    let dir = scratch("history_badflag");
+    let o = run_in(&dir, &["history", "--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(!dir.join("BENCH_history.json").exists(), "must not run on bad flags");
+}
+
+#[test]
 fn summaries_selection_rejects_unknown_flags() {
     let dir = scratch("summaries_badflag");
     let o = run_in(&dir, &["summaries", "--frobnicate"]);

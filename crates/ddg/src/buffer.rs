@@ -38,6 +38,42 @@ pub fn varint_len(v: u64) -> usize {
     }
 }
 
+/// Append `v` to `out` as an LEB128 varint. The cold tier
+/// ([`crate::cold`]) materializes the same encoding this buffer only
+/// *accounts* for, so the codec lives next to [`varint_len`].
+#[inline]
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 varint starting at `*pos`, advancing `*pos` past
+/// it. Returns `None` on truncated input (a corrupt segment).
+#[inline]
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
 /// Fixed-byte-budget circular dependence buffer.
 pub struct CircularTraceBuffer {
     cap_bytes: usize,
@@ -369,5 +405,23 @@ mod tests {
         }
         assert_eq!(b.bytes_appended, 12);
         assert!(b.bytes() <= 6);
+    }
+
+    #[test]
+    fn varint_roundtrips_and_matches_varint_len() {
+        let samples = [0u64, 1, 127, 128, 129, 16_383, 16_384, 1 << 21, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &samples {
+            let start = buf.len();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len() - start, varint_len(v), "encoded length of {v}");
+        }
+        let mut pos = 0;
+        for &v in &samples {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+        // Truncated input decodes to None, not garbage.
+        assert_eq!(get_varint(&[0x80], &mut 0), None);
     }
 }

@@ -1,0 +1,399 @@
+//! Compressed cold tier for evicted dependence records.
+//!
+//! The circular buffer (§2.1's ONTRAC window) holds a *budgeted* suffix
+//! of the dependence stream; before this module, anything older was
+//! gone and every slice silently stopped at the eviction horizon — the
+//! byte budget acted as a correctness limit. The cold tier turns it
+//! back into a cache size: on every eviction the tracer appends the
+//! evicted record to a [`ColdStore`], which packs it into append-only
+//! compressed **segments** using the same LEB128 gap encoding the
+//! buffer's byte accounting is based on
+//! ([`put_varint`]). `dift-slicing` then
+//! *stitches* walks: queries start on the live
+//! [`SliceSnapshot`](crate::SliceSnapshot) and fall through to the cold
+//! tier whenever a frontier step is older than the window.
+//!
+//! # Segment format
+//!
+//! Records arrive oldest-first (eviction is FIFO and user steps are
+//! monotone), so within a segment user steps are non-decreasing and
+//! gap-encode well. Per record:
+//!
+//! ```text
+//! user_gap  varint   gap since previous record's user step
+//!                    (first record: the absolute user step)
+//! dist      varint   user − def (a def never follows its user)
+//! kind      1 byte   DepKind discriminant
+//! user_addr varint   program address of the user instruction
+//! def_addr  varint   program address of the def instruction
+//! user_stmt varint   statement id of the user
+//! def_stmt  varint   statement id of the def
+//! ```
+//!
+//! A segment seals at [`SEGMENT_RECORDS`] records (or on a
+//! non-monotone user step, which a healthy tracer never produces, so
+//! the per-segment monotonicity invariant holds unconditionally). Each
+//! segment carries `[first_user, last_user]` and `min_def` metadata so
+//! queries touch only candidate segments; [`ColdView`] lazily decodes
+//! those into per-segment adjacency maps and memoizes them for the
+//! duration of the view.
+//!
+//! # Why live ∪ cold is the full execution
+//!
+//! The tracer's record stream is independent of the buffer budget (the
+//! budget decides *when* a record is evicted, never whether it exists),
+//! and every record is either still in the window or was evicted
+//! exactly once, in order. So the cold tier plus the live window is a
+//! partition of the full never-evicted trace, which is what makes the
+//! stitched walk bit-identical to the offline `Slicer` on the whole
+//! execution — the differential proptest in
+//! `crates/slicing/tests/service_diff.rs` holds exactly that.
+
+use crate::buffer::{get_varint, put_varint, BufRecord};
+use crate::dep::DepKind;
+use dift_isa::{Addr, StmtId};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Records per sealed segment. Small enough that decoding one segment
+/// is cheap, large enough that per-segment metadata is negligible.
+pub const SEGMENT_RECORDS: u32 = 1024;
+
+fn kind_to_byte(k: DepKind) -> u8 {
+    match k {
+        DepKind::RegData => 0,
+        DepKind::MemData => 1,
+        DepKind::Control => 2,
+        DepKind::War => 3,
+        DepKind::Waw => 4,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Option<DepKind> {
+    Some(match b {
+        0 => DepKind::RegData,
+        1 => DepKind::MemData,
+        2 => DepKind::Control,
+        3 => DepKind::War,
+        4 => DepKind::Waw,
+        _ => return None,
+    })
+}
+
+/// One compressed run of evicted records with its query metadata.
+#[derive(Clone, Debug)]
+pub struct ColdSegment {
+    bytes: Vec<u8>,
+    /// User step of the first record (gap decoding starts here).
+    first_user: u64,
+    /// User step of the last record (user steps are non-decreasing).
+    last_user: u64,
+    /// Smallest def step mentioned — def steps can be arbitrarily far
+    /// behind their user, so def-side queries filter on this.
+    min_def: u64,
+    count: u32,
+}
+
+impl ColdSegment {
+    fn new() -> ColdSegment {
+        ColdSegment { bytes: Vec::new(), first_user: 0, last_user: 0, min_def: u64::MAX, count: 0 }
+    }
+
+    /// Could `step` appear in this segment as a user?
+    fn may_have_user(&self, step: u64) -> bool {
+        self.count > 0 && self.first_user <= step && step <= self.last_user
+    }
+
+    /// Could `step` appear in this segment as a def? (A def never
+    /// follows its user, so defs are bounded above by `last_user`.)
+    fn may_have_def(&self, step: u64) -> bool {
+        self.count > 0 && self.min_def <= step && step <= self.last_user
+    }
+}
+
+/// Append-only store of compressed evicted-record segments. Owned by
+/// the tracer next to the buffer (see `OnTracConfig::cold_tier`) and
+/// fed from the same `push_with` eviction callback that prunes the
+/// live index, so it sees every evicted record exactly once, in order.
+#[derive(Clone, Debug, Default)]
+pub struct ColdStore {
+    sealed: Vec<ColdSegment>,
+    open: Option<ColdSegment>,
+    records: u64,
+}
+
+impl ColdStore {
+    pub fn new() -> ColdStore {
+        ColdStore::default()
+    }
+
+    /// Append one evicted record.
+    pub fn append(&mut self, rec: &BufRecord) {
+        let seg = self.open.get_or_insert_with(ColdSegment::new);
+        // FIFO eviction of a monotone stream keeps user steps
+        // non-decreasing; if an upstream desync ever violates that,
+        // seal and start fresh so the per-segment invariant (and with
+        // it gap decoding) survives.
+        if seg.count > 0 && rec.dep.user < seg.last_user {
+            let full = self.open.take().unwrap();
+            self.sealed.push(full);
+            return self.append(rec);
+        }
+        if seg.count == 0 {
+            seg.first_user = rec.dep.user;
+            put_varint(&mut seg.bytes, rec.dep.user);
+        } else {
+            put_varint(&mut seg.bytes, rec.dep.user - seg.last_user);
+        }
+        put_varint(&mut seg.bytes, rec.dep.user - rec.dep.def);
+        seg.bytes.push(kind_to_byte(rec.dep.kind));
+        put_varint(&mut seg.bytes, u64::from(rec.user_addr));
+        put_varint(&mut seg.bytes, u64::from(rec.def_addr));
+        put_varint(&mut seg.bytes, u64::from(rec.user_stmt));
+        put_varint(&mut seg.bytes, u64::from(rec.def_stmt));
+        seg.last_user = rec.dep.user;
+        seg.min_def = seg.min_def.min(rec.dep.def);
+        seg.count += 1;
+        self.records += 1;
+        if seg.count >= SEGMENT_RECORDS {
+            let full = self.open.take().unwrap();
+            self.sealed.push(full);
+        }
+    }
+
+    /// Total records spilled so far.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Segments held (sealed plus the open one, if non-empty).
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + usize::from(self.open.as_ref().is_some_and(|s| s.count > 0))
+    }
+
+    /// Compressed payload bytes held.
+    pub fn bytes(&self) -> u64 {
+        let open = self.open.as_ref().map_or(0, |s| s.bytes.len() as u64);
+        self.sealed.iter().map(|s| s.bytes.len() as u64).sum::<u64>() + open
+    }
+
+    /// Oldest user step held, if any — everything at or after it is
+    /// answerable from cold (possibly jointly with the live window).
+    pub fn first_user(&self) -> Option<u64> {
+        self.segments().next().map(|s| s.first_user)
+    }
+
+    fn segments(&self) -> impl Iterator<Item = &ColdSegment> {
+        self.sealed.iter().chain(self.open.iter().filter(|s| s.count > 0))
+    }
+}
+
+/// One segment decoded into adjacency form, mirroring the live index's
+/// per-chunk layout.
+#[derive(Debug, Default)]
+struct DecodedSeg {
+    defs_of: HashMap<u64, Vec<(u64, DepKind)>>,
+    users_of: HashMap<u64, Vec<(u64, DepKind)>>,
+    meta: HashMap<u64, (Addr, StmtId)>,
+    addr_steps: HashMap<Addr, BTreeSet<u64>>,
+}
+
+fn decode(seg: &ColdSegment) -> DecodedSeg {
+    let mut out = DecodedSeg::default();
+    let mut pos = 0usize;
+    let mut prev_user = 0u64;
+    for i in 0..seg.count {
+        let Some((user, def, kind, ua, da, us, ds)) = (|| {
+            let gap = get_varint(&seg.bytes, &mut pos)?;
+            let user = if i == 0 { gap } else { prev_user + gap };
+            let dist = get_varint(&seg.bytes, &mut pos)?;
+            let kind = kind_from_byte(*seg.bytes.get(pos)?)?;
+            pos += 1;
+            let ua = get_varint(&seg.bytes, &mut pos)? as Addr;
+            let da = get_varint(&seg.bytes, &mut pos)? as Addr;
+            let us = get_varint(&seg.bytes, &mut pos)? as StmtId;
+            let ds = get_varint(&seg.bytes, &mut pos)? as StmtId;
+            Some((user, user - dist, kind, ua, da, us, ds))
+        })() else {
+            // Truncated or corrupt tail: keep the decodable prefix
+            // rather than failing the whole segment.
+            debug_assert!(false, "corrupt cold segment at record {i}");
+            break;
+        };
+        prev_user = user;
+        out.defs_of.entry(user).or_default().push((def, kind));
+        out.users_of.entry(def).or_default().push((user, kind));
+        out.meta.entry(user).or_insert((ua, us));
+        out.meta.entry(def).or_insert((da, ds));
+        out.addr_steps.entry(ua).or_default().insert(user);
+        out.addr_steps.entry(da).or_default().insert(def);
+    }
+    out
+}
+
+/// A read view over a [`ColdStore`] that decodes segments on demand
+/// and memoizes them for the view's lifetime. Create one per query
+/// batch: the memo keeps a backward walk that revisits the same old
+/// region from re-decoding it per frontier step.
+pub struct ColdView<'a> {
+    store: &'a ColdStore,
+    cache: RefCell<HashMap<usize, Rc<DecodedSeg>>>,
+}
+
+impl<'a> ColdView<'a> {
+    pub fn new(store: &'a ColdStore) -> ColdView<'a> {
+        ColdView { store, cache: RefCell::new(HashMap::new()) }
+    }
+
+    fn decoded(&self, idx: usize, seg: &ColdSegment) -> Rc<DecodedSeg> {
+        if let Some(d) = self.cache.borrow().get(&idx) {
+            return Rc::clone(d);
+        }
+        let d = Rc::new(decode(seg));
+        self.cache.borrow_mut().insert(idx, Rc::clone(&d));
+        d
+    }
+
+    /// Cold dependences whose user is `step`: `(def, kind)` pairs.
+    /// The metadata scan is O(segments) but touches only two `u64`s
+    /// per segment; decode happens for candidate segments only.
+    pub fn defs(&self, step: u64) -> Vec<(u64, DepKind)> {
+        let mut out = Vec::new();
+        for (i, seg) in self.store.segments().enumerate() {
+            if seg.may_have_user(step) {
+                if let Some(v) = self.decoded(i, seg).defs_of.get(&step) {
+                    out.extend_from_slice(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Cold dependences whose def is `step`: `(user, kind)` pairs.
+    /// Defs can be arbitrarily older than their segment's user range,
+    /// so every segment with `min_def ≤ step ≤ last_user` is a
+    /// candidate.
+    pub fn users(&self, step: u64) -> Vec<(u64, DepKind)> {
+        let mut out = Vec::new();
+        for (i, seg) in self.store.segments().enumerate() {
+            if seg.may_have_def(step) {
+                if let Some(v) = self.decoded(i, seg).users_of.get(&step) {
+                    out.extend_from_slice(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Metadata for a step mentioned anywhere in the cold tier.
+    pub fn meta_of(&self, step: u64) -> Option<(Addr, StmtId)> {
+        for (i, seg) in self.store.segments().enumerate() {
+            if seg.may_have_user(step) || seg.may_have_def(step) {
+                if let Some(&m) = self.decoded(i, seg).meta.get(&step) {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Cold steps executed at `addr`, ascending and deduplicated.
+    /// Address queries have no per-segment metadata to filter on, so
+    /// this decodes every segment (once per view — the memo holds
+    /// them); it is the by-address criterion path, not the walk hot
+    /// path.
+    pub fn steps_at(&self, addr: Addr) -> Vec<u64> {
+        let mut steps = BTreeSet::new();
+        for (i, seg) in self.store.segments().enumerate() {
+            if let Some(set) = self.decoded(i, seg).addr_steps.get(&addr) {
+                steps.extend(set.iter().copied());
+            }
+        }
+        steps.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::record;
+
+    fn rec(user: u64, def: u64, kind: DepKind) -> BufRecord {
+        record(user, def, kind, user as u32 % 11, def as u32 % 11, user as u32, def as u32)
+    }
+
+    #[test]
+    fn roundtrips_every_field_across_segment_seals() {
+        let mut store = ColdStore::new();
+        let n = u64::from(SEGMENT_RECORDS) * 2 + 100;
+        for i in 1..=n {
+            store.append(&rec(i, i / 2, [DepKind::RegData, DepKind::MemData][i as usize % 2]));
+        }
+        assert_eq!(store.record_count(), n);
+        assert_eq!(store.segment_count(), 3);
+        assert_eq!(store.first_user(), Some(1));
+        let view = ColdView::new(&store);
+        for i in [1, 2, 1000, u64::from(SEGMENT_RECORDS), n - 1, n] {
+            let defs = view.defs(i);
+            assert_eq!(defs, vec![(i / 2, [DepKind::RegData, DepKind::MemData][i as usize % 2])]);
+            assert_eq!(view.meta_of(i), Some((i as u32 % 11, i as u32)));
+        }
+        // users(d) finds every user of d, across segment boundaries.
+        let users = view.users(500);
+        let mut want: Vec<u64> = vec![1000, 1001];
+        want.retain(|&u| u <= n);
+        assert_eq!(users.iter().map(|&(u, _)| u).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn gap_encoding_is_compact_for_dense_streams() {
+        let mut store = ColdStore::new();
+        for i in 1..=10_000u64 {
+            store.append(&rec(i, i - 1, DepKind::RegData));
+        }
+        let per_record = store.bytes() as f64 / store.record_count() as f64;
+        // gap=1, dist=1, kind, two 1-byte addrs and two ≤2-byte stmt
+        // ids: ≤9 bytes vs the 28-byte in-memory BufRecord.
+        assert!(per_record < 10.0, "expected tight packing, got {per_record:.2} B/record");
+    }
+
+    #[test]
+    fn steps_at_unions_segments_sorted() {
+        let mut store = ColdStore::new();
+        for i in 1..=3_000u64 {
+            store.append(&rec(i, i.saturating_sub(7), DepKind::MemData));
+        }
+        let view = ColdView::new(&store);
+        let at_3 = view.steps_at(3);
+        assert!(!at_3.is_empty());
+        assert!(at_3.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+        assert!(at_3.iter().all(|&s| s % 11 == 3));
+    }
+
+    #[test]
+    fn non_monotone_input_seals_rather_than_corrupts() {
+        let mut store = ColdStore::new();
+        store.append(&rec(100, 99, DepKind::RegData));
+        store.append(&rec(50, 49, DepKind::RegData)); // upstream desync
+        store.append(&rec(120, 119, DepKind::RegData));
+        let view = ColdView::new(&store);
+        assert_eq!(view.defs(100), vec![(99, DepKind::RegData)]);
+        assert_eq!(view.defs(50), vec![(49, DepKind::RegData)]);
+        assert_eq!(view.defs(120), vec![(119, DepKind::RegData)]);
+        assert_eq!(store.record_count(), 3);
+    }
+
+    #[test]
+    fn empty_store_answers_empty() {
+        let store = ColdStore::new();
+        assert_eq!(store.segment_count(), 0);
+        assert_eq!(store.bytes(), 0);
+        assert_eq!(store.first_user(), None);
+        let view = ColdView::new(&store);
+        assert!(view.defs(1).is_empty());
+        assert!(view.users(1).is_empty());
+        assert!(view.meta_of(1).is_none());
+        assert!(view.steps_at(0).is_empty());
+    }
+}

@@ -26,6 +26,34 @@
 //!   captured at the def step itself), so per-step metadata can be
 //!   refcounted instead of re-derived.
 //!
+//! # Chunked storage and O(dirty-chunk) snapshots
+//!
+//! The index is stored as fixed-size **chunks** binned by step range
+//! (`step >> CHUNK_SHIFT`): each `Chunk` holds the adjacency deques,
+//! `StepEntry` metadata, and the addr→steps map for the steps in its
+//! range, behind an `Arc`. The chunk map (the *spine*) is itself behind
+//! an `Arc`. [`SliceIndex::snapshot`] is therefore O(1) — one `Arc`
+//! bump of the spine — and mutation is copy-on-write: the first write
+//! after a snapshot clones the spine (a map of pointers, O(chunks)),
+//! and the first write *into a chunk* a snapshot still shares
+//! deep-copies that one chunk. A snapshot interval thus pays exactly
+//! one spine clone plus one deep copy per **dirty** chunk (in steady
+//! state: the chunk receiving new records and the chunk being evicted
+//! from), never O(window). The [`IndexData::chunk_copies`] /
+//! [`IndexData::spine_copies`] counters expose that wear so tests and
+//! the T6 history bench can assert on it, and
+//! [`SliceIndex::snapshot_deep`] keeps the pre-chunking O(window) deep
+//! clone as the comparison baseline.
+//!
+//! Eviction keeps a **desync ledger** instead of panicking: if an
+//! evicted record is not found where the FIFO facts say it must be
+//! (front of both adjacency buckets, live step entries), the index
+//! repairs what it can — removing the mention wherever it is, clamping
+//! refcounts — and increments [`IndexData::desyncs`], which the tracer
+//! publishes as the `ddg/index/desync` observability counter. A desync
+//! means a tracer bug upstream, but a release-mode tracer must degrade
+//! to a slightly stale index, not abort the traced program.
+//!
 //! Snapshots ([`SliceSnapshot`]) freeze the index behind an `Arc` so
 //! reader threads can answer queries while tracing continues; the
 //! `generation` stamp lets holders (e.g. `dift-slicing`'s
@@ -34,8 +62,15 @@
 use crate::buffer::BufRecord;
 use crate::dep::DepKind;
 use dift_isa::{Addr, StmtId};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Steps per chunk: chunk id is `step >> CHUNK_SHIFT`.
+const CHUNK_SHIFT: u32 = 12;
+
+/// Number of consecutive steps one chunk covers (4096). Exposed so the
+/// history bench can size windows in whole chunks.
+pub const CHUNK_STEPS: u64 = 1 << CHUNK_SHIFT;
 
 /// Refcounted per-step metadata: `count` live mentions (as user or def)
 /// keep the entry alive; the `(addr, stmt)` pair is fixed by the first
@@ -47,44 +82,181 @@ struct StepEntry {
     count: u32,
 }
 
-/// The index proper — shared verbatim between the live [`SliceIndex`]
-/// and frozen [`SliceSnapshot`]s.
+/// How an eviction-side removal went: clean FIFO front pop, repaired
+/// out-of-place removal, or nothing to remove at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Removal {
+    Front,
+    Recovered,
+    Missing,
+}
+
+/// One step-range bin of the index: adjacency, step metadata, and the
+/// addr→steps map restricted to steps in `[id << CHUNK_SHIFT,
+/// (id + 1) << CHUNK_SHIFT)`.
 #[derive(Clone, Debug, Default)]
-pub struct IndexData {
+struct Chunk {
     /// Edges grouped by *user* step (what the user depends on), in
     /// stream order. Mirrors `DdgGraph::defs_of`.
     defs_of: HashMap<u64, VecDeque<(u64, DepKind)>>,
     /// Edges grouped by *def* step (who depends on the def), in stream
     /// order. Mirrors `DdgGraph::users_of`.
     users_of: HashMap<u64, VecDeque<(u64, DepKind)>>,
-    /// Live steps with their metadata.
+    /// Live steps (in this chunk's range) with their metadata.
     steps: HashMap<u64, StepEntry>,
-    /// Program address → live steps executed there (sorted, so
-    /// `steps_at` keeps `DdgGraph::steps_at_addr`'s sorted contract).
+    /// Program address → live steps executed there (sorted; chunk
+    /// ranges are disjoint and ordered, so chaining chunks in id order
+    /// keeps `steps_at`'s globally-sorted contract).
     addr_steps: HashMap<Addr, BTreeSet<u64>>,
+}
+
+impl Chunk {
+    fn is_empty(&self) -> bool {
+        self.defs_of.is_empty() && self.users_of.is_empty() && self.steps.is_empty()
+    }
+
+    /// Add one mention of `step`; returns true when the step is new.
+    fn touch(&mut self, step: u64, addr: Addr, stmt: StmtId) -> bool {
+        let e = self.steps.entry(step).or_insert(StepEntry { addr, stmt, count: 0 });
+        debug_assert!(
+            e.count == 0 || (e.addr, e.stmt) == (addr, stmt),
+            "step {step}: mention metadata diverged ({:?} vs {:?})",
+            (e.addr, e.stmt),
+            (addr, stmt),
+        );
+        e.count += 1;
+        if e.count == 1 {
+            self.addr_steps.entry(e.addr).or_default().insert(step);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop one mention of `step`. `Ok(true)` removed the step's last
+    /// mention, `Ok(false)` decremented the refcount, `Err(())` means
+    /// the step was not live at all (a desync).
+    fn untouch(&mut self, step: u64) -> Result<bool, ()> {
+        let Some(e) = self.steps.get_mut(&step) else {
+            return Err(());
+        };
+        e.count -= 1;
+        if e.count > 0 {
+            return Ok(false);
+        }
+        let addr = e.addr;
+        self.steps.remove(&step);
+        if let Some(set) = self.addr_steps.get_mut(&addr) {
+            set.remove(&step);
+            if set.is_empty() {
+                self.addr_steps.remove(&addr);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Remove one adjacency mention. The FIFO fast path pops the front;
+    /// the recovery path scans the bucket so an out-of-order eviction
+    /// still resyncs the index instead of corrupting it.
+    fn remove_edge(
+        map: &mut HashMap<u64, VecDeque<(u64, DepKind)>>,
+        key: u64,
+        want: (u64, DepKind),
+    ) -> Removal {
+        let Some(bucket) = map.get_mut(&key) else {
+            return Removal::Missing;
+        };
+        let removal = if bucket.front() == Some(&want) {
+            bucket.pop_front();
+            Removal::Front
+        } else if let Some(pos) = bucket.iter().position(|e| *e == want) {
+            bucket.remove(pos);
+            Removal::Recovered
+        } else {
+            return Removal::Missing;
+        };
+        if bucket.is_empty() {
+            map.remove(&key);
+        }
+        removal
+    }
+}
+
+/// The index proper — shared verbatim between the live [`SliceIndex`]
+/// and frozen [`SliceSnapshot`]s. Cloning is O(1): the chunk spine is
+/// behind an `Arc` and deep copies happen lazily, on the first write to
+/// shared state (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct IndexData {
+    /// The spine: chunk id → chunk, ascending. Behind an `Arc` so
+    /// snapshots share it wholesale; `Arc::make_mut` gives writers
+    /// copy-on-write without any explicit dirty bookkeeping.
+    chunks: Arc<BTreeMap<u64, Arc<Chunk>>>,
     /// Live edge (record) count.
     edges: u64,
+    /// Live step count (sum over chunks, maintained incrementally).
+    step_total: u64,
+    /// Deep chunk copies forced by copy-on-write (a snapshot shared the
+    /// chunk when it was next written).
+    chunk_copies: u64,
+    /// Spine (pointer-map) clones forced by copy-on-write.
+    spine_copies: u64,
+    /// Eviction-integrity violations repaired (see the module docs).
+    desyncs: u64,
 }
 
 impl IndexData {
+    fn chunk_of(&self, step: u64) -> Option<&Chunk> {
+        self.chunks.get(&(step >> CHUNK_SHIFT)).map(|c| &**c)
+    }
+
+    /// Copy-on-write access to the chunk covering `step`, creating it
+    /// if absent. Counts spine and chunk copies actually performed.
+    fn chunk_mut(&mut self, step: u64) -> &mut Chunk {
+        if Arc::strong_count(&self.chunks) > 1 {
+            self.spine_copies += 1;
+        }
+        let copies = &mut self.chunk_copies;
+        let spine = Arc::make_mut(&mut self.chunks);
+        let slot = spine.entry(step >> CHUNK_SHIFT).or_default();
+        if Arc::strong_count(slot) > 1 {
+            *copies += 1;
+        }
+        Arc::make_mut(slot)
+    }
+
+    /// Drop the chunk covering `step` if it is now empty, so the spine
+    /// stays O(window / CHUNK_STEPS) as the window slides.
+    fn prune_chunk(&mut self, step: u64) {
+        let id = step >> CHUNK_SHIFT;
+        if self.chunks.get(&id).is_some_and(|c| c.is_empty()) {
+            if Arc::strong_count(&self.chunks) > 1 {
+                self.spine_copies += 1;
+            }
+            Arc::make_mut(&mut self.chunks).remove(&id);
+        }
+    }
+
     /// Dependences whose user is `step`: `(def, kind)` pairs.
     pub fn defs(&self, step: u64) -> impl Iterator<Item = (u64, DepKind)> + '_ {
-        self.defs_of.get(&step).into_iter().flatten().copied()
+        self.chunk_of(step).and_then(|c| c.defs_of.get(&step)).into_iter().flatten().copied()
     }
 
     /// Dependences whose def is `step`: `(user, kind)` pairs.
     pub fn users(&self, step: u64) -> impl Iterator<Item = (u64, DepKind)> + '_ {
-        self.users_of.get(&step).into_iter().flatten().copied()
+        self.chunk_of(step).and_then(|c| c.users_of.get(&step)).into_iter().flatten().copied()
     }
 
     /// Metadata for a live step.
     pub fn meta_of(&self, step: u64) -> Option<(Addr, StmtId)> {
-        self.steps.get(&step).map(|e| (e.addr, e.stmt))
+        self.chunk_of(step).and_then(|c| c.steps.get(&step)).map(|e| (e.addr, e.stmt))
     }
 
-    /// Live steps whose instruction executed at `addr`, ascending.
+    /// Live steps whose instruction executed at `addr`, ascending
+    /// (chunks iterate in id order; each per-chunk set is sorted and
+    /// chunk step ranges are disjoint).
     pub fn steps_at(&self, addr: Addr) -> impl Iterator<Item = u64> + '_ {
-        self.addr_steps.get(&addr).into_iter().flatten().copied()
+        self.chunks.values().filter_map(move |c| c.addr_steps.get(&addr)).flatten().copied()
     }
 
     /// Number of live edges (= records in the window).
@@ -94,12 +266,37 @@ impl IndexData {
 
     /// Number of live steps.
     pub fn step_count(&self) -> usize {
-        self.steps.len()
+        self.step_total as usize
     }
 
     /// All live steps, in no particular order.
     pub fn steps(&self) -> impl Iterator<Item = u64> + '_ {
-        self.steps.keys().copied()
+        self.chunks.values().flat_map(|c| c.steps.keys().copied())
+    }
+
+    /// Number of live chunks in the spine.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Deep chunk copies copy-on-write has performed so far. Flat per
+    /// snapshot interval (one per dirty chunk), which is what the
+    /// zero-copy `refresh` test and the T6 bench assert on.
+    pub fn chunk_copies(&self) -> u64 {
+        self.chunk_copies
+    }
+
+    /// Spine clones copy-on-write has performed so far (one per
+    /// snapshot interval that mutated anything).
+    pub fn spine_copies(&self) -> u64 {
+        self.spine_copies
+    }
+
+    /// Eviction-integrity violations repaired (see the module docs).
+    /// Nonzero means a tracer bug upstream; published as the
+    /// `ddg/index/desync` observability counter.
+    pub fn desyncs(&self) -> u64 {
+        self.desyncs
     }
 
     /// Estimated resident bytes of the index (entries only; hash-map
@@ -111,37 +308,10 @@ impl IndexData {
         let edge_bytes = 2 * self.edges * size_of::<(u64, DepKind)>() as u64;
         // A step entry plus its key, plus its `addr_steps` set member.
         let step_bytes =
-            self.steps.len() as u64 * (size_of::<u64>() as u64 * 2 + size_of::<StepEntry>() as u64);
-        edge_bytes + step_bytes
-    }
-
-    fn touch(&mut self, step: u64, addr: Addr, stmt: StmtId) {
-        let e = self.steps.entry(step).or_insert(StepEntry { addr, stmt, count: 0 });
-        debug_assert!(
-            e.count == 0 || (e.addr, e.stmt) == (addr, stmt),
-            "step {step}: mention metadata diverged ({:?} vs {:?})",
-            (e.addr, e.stmt),
-            (addr, stmt),
-        );
-        if e.count == 0 {
-            self.addr_steps.entry(e.addr).or_default().insert(step);
-        }
-        e.count += 1;
-    }
-
-    fn untouch(&mut self, step: u64) {
-        let e = self.steps.get_mut(&step).expect("evicted mention of an unindexed step");
-        e.count -= 1;
-        if e.count == 0 {
-            let addr = e.addr;
-            self.steps.remove(&step);
-            if let Some(set) = self.addr_steps.get_mut(&addr) {
-                set.remove(&step);
-                if set.is_empty() {
-                    self.addr_steps.remove(&addr);
-                }
-            }
-        }
+            self.step_total * (size_of::<u64>() as u64 * 2 + size_of::<StepEntry>() as u64);
+        // Spine entry + chunk struct + Arc header per chunk.
+        let chunk_bytes = self.chunks.len() as u64 * 96;
+        edge_bytes + step_bytes + chunk_bytes
     }
 }
 
@@ -159,34 +329,56 @@ impl SliceIndex {
     /// Index one record as it enters the window.
     pub fn on_push(&mut self, rec: &BufRecord) {
         let d = &mut self.data;
-        d.defs_of.entry(rec.dep.user).or_default().push_back((rec.dep.def, rec.dep.kind));
-        d.users_of.entry(rec.dep.def).or_default().push_back((rec.dep.user, rec.dep.kind));
-        d.touch(rec.dep.user, rec.user_addr, rec.user_stmt);
-        d.touch(rec.dep.def, rec.def_addr, rec.def_stmt);
+        let uc = d.chunk_mut(rec.dep.user);
+        uc.defs_of.entry(rec.dep.user).or_default().push_back((rec.dep.def, rec.dep.kind));
+        let new_user = uc.touch(rec.dep.user, rec.user_addr, rec.user_stmt);
+        let dc = d.chunk_mut(rec.dep.def);
+        dc.users_of.entry(rec.dep.def).or_default().push_back((rec.dep.user, rec.dep.kind));
+        let new_def = dc.touch(rec.dep.def, rec.def_addr, rec.def_stmt);
+        d.step_total += new_user as u64 + new_def as u64;
         d.edges += 1;
         self.generation += 1;
     }
 
     /// Remove one record as the buffer evicts it. Eviction is strictly
-    /// FIFO, so the record is the front of both of its adjacency
-    /// buckets (debug-asserted).
+    /// FIFO, so the record is normally the front of both of its
+    /// adjacency buckets; anything else is an integrity violation that
+    /// is repaired and counted in [`IndexData::desyncs`] instead of
+    /// panicking (the tracer hot loop must not abort in release mode).
     pub fn on_evict(&mut self, rec: &BufRecord) {
         let d = &mut self.data;
-        let bucket = d.defs_of.get_mut(&rec.dep.user).expect("evicted record not indexed");
-        let front = bucket.pop_front();
-        debug_assert_eq!(front, Some((rec.dep.def, rec.dep.kind)), "defs_of eviction not FIFO");
-        if bucket.is_empty() {
-            d.defs_of.remove(&rec.dep.user);
+        let removed_user = Chunk::remove_edge(
+            &mut d.chunk_mut(rec.dep.user).defs_of,
+            rec.dep.user,
+            (rec.dep.def, rec.dep.kind),
+        );
+        let removed_def = Chunk::remove_edge(
+            &mut d.chunk_mut(rec.dep.def).users_of,
+            rec.dep.def,
+            (rec.dep.user, rec.dep.kind),
+        );
+        for r in [removed_user, removed_def] {
+            if r != Removal::Front {
+                d.desyncs += 1;
+            }
         }
-        let bucket = d.users_of.get_mut(&rec.dep.def).expect("evicted record not indexed");
-        let front = bucket.pop_front();
-        debug_assert_eq!(front, Some((rec.dep.user, rec.dep.kind)), "users_of eviction not FIFO");
-        if bucket.is_empty() {
-            d.users_of.remove(&rec.dep.def);
+        // Only drop step mentions for sides that actually held the
+        // edge: untouching on a missing side would corrupt other
+        // steps' refcounts on top of the original desync.
+        for (removed, step) in [(removed_user, rec.dep.user), (removed_def, rec.dep.def)] {
+            if removed != Removal::Missing {
+                match d.chunk_mut(step).untouch(step) {
+                    Ok(true) => d.step_total -= 1,
+                    Ok(false) => {}
+                    Err(()) => d.desyncs += 1,
+                }
+            }
         }
-        d.untouch(rec.dep.user);
-        d.untouch(rec.dep.def);
-        d.edges -= 1;
+        if removed_user != Removal::Missing || removed_def != Removal::Missing {
+            d.edges = d.edges.saturating_sub(1);
+        }
+        d.prune_chunk(rec.dep.user);
+        d.prune_chunk(rec.dep.def);
         self.generation += 1;
     }
 
@@ -197,12 +389,25 @@ impl SliceIndex {
     }
 
     /// Freeze the current window into an immutable, `Send + Sync`
-    /// snapshot. O(window) clone with no sorting or re-binning — much
-    /// cheaper than a `DdgGraph` rebuild — and holders can compare
+    /// snapshot. O(1): one `Arc` bump of the chunk spine — the deep
+    /// work is deferred to copy-on-write and charged per *dirty* chunk
+    /// (see the module docs). Holders can compare
     /// [`SliceSnapshot::generation`] against [`SliceIndex::generation`]
-    /// to skip the clone entirely when the window has not moved.
+    /// to skip even that when the window has not moved.
     pub fn snapshot(&self) -> SliceSnapshot {
         SliceSnapshot { data: Arc::new(self.data.clone()), generation: self.generation }
+    }
+
+    /// The pre-chunking snapshot: deep-copy every chunk, O(window).
+    /// Kept as the reference the T6 history bench quantifies the
+    /// chunked snapshot against; not for production use.
+    pub fn snapshot_deep(&self) -> SliceSnapshot {
+        let chunks: BTreeMap<u64, Arc<Chunk>> =
+            self.data.chunks.iter().map(|(&id, c)| (id, Arc::new((**c).clone()))).collect();
+        SliceSnapshot {
+            data: Arc::new(IndexData { chunks: Arc::new(chunks), ..self.data.clone() }),
+            generation: self.generation,
+        }
     }
 }
 
@@ -288,6 +493,7 @@ mod tests {
         }
         // No phantom steps survive eviction.
         assert_eq!(idx.step_count(), g.steps().count());
+        assert_eq!(idx.steps().count(), idx.step_count());
         for addr in 0..7u32 {
             let got: Vec<u64> = idx.steps_at(addr).collect();
             assert_eq!(got, g.steps_at_addr(addr), "steps_at({addr})");
@@ -318,6 +524,7 @@ mod tests {
             assert_eq!(idx.edges(), buf.len() as u64);
         }
         assert!(buf.evicted > 0);
+        assert_eq!(idx.desyncs(), 0, "FIFO eviction must never desync");
         assert_matches_rebuild(&buf, &idx);
     }
 
@@ -386,5 +593,113 @@ mod tests {
             push(&mut big_buf, &mut big, rec(i, i - 1, DepKind::RegData));
         }
         assert!(big.approx_bytes() > small, "a wider window costs more index bytes");
+    }
+
+    #[test]
+    fn snapshots_share_clean_chunks_and_copy_only_dirty_ones() {
+        let mut buf = CircularTraceBuffer::new(1 << 24);
+        let mut idx = SliceIndex::default();
+        // Fill several chunks' worth of steps.
+        let top = 6 * CHUNK_STEPS;
+        for i in 1..=top {
+            push(&mut buf, &mut idx, rec(i, i - 1, DepKind::RegData));
+        }
+        let chunks = idx.chunk_count();
+        assert!(chunks >= 6, "expected several chunks, got {chunks}");
+        let copies_before = idx.chunk_copies();
+        let spine_before = idx.spine_copies();
+
+        // Snapshot, then keep pushing within the SAME chunk range: the
+        // spine is cloned once and exactly the dirty chunks (the head
+        // chunk holding both user and def) are deep-copied.
+        let snap = idx.snapshot();
+        for i in 0..8u64 {
+            push(&mut buf, &mut idx, rec(top + 1 + i, top + i, DepKind::RegData));
+        }
+        assert_eq!(idx.spine_copies(), spine_before + 1, "one spine clone per interval");
+        let dirtied = idx.chunk_copies() - copies_before;
+        assert!(dirtied <= 2, "only dirty chunks may be copied, got {dirtied} of {chunks}");
+        // The frozen snapshot still answers from the pre-push window.
+        assert_eq!(snap.edges(), top);
+        assert!(snap.defs(top + 1).next().is_none());
+
+        // With no snapshot alive, further pushes never copy anything.
+        drop(snap);
+        let copies = idx.chunk_copies();
+        let spine = idx.spine_copies();
+        for i in 9..64u64 {
+            push(&mut buf, &mut idx, rec(top + 1 + i, top + i, DepKind::RegData));
+        }
+        assert_eq!(idx.chunk_copies(), copies, "unshared chunks must mutate in place");
+        assert_eq!(idx.spine_copies(), spine);
+    }
+
+    #[test]
+    fn snapshot_deep_copies_every_chunk_and_stays_frozen() {
+        let mut buf = CircularTraceBuffer::new(1 << 24);
+        let mut idx = SliceIndex::default();
+        for i in 1..=3 * CHUNK_STEPS {
+            push(&mut buf, &mut idx, rec(i, i - 1, DepKind::RegData));
+        }
+        let snap = idx.snapshot_deep();
+        let copies = idx.chunk_copies();
+        let spine = idx.spine_copies();
+        // Deep snapshots share nothing, so later pushes trigger no
+        // copy-on-write at all.
+        for i in 0..8u64 {
+            let s = 3 * CHUNK_STEPS + 1 + i;
+            push(&mut buf, &mut idx, rec(s, s - 1, DepKind::RegData));
+        }
+        assert_eq!(idx.chunk_copies(), copies);
+        assert_eq!(idx.spine_copies(), spine);
+        assert_eq!(snap.edges(), 3 * CHUNK_STEPS);
+    }
+
+    /// Satellite regression: evicting a record that was never indexed
+    /// (or already evicted) must not panic — it increments the desync
+    /// ledger and leaves the rest of the index intact.
+    #[test]
+    fn evicting_an_unindexed_record_is_counted_not_fatal() {
+        let mut buf = CircularTraceBuffer::new(1 << 20);
+        let mut idx = SliceIndex::default();
+        for i in 1..=10u64 {
+            push(&mut buf, &mut idx, rec(i, i - 1, DepKind::RegData));
+        }
+        let phantom = rec(999, 998, DepKind::MemData);
+        idx.on_evict(&phantom);
+        assert!(idx.desyncs() > 0, "phantom eviction must be recorded");
+        assert_eq!(idx.edges(), 10, "live edges must be untouched");
+        assert_matches_rebuild(&buf, &idx);
+        // A second phantom eviction is equally harmless.
+        idx.on_evict(&phantom);
+        assert_matches_rebuild(&buf, &idx);
+    }
+
+    /// Satellite regression: an out-of-FIFO-order eviction (the bucket
+    /// holds the mention, but not at the front) resyncs by removing the
+    /// mention where it is, and counts the anomaly.
+    #[test]
+    fn out_of_order_eviction_resyncs_the_bucket() {
+        let mut buf = CircularTraceBuffer::new(1 << 20);
+        let mut idx = SliceIndex::default();
+        let first = rec(9, 1, DepKind::RegData);
+        let second = rec(9, 2, DepKind::MemData);
+        push(&mut buf, &mut idx, first);
+        push(&mut buf, &mut idx, second);
+        // Evict the *second* record first: defs_of(9)'s front is the
+        // first record, so the fast path misses and recovery scans.
+        idx.on_evict(&second);
+        assert!(idx.desyncs() > 0);
+        assert_eq!(idx.edges(), 1);
+        assert_eq!(idx.defs(9).collect::<Vec<_>>(), vec![(1, DepKind::RegData)]);
+        assert_eq!(idx.users(2).count(), 0, "step 2's mention is gone");
+        assert!(idx.meta_of(2).is_none(), "step 2 itself is gone");
+        // The surviving record evicts cleanly afterwards.
+        let desyncs = idx.desyncs();
+        idx.on_evict(&first);
+        assert_eq!(idx.desyncs(), desyncs, "clean eviction after resync");
+        assert_eq!(idx.edges(), 0);
+        assert_eq!(idx.step_count(), 0);
+        assert_eq!(idx.chunk_count(), 0, "empty chunks are pruned");
     }
 }

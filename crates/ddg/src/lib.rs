@@ -31,8 +31,13 @@
 //!   adjacency plus an addr→steps map kept in lockstep with the buffer
 //!   (fed on push, pruned on eviction), so backward/forward slices over
 //!   the live window are demand-driven — O(|slice|), never a
-//!   whole-window graph rebuild — and snapshot cheaply for concurrent
-//!   readers.
+//!   whole-window graph rebuild. Storage is chunked by step range
+//!   behind `Arc`s, so snapshots for concurrent readers are O(1) with
+//!   copy-on-write charged per *dirty* chunk.
+//! * [`cold`] — the compressed cold tier: evicted records spill into
+//!   append-only varint-gap-encoded segments, so the window budget is a
+//!   cache size rather than a correctness limit — slices stitched by
+//!   `dift-slicing` span the whole execution, not just the window.
 //!
 //! Cost calibration: instrumentation work is charged to the VM cycle
 //! counter via explicit constants in [`costs`]; the *ratios* between the
@@ -40,6 +45,7 @@
 
 pub mod adaptive;
 pub mod buffer;
+pub mod cold;
 pub mod compact;
 pub mod costs;
 pub mod dep;
@@ -51,6 +57,7 @@ pub mod shadow;
 
 pub use adaptive::{AdaptLevel, Adaptation, AdaptiveTracer};
 pub use buffer::CircularTraceBuffer;
+pub use cold::{ColdStore, ColdView};
 pub use compact::CompactDdg;
 pub use dep::{DepKind, Dependence, StepMeta};
 pub use graph::DdgGraph;

@@ -23,6 +23,7 @@
 //!   the forward slice of the inputs.
 
 use crate::buffer::{BufRecord, CircularTraceBuffer};
+use crate::cold::ColdStore;
 use crate::costs;
 use crate::dep::{DepKind, Dependence};
 use crate::graph::DdgGraph;
@@ -61,6 +62,12 @@ pub struct OnTracConfig {
     /// [`DdgGraph`] per query. Off disables the maintenance entirely
     /// for ablations.
     pub slice_index: bool,
+    /// Spill evicted records into the compressed cold tier
+    /// ([`crate::cold::ColdStore`]) so stitched slice queries span the
+    /// whole execution instead of dying at the eviction horizon. Off by
+    /// default: the cold tier grows with the execution (≈9 B/record),
+    /// which long-running ablation sweeps don't want.
+    pub cold_tier: bool,
     /// Sorted, disjoint `[start, end)` step ranges whose dependences are
     /// *summarized* elsewhere and therefore elided from the buffer — the
     /// "L+summaries" ladder level: ranges covered by taint
@@ -86,6 +93,7 @@ impl OnTracConfig {
             trace_max_blocks: 16,
             record_war_waw: false,
             slice_index: true,
+            cold_tier: false,
             elide_steps: Vec::new(),
         }
     }
@@ -104,6 +112,7 @@ impl OnTracConfig {
             trace_max_blocks: 16,
             record_war_waw: false,
             slice_index: true,
+            cold_tier: false,
             elide_steps: Vec::new(),
         }
     }
@@ -177,6 +186,10 @@ pub struct OnTrac<R: Recorder = NoopRecorder> {
     /// with the buffer (fed on push, pruned on eviction). `None` when
     /// `cfg.slice_index` is off.
     index: Option<SliceIndex>,
+    /// Compressed cold tier of evicted records; fed from the same
+    /// eviction callback that prunes the index. `None` when
+    /// `cfg.cold_tier` is off.
+    cold: Option<ColdStore>,
     stats: OnTracStats,
     /// The probe sink (ZST under the default [`NoopRecorder`]).
     pub obs: R,
@@ -209,6 +222,7 @@ impl<R: Recorder> OnTrac<R> {
             mem_last_read: vec![0; if cfg.record_war_waw { mem_words } else { 0 }],
             step_meta: std::collections::HashMap::new(),
             index: cfg.slice_index.then(SliceIndex::default),
+            cold: cfg.cold_tier.then(ColdStore::new),
             cfg,
             stats: OnTracStats::default(),
             obs,
@@ -240,6 +254,14 @@ impl<R: Recorder> OnTrac<R> {
     /// (O(|slice|)) or snapshot it for concurrent readers.
     pub fn slice_index(&self) -> Option<&SliceIndex> {
         self.index.as_ref()
+    }
+
+    /// The compressed cold tier of evicted records (`None` when
+    /// `cfg.cold_tier` is off). Together with the live window it holds
+    /// the full never-evicted dependence stream; `dift-slicing`
+    /// stitches the two so queries span the whole execution.
+    pub fn cold_store(&self) -> Option<&ColdStore> {
+        self.cold.as_ref()
     }
 
     fn ensure_tid(&mut self, tid: ThreadId) {
@@ -337,7 +359,13 @@ impl<R: Recorder> OnTrac<R> {
             idx.on_push(&rec);
         }
         let index = &mut self.index;
+        let cold = &mut self.cold;
         self.buffer.push_with(rec, |evicted| {
+            // Spill first: the cold tier archives the record exactly as
+            // the window held it, then the index forgets it.
+            if let Some(store) = cold.as_mut() {
+                store.append(evicted);
+            }
             if let Some(idx) = index.as_mut() {
                 idx.on_evict(evicted);
             }
@@ -609,6 +637,15 @@ impl<R: Recorder> Tool for OnTrac<R> {
             if let Some(idx) = &self.index {
                 self.obs.gauge(Metric::DdgIndexEdges, idx.edges());
                 self.obs.gauge(Metric::DdgIndexBytes, idx.approx_bytes());
+                self.obs.gauge(Metric::DdgIndexChunks, idx.chunk_count() as u64);
+                self.obs.gauge(Metric::DdgIndexChunkCopies, idx.chunk_copies());
+                self.obs.gauge(Metric::DdgIndexSpineCopies, idx.spine_copies());
+                self.obs.add(Metric::DdgIndexDesync, idx.desyncs());
+            }
+            if let Some(cold) = &self.cold {
+                self.obs.gauge(Metric::DdgColdSegments, cold.segment_count() as u64);
+                self.obs.gauge(Metric::DdgColdBytes, cold.bytes());
+                self.obs.gauge(Metric::DdgColdRecords, cold.record_count());
             }
         }
     }

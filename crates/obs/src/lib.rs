@@ -112,12 +112,22 @@ metrics! {
     // ddg::index — the incremental slice index over the live window.
     DdgIndexEdges       => ("ddg/index/edges", Gauge),
     DdgIndexBytes       => ("ddg/index/resident_bytes", Gauge),
+    DdgIndexChunks      => ("ddg/index/chunks", Gauge),
+    DdgIndexChunkCopies => ("ddg/index/chunk_copies", Gauge),
+    DdgIndexSpineCopies => ("ddg/index/spine_copies", Gauge),
+    DdgIndexDesync      => ("ddg/index/desync", Counter),
+    // ddg::cold — the compressed cold tier of evicted records.
+    DdgColdSegments     => ("ddg/cold/segments", Gauge),
+    DdgColdBytes        => ("ddg/cold/bytes", Gauge),
+    DdgColdRecords      => ("ddg/cold/records", Gauge),
     // slicing::service — demand-driven slice queries.
     SlQueries           => ("slicing/service/queries", Counter),
     SlBatches           => ("slicing/service/batches", Counter),
     SlSliceSteps        => ("slicing/service/slice_steps", Histogram),
     SlSnapshotNanos     => ("slicing/service/snapshot_nanos", Histogram),
     SlSnapshotReuse     => ("slicing/service/snapshot_reuse", Counter),
+    SlChunkCopies       => ("slicing/service/chunk_copies", Gauge),
+    SlColdQueries       => ("slicing/service/cold_queries", Counter),
     // multicore::epoch / multicore::channel — the fan-out.
     McMessages          => ("multicore/channel/messages", Counter),
     McStallCycles       => ("multicore/channel/stall_cycles", Counter),

@@ -28,6 +28,9 @@
 //!   immutable snapshot of the tracer's incrementally-maintained
 //!   [`SliceIndex`](dift_ddg::SliceIndex), walking only the edges a
 //!   slice visits instead of rebuilding a whole-window graph per query.
+//!   With the tracer's cold tier on, [`StitchedSource`] chains the live
+//!   snapshot with the compressed store of evicted records so queries
+//!   span the whole execution, not just the surviving window.
 
 pub mod chop;
 pub mod implicit;
@@ -41,7 +44,8 @@ pub use implicit::{locate_omission_error, switch_predicate, OmissionReport, Swit
 pub use prune::{prune_with_confidence, ConfidenceReport};
 pub use relevant::{potential_dependences, relevant_slice, PotentialDep};
 pub use service::{
-    backward_from_addr_over, backward_over, batch_via_rebuild, forward_over, DepSource, SliceQuery,
-    SliceService,
+    backward_from_addr_over, backward_from_addr_stitched, backward_over, backward_stitched,
+    batch_via_rebuild, forward_over, forward_stitched, DepSource, SliceQuery, SliceService,
+    StitchedSource,
 };
 pub use slicer::{KindMask, Slice, Slicer};

@@ -27,8 +27,23 @@
 //! query path bit-identical to [`Slicer`] over
 //! `DdgGraph::from_records` of the same live window, across
 //! eviction-heavy buffer budgets and all three [`KindMask`] presets.
+//!
+//! # Stitched queries across the eviction horizon
+//!
+//! With the tracer's cold tier on (`OnTracConfig::cold_tier`), evicted
+//! records survive in a compressed [`ColdStore`], and
+//! [`StitchedSource`] presents the live snapshot and the cold tier as
+//! one [`DepSource`]: adjacency is the live iterator chained with the
+//! cold tier's decoded records. Because every record is in exactly one
+//! tier (the budget decides *when* a record is evicted, never whether
+//! it exists), the stitched source describes the full never-evicted
+//! trace, and the same shared walk functions make stitched slices
+//! bit-identical to the offline [`Slicer`] over that full trace — the
+//! window budget is a cache size, not a correctness limit. The
+//! stitched proptest in `tests/service_diff.rs` holds exactly that.
 
 use crate::slicer::{KindMask, Slice, Slicer};
+use dift_ddg::cold::{ColdStore, ColdView};
 use dift_ddg::{DdgGraph, DepKind, SliceIndex, SliceSnapshot};
 use dift_isa::Addr;
 use dift_obs::{Metric, NoopRecorder, Recorder};
@@ -153,6 +168,80 @@ pub fn backward_from_addr_over<S: DepSource + ?Sized>(
     backward_over(src, &steps, mask)
 }
 
+/// The live window and the cold tier presented as one [`DepSource`]:
+/// a walk that starts on live steps transparently continues into cold
+/// segments when a frontier step is older than the eviction horizon.
+///
+/// Every record is in exactly one tier, so chaining the two adjacency
+/// sets loses nothing and duplicates nothing that matters (slices are
+/// step *sets*; a duplicate edge re-proposes a step the walk's `seen`
+/// set already absorbed). The [`ColdView`] inside memoizes segment
+/// decoding for the source's lifetime — create one source per query
+/// batch.
+pub struct StitchedSource<'a> {
+    live: &'a SliceSnapshot,
+    cold: ColdView<'a>,
+}
+
+impl<'a> StitchedSource<'a> {
+    pub fn new(live: &'a SliceSnapshot, cold: &'a ColdStore) -> StitchedSource<'a> {
+        StitchedSource { live, cold: ColdView::new(cold) }
+    }
+}
+
+impl DepSource for StitchedSource<'_> {
+    fn defs(&self, step: u64) -> impl Iterator<Item = (u64, DepKind)> {
+        dift_ddg::IndexData::defs(self.live, step).chain(self.cold.defs(step))
+    }
+
+    fn users(&self, step: u64) -> impl Iterator<Item = (u64, DepKind)> {
+        dift_ddg::IndexData::users(self.live, step).chain(self.cold.users(step))
+    }
+
+    fn meta_of(&self, step: u64) -> Option<(Addr, dift_isa::StmtId)> {
+        dift_ddg::IndexData::meta_of(self.live, step).or_else(|| self.cold.meta_of(step))
+    }
+
+    fn steps_at(&self, addr: Addr) -> impl Iterator<Item = u64> {
+        // Sorted-dedup union: a step can be live *and* mentioned in
+        // cold (e.g. as the still-live def of an evicted record).
+        let mut steps: BTreeSet<u64> = dift_ddg::IndexData::steps_at(self.live, addr).collect();
+        steps.extend(self.cold.steps_at(addr));
+        steps.into_iter()
+    }
+}
+
+/// Backward slice over the stitched live + cold history.
+pub fn backward_stitched(
+    live: &SliceSnapshot,
+    cold: &ColdStore,
+    criterion: &[u64],
+    mask: KindMask,
+) -> Slice {
+    backward_over(&StitchedSource::new(live, cold), criterion, mask)
+}
+
+/// Forward slice over the stitched live + cold history.
+pub fn forward_stitched(
+    live: &SliceSnapshot,
+    cold: &ColdStore,
+    criterion: &[u64],
+    mask: KindMask,
+) -> Slice {
+    forward_over(&StitchedSource::new(live, cold), criterion, mask)
+}
+
+/// Backward slice seeded with every dynamic instance of `addr` across
+/// the whole stitched history.
+pub fn backward_from_addr_stitched(
+    live: &SliceSnapshot,
+    cold: &ColdStore,
+    addr: Addr,
+    mask: KindMask,
+) -> Slice {
+    backward_from_addr_over(&StitchedSource::new(live, cold), addr, mask)
+}
+
 /// One slice request; a batch of these shares a single snapshot.
 #[derive(Clone, Debug)]
 pub enum SliceQuery {
@@ -195,12 +284,21 @@ impl<R: Recorder> SliceService<R> {
     /// `slicing/service/snapshot_nanos`.
     pub fn with_recorder(index: &SliceIndex, mut obs: R) -> SliceService<R> {
         let snap = obs.timed(Metric::SlSnapshotNanos, || index.snapshot());
+        if R::ENABLED {
+            obs.gauge(Metric::SlChunkCopies, index.chunk_copies());
+        }
         SliceService { snap, obs }
     }
 
     /// Re-snapshot if (and only if) the live window has moved since
-    /// this service's snapshot was taken.
+    /// this service's snapshot was taken. Either way the
+    /// `slicing/service/chunk_copies` gauge tracks the index's
+    /// copy-on-write wear, so tests can assert that an unchanged
+    /// generation performs zero chunk copies.
     pub fn refresh(&mut self, index: &SliceIndex) {
+        if R::ENABLED {
+            self.obs.gauge(Metric::SlChunkCopies, index.chunk_copies());
+        }
         if index.generation() == self.snap.generation() {
             if R::ENABLED {
                 self.obs.add(Metric::SlSnapshotReuse, 1);
@@ -246,6 +344,50 @@ impl<R: Recorder> SliceService<R> {
         let s = backward_from_addr_over(&self.snap, addr, mask);
         self.note(&s);
         s
+    }
+
+    /// Backward slice across the whole execution: live window stitched
+    /// with the tracer's cold tier.
+    pub fn backward_stitched(
+        &mut self,
+        cold: &ColdStore,
+        criterion: &[u64],
+        mask: KindMask,
+    ) -> Slice {
+        let s = backward_stitched(&self.snap, cold, criterion, mask);
+        self.note_stitched(&s);
+        s
+    }
+
+    /// Forward slice across the whole execution.
+    pub fn forward_stitched(
+        &mut self,
+        cold: &ColdStore,
+        criterion: &[u64],
+        mask: KindMask,
+    ) -> Slice {
+        let s = forward_stitched(&self.snap, cold, criterion, mask);
+        self.note_stitched(&s);
+        s
+    }
+
+    /// Backward slice from every (live or evicted) instance of `addr`.
+    pub fn backward_from_addr_stitched(
+        &mut self,
+        cold: &ColdStore,
+        addr: Addr,
+        mask: KindMask,
+    ) -> Slice {
+        let s = backward_from_addr_stitched(&self.snap, cold, addr, mask);
+        self.note_stitched(&s);
+        s
+    }
+
+    fn note_stitched(&mut self, s: &Slice) {
+        if R::ENABLED {
+            self.obs.add(Metric::SlColdQueries, 1);
+        }
+        self.note(s);
     }
 
     /// Answer a batch of queries against one consistent window.

@@ -11,11 +11,13 @@
 //! `DdgGraph::from_records` of the same live window.
 
 use dift_dbi::Engine;
-use dift_ddg::{DdgGraph, OnTrac, OnTracConfig};
+use dift_ddg::buffer::record;
+use dift_ddg::{CircularTraceBuffer, DdgGraph, DepKind, OnTrac, OnTracConfig, SliceIndex};
 use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg};
+use dift_obs::{Metric, StatsRecorder};
 use dift_slicing::{
-    backward_from_addr_over, backward_over, batch_via_rebuild, forward_over, KindMask, SliceQuery,
-    SliceService, Slicer,
+    backward_from_addr_over, backward_from_addr_stitched, backward_over, backward_stitched,
+    batch_via_rebuild, forward_over, forward_stitched, KindMask, SliceQuery, SliceService, Slicer,
 };
 use dift_vm::{Machine, MachineConfig};
 use proptest::prelude::*;
@@ -75,8 +77,13 @@ fn build(iters: u64, steps: &[Step]) -> Arc<Program> {
 }
 
 fn run_ontrac(p: &Arc<Program>, budget: usize) -> OnTrac {
+    run_ontrac_with(p, budget, false)
+}
+
+fn run_ontrac_with(p: &Arc<Program>, budget: usize, cold_tier: bool) -> OnTrac {
     let mut cfg = OnTracConfig::unoptimized(budget);
     cfg.record_war_waw = true; // so the multithreaded mask has edges to walk
+    cfg.cold_tier = cold_tier;
     let m = Machine::new(p.clone(), MachineConfig::small());
     let mem = m.config().mem_words;
     let mut tracer = OnTrac::new(p, mem, cfg);
@@ -198,4 +205,153 @@ fn eviction_heavy_window_stays_identical() {
         assert!(tracer.buffer().evicted > 0, "budget {budget} must evict");
         assert_paths_agree(&tracer, &p, budget);
     }
+}
+
+/// A budget large enough that nothing is ever evicted: the reference
+/// "full history" every stitched query must reproduce.
+const FULL_BUDGET: usize = 1 << 20;
+
+/// Stitched (live window + cold tier) slices at a small budget must be
+/// bit-identical to [`Slicer`] over the **full never-evicted trace** —
+/// including criteria and addresses that only exist beyond the
+/// eviction horizon. This is the property that turns the window budget
+/// into a cache size instead of a correctness limit.
+fn assert_stitched_matches_full_trace(p: &Arc<Program>, budget: usize) {
+    let tracer = run_ontrac_with(p, budget, true);
+    let full = run_ontrac(p, FULL_BUDGET);
+    assert_eq!(full.buffer().evicted, 0, "reference tracer must hold everything");
+    let g = DdgGraph::from_records(full.buffer().records(), p);
+    let slicer = Slicer::new(&g);
+
+    let idx = tracer.slice_index().expect("presets enable the index");
+    let cold = tracer.cold_store().expect("cold tier enabled");
+    // The stream is budget-independent: live ∪ cold is a partition of
+    // the full record stream.
+    assert_eq!(cold.record_count(), tracer.buffer().evicted);
+    assert_eq!(
+        cold.record_count() + tracer.buffer().len() as u64,
+        full.buffer().len() as u64,
+        "cold + live must partition the full stream"
+    );
+    let snap = idx.snapshot();
+
+    // Criteria from the FULL graph: a spread that includes evicted
+    // steps, the newest step plus absent ones, and the empty set.
+    let mut all: Vec<u64> = g.steps().collect();
+    all.sort_unstable();
+    let crit_sets: Vec<Vec<u64>> = vec![
+        all.iter().copied().step_by(all.len().div_ceil(5).max(1)).collect(),
+        all.first().map(|&s| vec![s]).unwrap_or_default(), // oldest: surely evicted
+        all.last().map(|&s| vec![s, 0, u64::MAX]).unwrap_or_default(),
+        vec![],
+    ];
+    let addrs: Vec<u32> = (0..p.len() as u32).chain([999_999]).collect();
+
+    let mut svc = SliceService::from_snapshot(snap.clone());
+    for (name, mask) in MASKS {
+        let mask = mask();
+        for crit in &crit_sets {
+            let ctx = format!("budget={budget} mask={name} crit={crit:?}");
+            let want_b = slicer.backward(crit, mask);
+            assert_eq!(backward_stitched(&snap, cold, crit, mask), want_b, "stitched bwd: {ctx}");
+            assert_eq!(svc.backward_stitched(cold, crit, mask), want_b, "svc stitched bwd: {ctx}");
+            let want_f = slicer.forward(crit, mask);
+            assert_eq!(forward_stitched(&snap, cold, crit, mask), want_f, "stitched fwd: {ctx}");
+            assert_eq!(svc.forward_stitched(cold, crit, mask), want_f, "svc stitched fwd: {ctx}");
+        }
+        for &addr in &addrs {
+            let ctx = format!("budget={budget} mask={name} addr={addr}");
+            let want = slicer.backward_from_addr(addr, mask);
+            assert_eq!(
+                backward_from_addr_stitched(&snap, cold, addr, mask),
+                want,
+                "stitched from_addr: {ctx}"
+            );
+            assert_eq!(
+                svc.backward_from_addr_stitched(cold, addr, mask),
+                want,
+                "svc stitched from_addr: {ctx}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Stitched live+cold equals the offline `Slicer` on the full
+    /// never-evicted trace, across eviction-heavy budgets.
+    #[test]
+    fn stitched_matches_full_trace_at_every_budget(
+        steps in proptest::collection::vec(step(), 1..12),
+        iters in 2u64..12,
+    ) {
+        let p = build(iters, &steps);
+        for budget in [64usize, 256, 2048] {
+            assert_stitched_matches_full_trace(&p, budget);
+        }
+    }
+}
+
+/// Deterministic stitched smoke: most of the execution is beyond the
+/// eviction horizon, and slices still span all of it.
+#[test]
+fn stitched_slices_cross_the_eviction_horizon() {
+    let steps = vec![
+        Step::Alu { op: 0, rd: 2, rs1: 2, rs2: 3 },
+        Step::Store { rs: 2, slot: 3 },
+        Step::Load { rd: 4, slot: 3 },
+        Step::Store { rs: 4, slot: 3 },
+        Step::Alu { op: 1, rd: 5, rs1: 4, rs2: 2 },
+    ];
+    let p = build(40, &steps);
+    for budget in [48usize, 96, 192] {
+        let tracer = run_ontrac_with(&p, budget, true);
+        assert!(tracer.buffer().evicted > 0, "budget {budget} must evict");
+        assert_stitched_matches_full_trace(&p, budget);
+    }
+}
+
+/// `SliceService::refresh` with an unmoved generation performs zero
+/// chunk copies (and no re-snapshot), observable through the new
+/// `slicing/service/chunk_copies` gauge.
+#[test]
+fn refresh_with_unmoved_generation_copies_no_chunks() {
+    let mut buf = CircularTraceBuffer::new(1 << 20);
+    let mut idx = SliceIndex::default();
+    let rec = |u: u64| {
+        record(u, u - 1, DepKind::RegData, u as u32 % 7, (u - 1) as u32 % 7, u as u32, u as u32 - 1)
+    };
+    for i in 1..=200u64 {
+        let r = rec(i);
+        idx.on_push(&r);
+        buf.push_with(r, |e| idx.on_evict(e));
+    }
+
+    let mut svc = SliceService::with_recorder(&idx, StatsRecorder::new());
+    assert_eq!(svc.obs.get(Metric::SlChunkCopies), 0, "no copies at first snapshot");
+    let gen = svc.generation();
+    for _ in 0..5 {
+        svc.refresh(&idx);
+    }
+    assert_eq!(svc.generation(), gen, "generation unmoved");
+    assert_eq!(svc.obs.get(Metric::SlSnapshotReuse), 5, "every refresh reused the snapshot");
+    assert_eq!(svc.obs.get(Metric::SlChunkCopies), 0, "unmoved generation must copy nothing");
+
+    // Queries are reads; they never force copy-on-write either.
+    svc.backward(&[200], KindMask::classic());
+    svc.refresh(&idx);
+    assert_eq!(svc.obs.get(Metric::SlChunkCopies), 0);
+
+    // Control: actually moving the window DOES copy (the service's
+    // snapshot shares the chunks the new pushes touch), which is what
+    // makes the zero above meaningful.
+    for i in 201..=210u64 {
+        let r = rec(i);
+        idx.on_push(&r);
+        buf.push_with(r, |e| idx.on_evict(e));
+    }
+    svc.refresh(&idx);
+    assert_ne!(svc.generation(), gen);
+    assert!(svc.obs.get(Metric::SlChunkCopies) >= 1, "a moved window pays its dirty chunks");
 }
