@@ -1,7 +1,9 @@
 //! The seeded-vulnerability suite.
 //!
-//! Each case carries a benign input (clean run, no alert expected) and an
-//! attack input that exploits the vulnerability, plus the address of the
+//! Each case carries a benign input (clean run, no alert expected), a
+//! *near-miss* input that drives the vulnerable path to its legal limit
+//! (also no alert expected — this is what pins precision), and an attack
+//! input that exploits the vulnerability, plus the address of the
 //! root-cause instruction — the one PC taint should name.
 
 use dift_isa::{Addr, BranchCond, Program, ProgramBuilder, Reg};
@@ -15,6 +17,11 @@ pub struct VulnCase {
     pub program: Arc<Program>,
     /// Input on channel 0 for the benign run.
     pub benign_input: Vec<u64>,
+    /// Benign near-miss twin: exercises the vulnerable path at its
+    /// legal boundary (maximum in-bounds length/index) and must NOT
+    /// alert. A detector that merely flags "the copy loop ran long"
+    /// fails this input.
+    pub near_miss_input: Vec<u64>,
     /// Input on channel 0 for the attack run.
     pub attack_input: Vec<u64>,
     /// Address of the root-cause instruction (the missing-validation /
@@ -75,6 +82,7 @@ pub fn fptr_overflow() -> VulnCase {
         description: "unchecked copy clobbers an adjacent function pointer",
         program,
         benign_input: benign_msg(4),
+        near_miss_input: benign_msg(8), // fills the buffer exactly
         attack_input: attack_msg(9, handler as u64),
         root_cause: overflow_store,
         policy: TaintPolicy::default(),
@@ -130,6 +138,7 @@ pub fn boundary_error() -> VulnCase {
         description: "off-by-one table index clobbers the adjacent dispatch word",
         program,
         benign_input: vec![3, 7],
+        near_miss_input: vec![15, 7], // last legal index
         attack_input: vec![16, done_addr],
         root_cause: store,
         policy,
@@ -164,6 +173,7 @@ pub fn format_write() -> VulnCase {
         description: "format-directive loop exposes a write-what-where primitive",
         program: Arc::new(b.build().unwrap()),
         benign_input: vec![1, 42, 0],
+        near_miss_input: vec![1, 42, 1, 43, 0], // echoes only, no write directive
         attack_input: vec![2, 700, 1337, 0],
         root_cause: addr_mov,
         policy: TaintPolicy::default(),
@@ -200,6 +210,7 @@ pub fn heap_overflow() -> VulnCase {
         description: "payload copy overruns a heap block into adjacent control data",
         program: Arc::new(b.build().unwrap()),
         benign_input: benign_msg(4),
+        near_miss_input: benign_msg(8), // fills the block exactly
         attack_input: benign_msg(9),
         root_cause: overflow_store,
         policy: TaintPolicy::default(),
@@ -262,11 +273,17 @@ pub fn int_overflow() -> VulnCase {
     attack.push(handler as u64); // 9th word clobbers the fptr
     attack.push(0xFFFF);
     let benign = vec![4u64, 1, 2, 3, 4, 0xFFFF];
+    // Near miss: len 8 -> 8*4 = 32 passes legitimately, the copy fills
+    // the buffer exactly and exits on the length bound.
+    let mut near_miss = vec![8u64];
+    near_miss.extend((0..8).map(|i| 300 + i));
+    near_miss.push(0xFFFF);
     VulnCase {
         name: "int-overflow",
         description: "wrapping length validation admits an over-long message",
         program,
         benign_input: benign,
+        near_miss_input: near_miss,
         attack_input: attack,
         root_cause: overrun,
         policy: TaintPolicy::default(),
@@ -288,6 +305,16 @@ mod tests {
         for case in all_cases() {
             let mut m = Machine::new(case.program.clone(), MachineConfig::small());
             m.feed_input(0, &case.benign_input);
+            let r = m.run();
+            assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
+        }
+    }
+
+    #[test]
+    fn near_miss_inputs_run_clean() {
+        for case in all_cases() {
+            let mut m = Machine::new(case.program.clone(), MachineConfig::small());
+            m.feed_input(0, &case.near_miss_input);
             let r = m.run();
             assert!(r.status.is_clean(), "{}: {:?}", case.name, r.status);
         }

@@ -12,6 +12,10 @@ pub struct AttackReport {
     pub name: &'static str,
     /// Alerts during the benign run (must be zero: no false positives).
     pub benign_alerts: usize,
+    /// Alerts during the benign *near-miss* run — the vulnerable path
+    /// driven to its legal limit (must also be zero; this is the input
+    /// that pins precision).
+    pub near_miss_alerts: usize,
     /// Alerts during the attack run (must be non-zero: detected).
     pub attack_alerts: usize,
     /// The PC the first alert's label points to (register label).
@@ -24,9 +28,22 @@ pub struct AttackReport {
 }
 
 impl AttackReport {
-    /// Attack detected with no benign false positive.
+    /// Attack run raised at least one alert.
     pub fn detected(&self) -> bool {
-        self.attack_alerts > 0 && self.benign_alerts == 0
+        self.attack_alerts > 0
+    }
+
+    /// Any benign run (plain or near-miss) alerted — a scored failure,
+    /// not a silent pass: a detector that fires on the near-miss twin
+    /// has precision 0 on this case no matter what it does on the
+    /// attack.
+    pub fn false_positive(&self) -> bool {
+        self.benign_alerts > 0 || self.near_miss_alerts > 0
+    }
+
+    /// Detected with no false positive on either benign input.
+    pub fn passed(&self) -> bool {
+        self.detected() && !self.false_positive()
     }
 
     /// PC taint (register label or memory-origin label) directly names the
@@ -46,14 +63,16 @@ fn run_case(case: &VulnCase, input: &[u64]) -> TaintEngine<PcTaint> {
     taint
 }
 
-/// Run one case under both inputs.
+/// Run one case under all three inputs (benign, near-miss, attack).
 pub fn evaluate_case(case: &VulnCase) -> AttackReport {
     let benign = run_case(case, &case.benign_input);
+    let near_miss = run_case(case, &case.near_miss_input);
     let attack = run_case(case, &case.attack_input);
     let first = attack.alerts.first();
     AttackReport {
         name: case.name,
         benign_alerts: benign.alerts.len(),
+        near_miss_alerts: near_miss.alerts.len(),
         attack_alerts: attack.alerts.len(),
         label_pc: first.and_then(|a| a.label.pc()),
         origin_pc: first.and_then(|a| a.origin.as_ref().and_then(|(_, l)| l.pc())),
@@ -75,11 +94,63 @@ mod tests {
     fn every_attack_is_detected_without_false_positives() {
         for report in evaluate_suite() {
             assert!(
-                report.detected(),
-                "{}: benign={}, attack={}",
+                report.passed(),
+                "{}: benign={}, near_miss={}, attack={}",
                 report.name,
                 report.benign_alerts,
+                report.near_miss_alerts,
                 report.attack_alerts
+            );
+        }
+    }
+
+    #[test]
+    fn benign_alerts_are_a_scored_failure_not_a_silent_pass() {
+        // Regression for the old scoring: `detected()` used to fold the
+        // benign check in, so a case alerting on BOTH inputs read as
+        // "not detected" and a scorer looking only at detection counts
+        // could still pass it. Now a benign alert is an explicit
+        // `false_positive()` and `passed()` requires both halves.
+        let report = AttackReport {
+            name: "synthetic",
+            benign_alerts: 1,
+            near_miss_alerts: 0,
+            attack_alerts: 3,
+            label_pc: None,
+            origin_pc: None,
+            root_cause: 0,
+        };
+        assert!(report.detected(), "detection is about the attack run only");
+        assert!(report.false_positive(), "benign alert must be scored");
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn near_miss_twin_alert_fails_the_case() {
+        // The precision pin: a detector that fires when the vulnerable
+        // path merely runs to its legal limit fails the case even with
+        // a perfect attack-run record.
+        let report = AttackReport {
+            name: "synthetic",
+            benign_alerts: 0,
+            near_miss_alerts: 2,
+            attack_alerts: 1,
+            label_pc: None,
+            origin_pc: None,
+            root_cause: 0,
+        };
+        assert!(report.false_positive());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn real_near_miss_twins_do_not_alert() {
+        for case in cases::all_cases() {
+            let report = evaluate_case(&case);
+            assert_eq!(
+                report.near_miss_alerts, 0,
+                "{}: near-miss twin must stay silent",
+                report.name
             );
         }
     }

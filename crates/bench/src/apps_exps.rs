@@ -59,7 +59,7 @@ pub fn e6_attacks(_scale: Scale) -> Table {
         "E6",
         "attack detection + PC-taint root-cause attribution",
         "all attacks detected; PC taint points directly at the root cause in most cases",
-        &["case", "detected", "benign alerts", "root-cause hit", "pointer"],
+        &["case", "detected", "benign alerts", "near-miss alerts", "root-cause hit", "pointer"],
     );
     for r in evaluate_suite() {
         let pointer = match (r.label_pc, r.origin_pc) {
@@ -70,8 +70,9 @@ pub fn e6_attacks(_scale: Scale) -> Table {
         };
         t.row(vec![
             r.name.to_string(),
-            if r.detected() { "yes".into() } else { "NO".into() },
+            if r.passed() { "yes".into() } else { "NO".into() },
             r.benign_alerts.to_string(),
+            r.near_miss_alerts.to_string(),
             if r.root_cause_hit() { "yes".into() } else { "no".into() },
             pointer,
         ]);
@@ -268,7 +269,9 @@ mod tests {
     fn e6_shape_all_detected_most_located() {
         let t = e6_attacks(Scale::Test);
         assert!(t.rows.iter().all(|r| r[1] == "yes"), "{t}");
-        let hits = t.rows.iter().filter(|r| r[3] == "yes").count();
+        // No false positives on the benign or near-miss runs.
+        assert!(t.rows.iter().all(|r| r[2] == "0" && r[3] == "0"), "{t}");
+        let hits = t.rows.iter().filter(|r| r[4] == "yes").count();
         assert!(hits * 2 > t.rows.len(), "{t}");
     }
 

@@ -16,6 +16,9 @@
 //!                     #   taint throughput (+ BENCH_summaries.json)
 //! report history      # T6 tiered trace history: chunked snapshots +
 //!                     #   cold tier (+ BENCH_history.json)
+//! report sentinel     # T7 taint-boundary sentinel detection quality
+//!                     #   over the scenario corpus (+ BENCH_sentinel.json
+//!                     #   and SENTINEL_alerts.json)
 //! report compare <baseline.json> <candidate.json> [--thresholds <file>]
 //!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
@@ -38,7 +41,11 @@
 //! cache-coverage columns), and `history` writes `BENCH_history.json`
 //! (steady-state chunked-snapshot cost across a 16x window spread,
 //! cold-tier bytes per evicted record, and stitched-query bit-identity
-//! against the offline full-trace slicer).
+//! against the offline full-trace slicer), and `sentinel` writes
+//! `BENCH_sentinel.json` (recall / precision / root-cause-hit /
+//! replay-determinism / overhead over the attack-scenario corpus) plus
+//! `SENTINEL_alerts.json` (the deterministic per-scenario alert dump
+//! the CI replay-determinism step byte-diffs).
 //!
 //! `compare` is the CI bench gate: it flattens both JSON files, checks
 //! every metric a `bench_thresholds.toml` rule matches, and exits
@@ -55,7 +62,7 @@ use serde::Value;
 
 const SELECTIONS: &str =
     "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, resilience, \
-     slicing, summaries, history, ablations, all";
+     slicing, summaries, history, sentinel, ablations, all";
 
 fn usage() {
     eprintln!(
@@ -128,6 +135,7 @@ fn main() {
             || id == "slicing"
             || id == "summaries"
             || id == "history"
+            || id == "sentinel"
             || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
     };
     if let Some(bad) = selected.iter().find(|id| !known(id)) {
@@ -209,6 +217,15 @@ fn main() {
         print(&dift_bench::history_to_table(&report));
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
         write_json("BENCH_history.json", &payload);
+    }
+    if wanted("sentinel") {
+        // Measured once; the table, BENCH_sentinel.json, and the alert
+        // dump all share the run.
+        let (report, alerts) = dift_bench::sentinel_report(scale);
+        print(&dift_bench::sentinel_to_table(&report));
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_json("BENCH_sentinel.json", &payload);
+        write_json("SENTINEL_alerts.json", &alerts);
     }
 }
 

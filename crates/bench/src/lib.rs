@@ -16,6 +16,7 @@ pub mod history_exp;
 pub mod obs_report;
 pub mod resilience;
 pub mod scaling;
+pub mod sentinel_exp;
 pub mod slicing_exp;
 pub mod summaries_exp;
 pub mod table;
@@ -36,6 +37,9 @@ pub use resilience::{
 };
 pub use scaling::{
     multicore_scaling_report, scaling_to_table, t2_multicore_scaling, MulticoreScalingReport,
+};
+pub use sentinel_exp::{
+    sentinel_report, sentinel_to_table, t7_sentinel, SentinelReport, SentinelRow,
 };
 pub use slicing_exp::{slicing_report, slicing_to_table, t4_slicing, SlicingReport, SlicingRow};
 pub use summaries_exp::{

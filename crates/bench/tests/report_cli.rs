@@ -201,6 +201,65 @@ fn history_selection_writes_the_json_artifact() {
 }
 
 #[test]
+fn sentinel_selection_writes_the_json_artifacts() {
+    let dir = scratch("sentinel");
+    let o = run_in(&dir, &["sentinel", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("\"id\""), "{}", stdout(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_sentinel.json")).expect("artifact");
+    for needle in [
+        "recall",
+        "precision",
+        "root_cause_fraction",
+        "replay_identical_fraction",
+        "sentinel_overhead_geomean",
+        "rows",
+        "kv-exfil.attack",
+        "near-miss",
+    ] {
+        assert!(payload.contains(needle), "BENCH_sentinel.json missing {needle}");
+    }
+    // The gated invariants must hold even at CI scale: every attack's
+    // expected rule fires, every benign twin stays silent, and the two
+    // sentinel replays serialize byte-identically.
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    for frac in ["recall", "precision", "replay_identical_fraction"] {
+        assert_eq!(v.field(frac), Some(&serde_json::Value::F64(1.0)), "{frac}: {payload}");
+    }
+    // The alert dump lands next to the report and is byte-reproducible
+    // across a second invocation — the CI replay-determinism diff.
+    let dump = std::fs::read(dir.join("SENTINEL_alerts.json")).expect("alert dump");
+    let o = run_in(&dir, &["sentinel", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let again = std::fs::read(dir.join("SENTINEL_alerts.json")).expect("alert dump rerun");
+    assert_eq!(dump, again, "two sentinel runs must produce byte-identical alert dumps");
+}
+
+#[test]
+fn sentinel_selection_rejects_unknown_flags() {
+    let dir = scratch("sentinel_badflag");
+    let o = run_in(&dir, &["sentinel", "--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(!dir.join("BENCH_sentinel.json").exists(), "must not run on bad flags");
+    assert!(!dir.join("SENTINEL_alerts.json").exists(), "must not run on bad flags");
+}
+
+#[test]
+fn sentinel_appears_in_usage_and_unknown_selection_still_fails() {
+    let dir = scratch("sentinel_usage");
+    let o = run_in(&dir, &["--help"]);
+    assert!(o.status.success());
+    assert!(stderr(&o).contains("sentinel"), "usage must list the sentinel selection");
+    // A near-miss typo of the selection exits 2 like any other.
+    let o = run_in(&dir, &["sentinal", "--test"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("unknown selection"), "{}", stderr(&o));
+}
+
+#[test]
 fn history_selection_rejects_unknown_flags() {
     let dir = scratch("history_badflag");
     let o = run_in(&dir, &["history", "--frobnicate"]);

@@ -26,6 +26,8 @@ pub struct LineageEngine<B: LineageBackend> {
     regs: Vec<Vec<B::Set>>,
     mem: HashMap<MemAddr, B::Set>,
     inputs_seen: u64,
+    /// Channel that produced input index `i` (indexed by input index).
+    input_channels: Vec<u16>,
     /// `(channel, emit index, lineage elements)` per output word.
     pub outputs: Vec<(u16, u64, Vec<u64>)>,
     out_counts: HashMap<u16, u64>,
@@ -42,6 +44,7 @@ impl<B: LineageBackend> LineageEngine<B> {
             regs: Vec::new(),
             mem: HashMap::new(),
             inputs_seen: 0,
+            input_channels: Vec::new(),
             outputs: Vec::new(),
             out_counts: HashMap::new(),
             stats: LineageStats::default(),
@@ -72,38 +75,54 @@ impl<B: LineageBackend> LineageEngine<B> {
             .map(|(_, _, v)| v.as_slice())
     }
 
-    fn sample_memory(&mut self) {
-        // Resident shadow state: memory cells plus live register labels.
-        let mut stored: Vec<&B::Set> = self.mem.values().collect();
-        for regs in &self.regs {
-            for s in regs {
-                if !self.backend.is_empty(s) {
-                    stored.push(s);
-                }
-            }
-        }
-        let bytes = self.backend.shadow_bytes(&stored);
-        if bytes > self.stats.peak_shadow_bytes {
-            self.stats.peak_shadow_bytes = bytes;
-        }
-        if self.mem.len() > self.stats.peak_tracked_words {
-            self.stats.peak_tracked_words = self.mem.len();
-        }
+    /// Lineage of a live register, resolved to sorted input indices.
+    pub fn reg_elements(&self, tid: ThreadId, reg: usize) -> Vec<u64> {
+        self.regs
+            .get(tid as usize)
+            .and_then(|regs| regs.get(reg))
+            .map(|s| self.backend.elements(s))
+            .unwrap_or_default()
     }
-}
 
-impl<B: LineageBackend> Tool for LineageEngine<B> {
-    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+    /// Lineage of a live memory cell, resolved to sorted input indices.
+    pub fn mem_elements(&self, addr: MemAddr) -> Vec<u64> {
+        self.mem.get(&addr).map(|s| self.backend.elements(s)).unwrap_or_default()
+    }
+
+    /// Channel that produced each input index (indexed by input index).
+    pub fn input_channels(&self) -> &[u16] {
+        &self.input_channels
+    }
+
+    /// Distinct input channels behind a set of input indices, sorted.
+    pub fn channels_of(&self, elements: &[u64]) -> Vec<u16> {
+        let mut chs: Vec<u16> =
+            elements.iter().filter_map(|&i| self.input_channels.get(i as usize).copied()).collect();
+        chs.sort_unstable();
+        chs.dedup();
+        chs
+    }
+
+    /// Apply one step's effects to the lineage state, Machine-free.
+    ///
+    /// Returns the cycle charge the instrumented machine should pay
+    /// ([`costs::LINEAGE_PER_INSN`] plus per-union backend costs); the
+    /// [`Tool`] impl forwards it to [`Machine::charge`], offline
+    /// consumers (the sentinel's sink observer) discard or re-account
+    /// it.
+    pub fn process(&mut self, fx: &StepEffects) -> u64 {
         let tid = fx.tid;
         self.ensure_tid(tid);
         let t = tid as usize;
         self.stats.instrs += 1;
-        m.charge(costs::LINEAGE_PER_INSN);
+        let mut charge = costs::LINEAGE_PER_INSN;
 
         // Source label.
-        let out_set = if let Opcode::In { .. } = fx.insn.op {
+        let out_set = if let Opcode::In { channel, .. } = fx.insn.op {
             let idx = self.inputs_seen;
             self.inputs_seen += 1;
+            debug_assert_eq!(self.input_channels.len() as u64, idx);
+            self.input_channels.push(channel);
             self.backend.singleton(idx)
         } else {
             // Union of data sources.
@@ -114,7 +133,7 @@ impl<B: LineageBackend> Tool for LineageEngine<B> {
                     let (u, c) = self.backend.union(&acc, &s);
                     acc = u;
                     self.stats.unions += 1;
-                    m.charge(c);
+                    charge += c;
                 }
             }
             if let Some((addr, _)) = fx.mem_read {
@@ -122,7 +141,7 @@ impl<B: LineageBackend> Tool for LineageEngine<B> {
                     let (u, c) = self.backend.union(&acc, &s);
                     acc = u;
                     self.stats.unions += 1;
-                    m.charge(c);
+                    charge += c;
                 }
             }
             acc
@@ -157,6 +176,33 @@ impl<B: LineageBackend> Tool for LineageEngine<B> {
         if self.stats.instrs % self.sample_every == 0 {
             self.sample_memory();
         }
+        charge
+    }
+
+    fn sample_memory(&mut self) {
+        // Resident shadow state: memory cells plus live register labels.
+        let mut stored: Vec<&B::Set> = self.mem.values().collect();
+        for regs in &self.regs {
+            for s in regs {
+                if !self.backend.is_empty(s) {
+                    stored.push(s);
+                }
+            }
+        }
+        let bytes = self.backend.shadow_bytes(&stored);
+        if bytes > self.stats.peak_shadow_bytes {
+            self.stats.peak_shadow_bytes = bytes;
+        }
+        if self.mem.len() > self.stats.peak_tracked_words {
+            self.stats.peak_tracked_words = self.mem.len();
+        }
+    }
+}
+
+impl<B: LineageBackend> Tool for LineageEngine<B> {
+    fn after(&mut self, m: &mut Machine, fx: &StepEffects) {
+        let charge = self.process(fx);
+        m.charge(charge);
     }
 
     fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {

@@ -157,6 +157,12 @@ metrics! {
     TaintScRegions          => ("taint/summary_cache/regions", Counter),
     TaintScInstrsSummarized => ("taint/summary_cache/instrs_summarized", Counter),
     TaintScBytesSaved       => ("taint/summary_cache/bytes_saved", Counter),
+    // sentinel::eval — taint-boundary policy evaluation at sink sites.
+    SentinelSinkEvents      => ("sentinel/eval/sink_events", Counter),
+    SentinelAlerts          => ("sentinel/eval/alerts", Counter),
+    SentinelReceipts        => ("sentinel/eval/receipts", Counter),
+    SentinelAllowed         => ("sentinel/eval/allowed", Counter),
+    SentinelLineageWidth    => ("sentinel/eval/lineage_width", Histogram),
 }
 
 #[cfg(test)]

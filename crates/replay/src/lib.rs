@@ -31,4 +31,7 @@ pub use log::{
 pub use patch::{
     apply_patches, avoid_fault, avoid_fault_hinted, EnvPatch, PatchFile, PatchOutcome,
 };
-pub use reduce::{reduce, replay_full, replay_reduced_with_tracing, ReducedPlan, ReducedTrace};
+pub use reduce::{
+    reduce, replay_full, replay_full_with_tool, replay_reduced_with_tracing, ReducedPlan,
+    ReducedTrace,
+};

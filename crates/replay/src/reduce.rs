@@ -1,7 +1,7 @@
 //! Execution reduction + the tracing replay phase.
 
 use crate::log::{ReplayLog, RunSpec};
-use dift_dbi::Engine;
+use dift_dbi::{Engine, Tool};
 use dift_ddg::{DdgGraph, OnTrac, OnTracConfig, OnTracStats};
 use dift_vm::{ExitStatus, Machine, RunResult, SchedPolicy};
 
@@ -55,6 +55,22 @@ pub fn replay_full(spec: &RunSpec, log: &ReplayLog) -> (Machine, RunResult) {
     let mut m = spec.machine();
     let r = m.run();
     (m, r)
+}
+
+/// Deterministically replay the whole recorded run under an
+/// instrumentation tool (the sentinel corpus path: every scenario is
+/// recorded once, then re-analyzed any number of times with identical
+/// step streams). Returns the machine in its final state.
+pub fn replay_full_with_tool<T: Tool>(
+    spec: &RunSpec,
+    log: &ReplayLog,
+    tool: &mut T,
+) -> (Machine, RunResult) {
+    let spec = spec.with_sched(SchedPolicy::Scripted { decisions: log.sched.clone() });
+    let m = spec.machine();
+    let mut engine = Engine::new(m);
+    let r = engine.run_tool(tool);
+    (engine.into_machine(), r)
 }
 
 /// Result of the tracing replay phase.

@@ -1,0 +1,289 @@
+//! The attack-scenario corpus.
+//!
+//! Fourteen scenarios in seven attack/benign pairs. Every attack has a
+//! *benign near-miss twin* — same program, input driven to the legal
+//! boundary of the vulnerable path — that must NOT alert. Twins are
+//! what pins precision: a sentinel that fires whenever the copy loop
+//! runs long scores recall 1.0 but fails every twin.
+//!
+//! * Five pairs come from the `dift-attack` vulnerability suite
+//!   (function-pointer overflow, unchecked table index, format-string
+//!   write primitive, heap overflow, integer-overflow length check),
+//!   deployed under the standard untrusted-input boundary policy.
+//! * One pair exercises the mixed-source-write rule (`MinDistinctChannels`
+//!   lineage predicate): a value combining two input channels is stored
+//!   — the twin combines two words of the *same* channel.
+//! * One pair stages cross-tenant exfiltration on the kv-server
+//!   workload: a public tenant GETs a key the secret tenant PUT, so the
+//!   reply's lineage crosses the tenant boundary on the shared reply
+//!   channel — the twin GETs the public tenant's own key.
+
+use crate::policy::{
+    BoundaryPolicy, LineagePredicate, SinkClass, SourceSpec, TaintBoundary, Verdict,
+};
+use dift_attack::all_cases;
+use dift_isa::{Addr, BinOp, ProgramBuilder, Reg};
+use dift_replay::RunSpec;
+use dift_taint::TaintPolicy;
+use dift_vm::MachineConfig;
+use dift_workloads::server::{server_with_streams, ServerConfig};
+use std::sync::Arc;
+
+/// One corpus entry: a recorded-replayable run spec plus the boundary
+/// policy it is deployed under and the expected outcome.
+pub struct Scenario {
+    pub name: String,
+    pub description: &'static str,
+    pub spec: RunSpec,
+    /// Policy for the sentinel's internal PC-taint engine.
+    pub taint_policy: TaintPolicy,
+    pub boundary: BoundaryPolicy,
+    /// True for the seven attacks, false for the seven benign twins.
+    pub is_attack: bool,
+    /// The rule expected to fire (attacks only).
+    pub expect_rule: Option<&'static str>,
+    /// Known root-cause PC when the scenario has one (the five
+    /// vulnerability-suite attacks).
+    pub root_cause: Option<Addr>,
+}
+
+/// Corpus scale knobs (the CI gate runs a smaller kv workload).
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusConfig {
+    /// Filler PUT requests issued by the kv tenants before the probed
+    /// GET (larger = longer exfil scenarios).
+    pub kv_filler: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { kv_filler: 6 }
+    }
+}
+
+/// The standard boundary policy for untrusted single-channel programs:
+/// channel 0 is the attacker-facing input; derived data must not reach
+/// control transfers (contained) or memory addressing (denied).
+pub fn untrusted_input_boundary() -> BoundaryPolicy {
+    BoundaryPolicy::new()
+        .class("untrusted", vec![0])
+        .rule(TaintBoundary::new(
+            "halt-tainted-control",
+            SourceSpec::Class("untrusted".into()),
+            SinkClass::ControlTarget,
+            Verdict::Contain,
+        ))
+        .rule(TaintBoundary::new(
+            "block-tainted-store",
+            SourceSpec::Class("untrusted".into()),
+            SinkClass::MemWriteAddr,
+            Verdict::Deny,
+        ))
+        .rule(TaintBoundary::new(
+            "block-tainted-load",
+            SourceSpec::Class("untrusted".into()),
+            SinkClass::MemReadAddr,
+            Verdict::Deny,
+        ))
+}
+
+/// Which rule detects each vulnerability-suite case.
+fn expected_rule_for(case_name: &str) -> &'static str {
+    match case_name {
+        "format-write" => "block-tainted-store",
+        "heap-overflow" => "block-tainted-load",
+        // fptr-overflow, boundary-error, int-overflow hijack control.
+        _ => "halt-tainted-control",
+    }
+}
+
+fn vuln_pairs() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for case in all_cases() {
+        let spec = RunSpec::new(case.program.clone(), MachineConfig::small())
+            .with_input(0, case.attack_input.clone());
+        out.push(Scenario {
+            name: format!("{}.attack", case.name),
+            description: case.description,
+            spec,
+            taint_policy: case.policy,
+            boundary: untrusted_input_boundary(),
+            is_attack: true,
+            expect_rule: Some(expected_rule_for(case.name)),
+            root_cause: Some(case.root_cause),
+        });
+        let spec = RunSpec::new(case.program.clone(), MachineConfig::small())
+            .with_input(0, case.near_miss_input.clone());
+        out.push(Scenario {
+            name: format!("{}.near-miss", case.name),
+            description: case.description,
+            spec,
+            taint_policy: case.policy,
+            boundary: untrusted_input_boundary(),
+            is_attack: false,
+            expect_rule: None,
+            root_cause: None,
+        });
+    }
+    out
+}
+
+/// Mixed-source write: the attack stores a value derived from BOTH
+/// input channels; the twin derives from two words of channel 0 only —
+/// same set size, one channel, so only the `MinDistinctChannels`
+/// predicate separates them.
+fn mixed_source_pair() -> Vec<Scenario> {
+    fn boundary() -> BoundaryPolicy {
+        BoundaryPolicy::new().rule(
+            TaintBoundary::new(
+                "no-mixed-writes",
+                SourceSpec::Any,
+                SinkClass::MemWriteValue,
+                Verdict::Deny,
+            )
+            .when(LineagePredicate::MinDistinctChannels(2)),
+        )
+    }
+    fn program(two_channels: bool) -> RunSpec {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.input(Reg(1), 0);
+        b.input(Reg(2), if two_channels { 1 } else { 0 });
+        b.bin(BinOp::Add, Reg(3), Reg(1), Reg(2));
+        b.li(Reg(4), 420);
+        b.store(Reg(3), Reg(4), 0);
+        b.load(Reg(5), Reg(4), 0);
+        b.output(Reg(5), 0);
+        b.halt();
+        let spec = RunSpec::new(Arc::new(b.build().unwrap()), MachineConfig::small());
+        if two_channels {
+            spec.with_input(0, vec![7]).with_input(1, vec![9])
+        } else {
+            spec.with_input(0, vec![7, 9])
+        }
+    }
+    vec![
+        Scenario {
+            name: "mixed-source-write.attack".into(),
+            description: "stored value blends two input channels",
+            spec: program(true),
+            taint_policy: TaintPolicy::propagate_only(),
+            boundary: boundary(),
+            is_attack: true,
+            expect_rule: Some("no-mixed-writes"),
+            root_cause: None,
+        },
+        Scenario {
+            name: "mixed-source-write.near-miss".into(),
+            description: "stored value blends two words of ONE channel",
+            spec: program(false),
+            taint_policy: TaintPolicy::propagate_only(),
+            boundary: boundary(),
+            is_attack: false,
+            expect_rule: None,
+            root_cause: None,
+        },
+    ]
+}
+
+/// Cross-tenant exfiltration on the kv server: worker 0 serves the
+/// public tenant (channel 1), worker 1 the secret tenant (channel 2).
+/// Both reply on the shared output channel 1. The attack GET names a
+/// key the secret tenant PUT, so the reply derives from channel-2
+/// input; the twin GETs the public tenant's own key.
+fn exfil_pair(cfg: CorpusConfig) -> Vec<Scenario> {
+    fn boundary() -> BoundaryPolicy {
+        BoundaryPolicy::new().class("secret", vec![2]).rule(TaintBoundary::new(
+            "no-cross-tenant-exfil",
+            SourceSpec::Class("secret".into()),
+            SinkClass::Output { channel: Some(1) },
+            Verdict::Contain,
+        ))
+    }
+    fn spec(cfg: CorpusConfig, get_key: u64) -> RunSpec {
+        // Public tenant: filler PUTs of its own keys, then the probed
+        // GET last (the filler also lets the secret tenant's PUTs land
+        // first under the round-robin schedule).
+        let mut public = Vec::new();
+        for i in 0..cfg.kv_filler {
+            public.extend_from_slice(&[1, 20 + i, 5_000 + i]);
+        }
+        public.extend_from_slice(&[2, get_key, 0]);
+        // Secret tenant: its PUTs, then filler PUTs of other keys.
+        let mut secret = Vec::new();
+        secret.extend_from_slice(&[1, 10, 777]);
+        secret.extend_from_slice(&[1, 11, 888]);
+        for i in 0..cfg.kv_filler {
+            secret.extend_from_slice(&[1, 40 + i, 9_000 + i]);
+        }
+        let server_cfg = ServerConfig { workers: 2, requests_per_worker: 0, ..Default::default() };
+        let w = server_with_streams(server_cfg, vec![public, secret]);
+        let mut spec = RunSpec::new(w.program.clone(), w.config());
+        for (ch, vals) in &w.inputs {
+            spec = spec.with_input(*ch, vals.clone());
+        }
+        spec
+    }
+    vec![
+        Scenario {
+            name: "kv-exfil.attack".into(),
+            description: "public tenant GETs the secret tenant's key",
+            spec: spec(cfg, 10),
+            taint_policy: TaintPolicy::propagate_only(),
+            boundary: boundary(),
+            is_attack: true,
+            expect_rule: Some("no-cross-tenant-exfil"),
+            root_cause: None,
+        },
+        Scenario {
+            name: "kv-exfil.near-miss".into(),
+            description: "public tenant GETs its own key",
+            spec: spec(cfg, 20),
+            taint_policy: TaintPolicy::propagate_only(),
+            boundary: boundary(),
+            is_attack: false,
+            expect_rule: None,
+            root_cause: None,
+        },
+    ]
+}
+
+/// The full corpus: 7 attacks + 7 benign twins.
+pub fn corpus(cfg: CorpusConfig) -> Vec<Scenario> {
+    let mut out = vuln_pairs();
+    out.extend(mixed_source_pair());
+    out.extend(exfil_pair(cfg));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_balanced_and_named() {
+        let c = corpus(CorpusConfig::default());
+        assert_eq!(c.len(), 14);
+        assert_eq!(c.iter().filter(|s| s.is_attack).count(), 7);
+        for s in &c {
+            assert_eq!(s.is_attack, s.expect_rule.is_some(), "{}", s.name);
+            assert!(s.name.ends_with(".attack") || s.name.ends_with(".near-miss"), "{}", s.name);
+        }
+        // Pairwise: every attack has a twin on the same stem.
+        for s in c.iter().filter(|s| s.is_attack) {
+            let stem = s.name.strip_suffix(".attack").unwrap();
+            assert!(
+                c.iter().any(|t| !t.is_attack && t.name == format!("{stem}.near-miss")),
+                "{stem} has no twin"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_programs_complete() {
+        for s in corpus(CorpusConfig::default()) {
+            let r = s.spec.machine().run();
+            assert!(r.status.is_clean(), "{}: {:?}", s.name, r.status);
+        }
+    }
+}

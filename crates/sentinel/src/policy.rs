@@ -1,0 +1,282 @@
+//! The declarative `TaintBoundary` policy language.
+//!
+//! A policy is an ordered list of boundary rules plus named source
+//! classes. Each rule connects a **source set** (which input channels
+//! the data derived from) to a **sink class** (where the data is about
+//! to be used) through optional **lineage predicates** (structural
+//! conditions on the per-value input set), and names the verdict when
+//! it matches. Evaluation is first-match-wins over the rule list; an
+//! event no rule matches gets the policy's default verdict.
+
+use serde::Serialize;
+
+/// A named set of input channels ("untrusted", "secret", ...). Classes
+/// let several rules share one channel set and keep rule text readable.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SourceClass {
+    pub name: String,
+    pub channels: Vec<u16>,
+}
+
+/// Which sources a rule is about. A source spec matches an event when
+/// the event's lineage **intersects** the spec's channel set — "any
+/// byte derived from one of these channels".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum SourceSpec {
+    /// Any source (including events whose lineage is empty).
+    Any,
+    /// Derived from at least one of these channels.
+    Channels(Vec<u16>),
+    /// Derived from at least one channel of the named [`SourceClass`].
+    /// A spec naming an unknown class never matches.
+    Class(String),
+}
+
+/// Where tainted data is about to be used. The first three mirror the
+/// PC-taint detector's alert kinds; `Output` and `MemWriteValue` are
+/// lineage-only sinks the plain detector cannot see.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum SinkClass {
+    /// Tainted value used as a load address.
+    MemReadAddr,
+    /// Tainted value used as a store address.
+    MemWriteAddr,
+    /// Tainted value used as an indirect jump/call target.
+    ControlTarget,
+    /// Lineage-carrying value emitted on an output channel. `None` in a
+    /// rule matches any channel; events always carry the concrete one.
+    Output { channel: Option<u16> },
+    /// Lineage-carrying value written to memory (the *stored value*,
+    /// not the address — mixed-source-write rules live here).
+    MemWriteValue,
+}
+
+impl SinkClass {
+    /// Does a rule's sink pattern (`self`) cover a concrete event sink?
+    pub fn matches(&self, event: &SinkClass) -> bool {
+        match (self, event) {
+            (SinkClass::Output { channel: None }, SinkClass::Output { .. }) => true,
+            _ => self == event,
+        }
+    }
+}
+
+/// A structural condition on the event's lineage set. All predicates of
+/// a rule must hold (conjunction).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum LineagePredicate {
+    /// The value derives from at least this many *distinct* input
+    /// channels — the "any byte derived from ≥2 input channels" clause.
+    MinDistinctChannels(usize),
+    /// At least this many input words contributed.
+    MinSetSize(usize),
+    /// At most this many input words contributed.
+    MaxSetSize(usize),
+}
+
+impl LineagePredicate {
+    pub fn holds(&self, lineage: &[u64], channels: &[u16]) -> bool {
+        match *self {
+            LineagePredicate::MinDistinctChannels(n) => channels.len() >= n,
+            LineagePredicate::MinSetSize(n) => lineage.len() >= n,
+            LineagePredicate::MaxSetSize(n) => lineage.len() <= n,
+        }
+    }
+}
+
+/// What happens when a rule matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// Explicitly permitted: the flow is recorded as allowed, no alert.
+    Allow,
+    /// Forbidden: a [`crate::SentinelAlert`] is raised.
+    Deny,
+    /// Forbidden *and* contained: the alert carries a
+    /// [`crate::ContainmentReceipt`] describing the same-tick action
+    /// (halt the transfer, block the access, suppress the emission).
+    Contain,
+}
+
+/// One source-set → sink-class rule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct TaintBoundary {
+    /// Stable rule id — alerts and receipts name it.
+    pub id: String,
+    pub from: SourceSpec,
+    pub sink: SinkClass,
+    /// Lineage predicates, all of which must hold.
+    pub when: Vec<LineagePredicate>,
+    pub verdict: Verdict,
+}
+
+impl TaintBoundary {
+    pub fn new(id: &str, from: SourceSpec, sink: SinkClass, verdict: Verdict) -> TaintBoundary {
+        TaintBoundary { id: id.to_string(), from, sink, when: Vec::new(), verdict }
+    }
+
+    /// Add a lineage predicate (builder style).
+    pub fn when(mut self, p: LineagePredicate) -> TaintBoundary {
+        self.when.push(p);
+        self
+    }
+}
+
+/// A full boundary policy: classes + ordered rules + default verdict.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct BoundaryPolicy {
+    pub classes: Vec<SourceClass>,
+    /// First matching rule wins.
+    pub rules: Vec<TaintBoundary>,
+    /// Verdict for events no rule matches.
+    pub default_verdict: Verdict,
+}
+
+impl Default for BoundaryPolicy {
+    fn default() -> Self {
+        BoundaryPolicy { classes: Vec::new(), rules: Vec::new(), default_verdict: Verdict::Allow }
+    }
+}
+
+impl BoundaryPolicy {
+    pub fn new() -> BoundaryPolicy {
+        BoundaryPolicy::default()
+    }
+
+    /// Register a named source class (builder style).
+    pub fn class(mut self, name: &str, channels: Vec<u16>) -> BoundaryPolicy {
+        self.classes.push(SourceClass { name: name.to_string(), channels });
+        self
+    }
+
+    /// Append a rule (builder style).
+    pub fn rule(mut self, rule: TaintBoundary) -> BoundaryPolicy {
+        self.rules.push(rule);
+        self
+    }
+
+    fn class_channels(&self, name: &str) -> Option<&[u16]> {
+        self.classes.iter().find(|c| c.name == name).map(|c| c.channels.as_slice())
+    }
+
+    fn source_matches(&self, spec: &SourceSpec, channels: &[u16]) -> bool {
+        match spec {
+            SourceSpec::Any => true,
+            SourceSpec::Channels(set) => channels.iter().any(|c| set.contains(c)),
+            SourceSpec::Class(name) => self
+                .class_channels(name)
+                .is_some_and(|set| channels.iter().any(|c| set.contains(c))),
+        }
+    }
+
+    /// First-match rule lookup for an event at `sink` whose lineage
+    /// resolves to `lineage` (input indices) over `channels`.
+    pub fn decide(
+        &self,
+        sink: &SinkClass,
+        lineage: &[u64],
+        channels: &[u16],
+    ) -> (Option<&TaintBoundary>, Verdict) {
+        for rule in &self.rules {
+            if rule.sink.matches(sink)
+                && self.source_matches(&rule.from, channels)
+                && rule.when.iter().all(|p| p.holds(lineage, channels))
+            {
+                return (Some(rule), rule.verdict);
+            }
+        }
+        (None, self.default_verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BoundaryPolicy {
+        BoundaryPolicy::new()
+            .class("untrusted", vec![0])
+            .class("secret", vec![2, 3])
+            .rule(TaintBoundary::new(
+                "halt-tainted-control",
+                SourceSpec::Class("untrusted".into()),
+                SinkClass::ControlTarget,
+                Verdict::Contain,
+            ))
+            .rule(
+                TaintBoundary::new(
+                    "no-mixed-writes",
+                    SourceSpec::Any,
+                    SinkClass::MemWriteValue,
+                    Verdict::Deny,
+                )
+                .when(LineagePredicate::MinDistinctChannels(2)),
+            )
+            .rule(TaintBoundary::new(
+                "no-secret-output",
+                SourceSpec::Class("secret".into()),
+                SinkClass::Output { channel: None },
+                Verdict::Deny,
+            ))
+    }
+
+    #[test]
+    fn first_match_wins_and_names_the_rule() {
+        let p = policy();
+        let (rule, v) = p.decide(&SinkClass::ControlTarget, &[5], &[0]);
+        assert_eq!(rule.unwrap().id, "halt-tainted-control");
+        assert_eq!(v, Verdict::Contain);
+    }
+
+    #[test]
+    fn unmatched_event_gets_default_verdict() {
+        let p = policy();
+        let (rule, v) = p.decide(&SinkClass::MemReadAddr, &[5], &[0]);
+        assert!(rule.is_none());
+        assert_eq!(v, Verdict::Allow);
+    }
+
+    #[test]
+    fn lineage_predicate_gates_the_match() {
+        let p = policy();
+        // One channel: the mixed-write rule must not fire.
+        let (rule, _) = p.decide(&SinkClass::MemWriteValue, &[1, 2], &[0]);
+        assert!(rule.is_none());
+        // Two distinct channels: it must.
+        let (rule, v) = p.decide(&SinkClass::MemWriteValue, &[1, 9], &[0, 1]);
+        assert_eq!(rule.unwrap().id, "no-mixed-writes");
+        assert_eq!(v, Verdict::Deny);
+    }
+
+    #[test]
+    fn output_rule_with_wildcard_channel_matches_any_concrete_channel() {
+        let p = policy();
+        for ch in [0u16, 1, 7] {
+            let (rule, _) = p.decide(&SinkClass::Output { channel: Some(ch) }, &[3], &[2]);
+            assert_eq!(rule.unwrap().id, "no-secret-output", "channel {ch}");
+        }
+        // Non-secret lineage passes through.
+        let (rule, _) = p.decide(&SinkClass::Output { channel: Some(1) }, &[3], &[1]);
+        assert!(rule.is_none());
+    }
+
+    #[test]
+    fn unknown_class_never_matches() {
+        let p = BoundaryPolicy::new().rule(TaintBoundary::new(
+            "ghost",
+            SourceSpec::Class("no-such-class".into()),
+            SinkClass::ControlTarget,
+            Verdict::Deny,
+        ));
+        let (rule, v) = p.decide(&SinkClass::ControlTarget, &[1], &[0]);
+        assert!(rule.is_none());
+        assert_eq!(v, Verdict::Allow);
+    }
+
+    #[test]
+    fn set_size_predicates() {
+        assert!(LineagePredicate::MinSetSize(2).holds(&[1, 2], &[0]));
+        assert!(!LineagePredicate::MinSetSize(3).holds(&[1, 2], &[0]));
+        assert!(LineagePredicate::MaxSetSize(2).holds(&[1, 2], &[0]));
+        assert!(!LineagePredicate::MaxSetSize(1).holds(&[1, 2], &[0]));
+    }
+}

@@ -1,0 +1,195 @@
+//! Corpus runner: record each scenario once, replay it twice under the
+//! sentinel (byte-diffing the outcomes), replay it once under plain
+//! PC-taint (the overhead baseline), and score the corpus.
+
+use crate::corpus::{corpus, CorpusConfig, Scenario};
+use crate::eval::Sentinel;
+use dift_replay::{record, replay_full_with_tool};
+use dift_taint::{PcTaint, TaintEngine};
+use serde::Serialize;
+
+/// Checkpoint interval used when recording corpus scenarios.
+const CHECKPOINT_INTERVAL: u64 = 512;
+
+/// Per-scenario scoring detail.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioOutcome {
+    pub name: String,
+    pub is_attack: bool,
+    /// At least one sentinel alert fired.
+    pub detected: bool,
+    /// The expected rule is among the firing rules (attacks only;
+    /// benign twins trivially pass).
+    pub rule_hit: bool,
+    /// Some alert's root-cause or origin PC names the known root cause
+    /// (only scored when the scenario declares one).
+    pub root_cause_hit: Option<bool>,
+    /// Two deterministic replays produced byte-identical outcomes.
+    pub replay_identical: bool,
+    pub alerts: usize,
+    pub receipts: usize,
+    /// Cycles of the sentinel replay vs the plain PC-taint replay.
+    pub sentinel_cycles: u64,
+    pub taint_cycles: u64,
+    pub overhead: f64,
+    /// Canonical JSON of the full [`crate::SentinelOutcome`] — the
+    /// replay-determinism diff compares these byte-for-byte.
+    pub canonical: String,
+}
+
+/// Corpus-level detection-quality score.
+#[derive(Clone, Debug, Serialize)]
+pub struct CorpusOutcome {
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// Attacks whose expected rule fired / attacks.
+    pub recall: f64,
+    /// Detected attacks / (detected attacks + alerting benign twins).
+    pub precision: f64,
+    /// Scenarios with a known root cause whose alerts name it.
+    pub root_cause_fraction: f64,
+    /// Scenarios whose two sentinel replays were byte-identical.
+    pub replay_identical_fraction: f64,
+    /// Geometric mean of sentinel cycles / plain PC-taint cycles.
+    pub overhead_geomean: f64,
+}
+
+/// Record one scenario and score it (two sentinel replays + one plain
+/// PC-taint replay).
+pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
+    let rec = record(&s.spec, CHECKPOINT_INTERVAL);
+
+    let mut first = Sentinel::new(s.taint_policy, s.boundary.clone());
+    let (_, sentinel_result) = replay_full_with_tool(&s.spec, &rec.log, &mut first);
+    let first_out = first.outcome.expect("sentinel finalizes on finish");
+
+    let mut second = Sentinel::new(s.taint_policy, s.boundary.clone());
+    let (_, _) = replay_full_with_tool(&s.spec, &rec.log, &mut second);
+    let second_out = second.outcome.expect("sentinel finalizes on finish");
+
+    let canonical = first_out.canonical_json();
+    let replay_identical = canonical == second_out.canonical_json();
+
+    let mut taint = TaintEngine::<PcTaint>::new(s.taint_policy);
+    let (_, taint_result) = replay_full_with_tool(&s.spec, &rec.log, &mut taint);
+
+    let detected = !first_out.alerts.is_empty();
+    let rule_hit = match s.expect_rule {
+        Some(rule) => first_out.alerts.iter().any(|a| a.rule == rule),
+        None => true,
+    };
+    let root_cause_hit = s.root_cause.map(|pc| {
+        first_out.alerts.iter().any(|a| a.root_cause_pc == Some(pc) || a.origin_pc == Some(pc))
+    });
+    let receipts = first_out.alerts.iter().filter(|a| a.receipt.is_some()).count();
+    let overhead = sentinel_result.cycles as f64 / taint_result.cycles.max(1) as f64;
+
+    ScenarioOutcome {
+        name: s.name.clone(),
+        is_attack: s.is_attack,
+        detected,
+        rule_hit,
+        root_cause_hit,
+        replay_identical,
+        alerts: first_out.alerts.len(),
+        receipts,
+        sentinel_cycles: sentinel_result.cycles,
+        taint_cycles: taint_result.cycles,
+        overhead,
+        canonical,
+    }
+}
+
+/// Run and score the whole corpus.
+pub fn run_corpus(cfg: CorpusConfig) -> CorpusOutcome {
+    let outcomes: Vec<ScenarioOutcome> = corpus(cfg).iter().map(run_scenario).collect();
+
+    let attacks: Vec<&ScenarioOutcome> = outcomes.iter().filter(|o| o.is_attack).collect();
+    let benign: Vec<&ScenarioOutcome> = outcomes.iter().filter(|o| !o.is_attack).collect();
+
+    let rule_hits = attacks.iter().filter(|o| o.detected && o.rule_hit).count();
+    let recall = rule_hits as f64 / attacks.len().max(1) as f64;
+
+    let tp = attacks.iter().filter(|o| o.detected).count();
+    let fp = benign.iter().filter(|o| o.detected).count();
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+
+    let scored: Vec<bool> = outcomes.iter().filter_map(|o| o.root_cause_hit).collect();
+    let root_cause_fraction = if scored.is_empty() {
+        1.0
+    } else {
+        scored.iter().filter(|&&h| h).count() as f64 / scored.len() as f64
+    };
+
+    let replay_identical_fraction = outcomes.iter().filter(|o| o.replay_identical).count() as f64
+        / outcomes.len().max(1) as f64;
+
+    let overhead_geomean = (outcomes.iter().map(|o| o.overhead.ln()).sum::<f64>()
+        / outcomes.len().max(1) as f64)
+        .exp();
+
+    CorpusOutcome {
+        scenarios: outcomes,
+        recall,
+        precision,
+        root_cause_fraction,
+        replay_identical_fraction,
+        overhead_geomean,
+    }
+}
+
+impl CorpusOutcome {
+    /// Deterministic per-scenario alert dump, one line per scenario —
+    /// the CI replay-determinism step byte-diffs two of these.
+    pub fn alerts_dump(&self) -> String {
+        let mut out = String::new();
+        for s in &self.scenarios {
+            out.push_str(&s.name);
+            out.push(' ');
+            out.push_str(&s.canonical);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig { kv_filler: 2 }
+    }
+
+    #[test]
+    fn corpus_meets_detection_quality_targets() {
+        let out = run_corpus(small());
+        assert_eq!(out.scenarios.len(), 14);
+        for s in &out.scenarios {
+            if s.is_attack {
+                assert!(s.detected, "{} must alert", s.name);
+                assert!(s.rule_hit, "{} must fire its expected rule", s.name);
+            } else {
+                assert!(!s.detected, "{} must stay silent (alerts={})", s.name, s.alerts);
+            }
+        }
+        assert!(out.recall >= 0.95, "recall {}", out.recall);
+        assert!(out.precision >= 0.90, "precision {}", out.precision);
+        assert!(out.root_cause_fraction >= 0.8, "root-cause {}", out.root_cause_fraction);
+    }
+
+    #[test]
+    fn replays_are_byte_identical() {
+        let out = run_corpus(small());
+        assert_eq!(out.replay_identical_fraction, 1.0);
+        // The whole dump is reproducible too.
+        let again = run_corpus(small());
+        assert_eq!(out.alerts_dump(), again.alerts_dump());
+    }
+
+    #[test]
+    fn overhead_is_positive_and_bounded() {
+        let out = run_corpus(small());
+        assert!(out.overhead_geomean >= 1.0, "sentinel adds work: {}", out.overhead_geomean);
+        assert!(out.overhead_geomean < 20.0, "but not unboundedly: {}", out.overhead_geomean);
+    }
+}

@@ -45,6 +45,34 @@ impl Default for ServerConfig {
 
 /// Build the server program + request streams.
 pub fn server(cfg: ServerConfig) -> Workload {
+    let mut rng = crate::Lcg::new(cfg.seed);
+    let mut streams = Vec::new();
+    for wid in 0..cfg.workers {
+        let mut stream = Vec::new();
+        for i in 0..cfg.requests_per_worker {
+            let key = rng.below(500) + 1;
+            if cfg.with_bug && wid == 0 && i == cfg.requests_per_worker - 2 {
+                // The malformed request: poison value.
+                stream.extend_from_slice(&[1, 6, 0xBAD]);
+            } else if rng.below(3) == 0 {
+                stream.extend_from_slice(&[2, key, 0]); // GET
+            } else {
+                stream.extend_from_slice(&[1, key, rng.below(10_000)]); // PUT
+            }
+        }
+        streams.push(stream);
+    }
+    server_with_streams(cfg, streams)
+}
+
+/// Build the server with explicit per-worker request streams instead of
+/// the seeded random mix: `streams[wid]` feeds worker `wid` (channel
+/// `wid + 1`) as `(op, key, value)` triples. The quit request is
+/// appended automatically. Multi-tenant scenarios (the sentinel's
+/// exfiltration corpus) use this to stage one tenant's secrets against
+/// another tenant's reads.
+pub fn server_with_streams(cfg: ServerConfig, streams: Vec<Vec<u64>>) -> Workload {
+    assert_eq!(streams.len(), cfg.workers as usize, "one stream per worker");
     let mut b = ProgramBuilder::new();
 
     b.func("main");
@@ -107,20 +135,7 @@ pub fn server(cfg: ServerConfig) -> Workload {
         Arc::new(b.build().unwrap()),
     )
     .with_quantum(16);
-    let mut rng = crate::Lcg::new(cfg.seed);
-    for wid in 0..cfg.workers {
-        let mut stream = Vec::new();
-        for i in 0..cfg.requests_per_worker {
-            let key = rng.below(500) + 1;
-            if cfg.with_bug && wid == 0 && i == cfg.requests_per_worker - 2 {
-                // The malformed request: poison value.
-                stream.extend_from_slice(&[1, 6, 0xBAD]);
-            } else if rng.below(3) == 0 {
-                stream.extend_from_slice(&[2, key, 0]); // GET
-            } else {
-                stream.extend_from_slice(&[1, key, rng.below(10_000)]); // PUT
-            }
-        }
+    for (wid, mut stream) in streams.into_iter().enumerate() {
         stream.extend_from_slice(&[3, 0, 0]); // quit
         w = w.with_input(wid as u16 + 1, stream);
     }
