@@ -19,6 +19,9 @@
 //! report sentinel     # T7 taint-boundary sentinel detection quality
 //!                     #   over the scenario corpus (+ BENCH_sentinel.json
 //!                     #   and SENTINEL_alerts.json)
+//! report durability   # T8 durable cold tier: segment spill/scan,
+//!                     #   torn-write recovery, disk-backed stitched
+//!                     #   queries (+ BENCH_durability.json)
 //! report compare <baseline.json> <candidate.json> [--thresholds <file>]
 //!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
@@ -45,7 +48,10 @@
 //! `BENCH_sentinel.json` (recall / precision / root-cause-hit /
 //! replay-determinism / overhead over the attack-scenario corpus) plus
 //! `SENTINEL_alerts.json` (the deterministic per-scenario alert dump
-//! the CI replay-determinism step byte-diffs).
+//! the CI replay-determinism step byte-diffs), and `durability` writes
+//! `BENCH_durability.json` (checksummed-segment spill/scan throughput,
+//! on-disk bytes per record, torn-write recovery fraction and scrub
+//! time, and disk-backed stitched-query bit-identity).
 //!
 //! `compare` is the CI bench gate: it flattens both JSON files, checks
 //! every metric a `bench_thresholds.toml` rule matches, and exits
@@ -62,7 +68,7 @@ use serde::Value;
 
 const SELECTIONS: &str =
     "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, resilience, \
-     slicing, summaries, history, sentinel, ablations, all";
+     slicing, summaries, history, sentinel, durability, ablations, all";
 
 fn usage() {
     eprintln!(
@@ -136,6 +142,7 @@ fn main() {
             || id == "summaries"
             || id == "history"
             || id == "sentinel"
+            || id == "durability"
             || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
     };
     if let Some(bad) = selected.iter().find(|id| !known(id)) {
@@ -226,6 +233,14 @@ fn main() {
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
         write_json("BENCH_sentinel.json", &payload);
         write_json("SENTINEL_alerts.json", &alerts);
+    }
+    if wanted("durability") {
+        // Measured once; the table and BENCH_durability.json share the
+        // run.
+        let report = dift_bench::durability_report(scale);
+        print(&dift_bench::durability_to_table(&report));
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_json("BENCH_durability.json", &payload);
     }
 }
 

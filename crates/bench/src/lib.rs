@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod apps_exps;
 pub mod compare;
+pub mod durability_exp;
 pub mod history_exp;
 pub mod obs_report;
 pub mod resilience;
@@ -28,6 +29,10 @@ pub use ablations::{
 };
 pub use apps_exps::{e10_races, e5_tm, e6_attacks, e7_lineage, e8_omission, e9_value_replacement};
 pub use compare::{compare, render, Comparison, Thresholds};
+pub use durability_exp::{
+    durability_report, durability_to_table, t8_durability, DurabilityReport, DurabilityRow,
+    RecoveryRow,
+};
 pub use history_exp::{
     history_report, history_to_table, t6_history, HistoryReport, HistoryRow, SnapshotRow,
 };

@@ -236,6 +236,63 @@ fn sentinel_selection_writes_the_json_artifacts() {
 }
 
 #[test]
+fn durability_selection_writes_the_json_artifact() {
+    let dir = scratch("durability");
+    let o = run_in(&dir, &["durability", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("\"id\""), "{}", stdout(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_durability.json")).expect("artifact");
+    for needle in [
+        "disk_bytes_per_record",
+        "spill_mrecs_per_s",
+        "scan_mrecs_per_s",
+        "recovered_fraction",
+        "scrub_ms",
+        "identical_fraction",
+        "rows",
+    ] {
+        assert!(payload.contains(needle), "BENCH_durability.json missing {needle}");
+    }
+    // The gated invariants must hold even at CI scale: disk-backed
+    // stitched answers bit-identical to the offline slicer, and the
+    // torn-write recovery deterministic at (K-1)/K.
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    assert_eq!(
+        v.field("identical_fraction"),
+        Some(&serde_json::Value::F64(1.0)),
+        "identical_fraction: {payload}"
+    );
+    match v.field("recovery").and_then(|r| r.field("recovered_fraction")) {
+        Some(&serde_json::Value::F64(f)) => {
+            assert!((f - 0.75).abs() < 1e-9, "test-scale recovery is 3 of 4 segments: {f}")
+        }
+        other => panic!("recovered_fraction missing or non-float: {other:?}"),
+    }
+}
+
+#[test]
+fn durability_selection_rejects_unknown_flags() {
+    let dir = scratch("durability_badflag");
+    let o = run_in(&dir, &["durability", "--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(!dir.join("BENCH_durability.json").exists(), "must not run on bad flags");
+}
+
+#[test]
+fn durability_appears_in_usage_and_unknown_selection_still_fails() {
+    let dir = scratch("durability_usage");
+    let o = run_in(&dir, &["--help"]);
+    assert!(o.status.success());
+    assert!(stderr(&o).contains("durability"), "usage must list the durability selection");
+    let o = run_in(&dir, &["durabilty", "--test"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("unknown selection"), "{}", stderr(&o));
+}
+
+#[test]
 fn sentinel_selection_rejects_unknown_flags() {
     let dir = scratch("sentinel_badflag");
     let o = run_in(&dir, &["sentinel", "--frobnicate"]);

@@ -1,0 +1,242 @@
+//! Deterministic, seedable I/O fault injection for the durable cold tier.
+//!
+//! The durable segment store ([`crate::durable`]) promises that sealed
+//! cold-tier segments survive crashes and that damage is *detected and
+//! quarantined*, never silently returned. This module provides the
+//! adversary for exercising that promise, in the exact mold of
+//! `multicore::faultplan`: an [`IoFaultPlan`] names `(site, seg,
+//! attempt)` coordinates at which an I/O operation misbehaves, so
+//! recovery tests are reproducible down to the individual syscall.
+//!
+//! Instrumented paths are generic over `F: IoFaultPlan` with
+//! [`NoopIoFaults`] as the default, and every injection site guards on
+//! `F::ARMED` — a monomorphized `false` for the no-op plan, so ordinary
+//! builds of the spill/load paths carry no fault-injection code at all.
+//!
+//! Sites split into two classes the store treats differently:
+//!
+//! * **Transient** ([`IoFaultSite::FsyncFail`], [`IoFaultSite::ShortRead`])
+//!   — the operation is retried with bounded backoff; a plan that fires
+//!   only at attempt 0 costs one retry and nothing else.
+//! * **Permanent** — [`IoFaultSite::Enospc`] fails the spill outright
+//!   (the segment falls back to the in-memory tier), while
+//!   [`IoFaultSite::TornWrite`] and [`IoFaultSite::BitFlip`] *succeed
+//!   apparently* and leave latent damage for the CRC scrub to catch.
+
+use std::sync::Arc;
+
+/// A place in the durable store's I/O where a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoFaultSite {
+    /// The spill "succeeds" but only a prefix of the segment file lands
+    /// on disk — the crash-between-rename-and-writeback scenario. The
+    /// store believes the write went through; the damage is latent
+    /// until a load or scrub fails the payload length/CRC check.
+    TornWrite,
+    /// One payload bit is flipped on its way to disk. Latent, like
+    /// [`IoFaultSite::TornWrite`]: only the payload CRC can see it.
+    BitFlip,
+    /// The read returns short / fails; transient — retried with
+    /// backoff, and only a plan firing at every attempt makes the
+    /// segment unreadable.
+    ShortRead,
+    /// `fsync` fails after the temp-file write; transient — the temp
+    /// file is discarded and the spill retried.
+    FsyncFail,
+    /// The filesystem is full. Permanent: the spill fails immediately
+    /// and the segment stays in the in-memory cold tier (graceful
+    /// degradation, counted by `ddg/durable/enospc_fallbacks`).
+    Enospc,
+}
+
+impl IoFaultSite {
+    /// Every site, in a stable order (the durability fault grid and the
+    /// release-mode CI matrix iterate this).
+    pub const ALL: [IoFaultSite; 5] = [
+        IoFaultSite::TornWrite,
+        IoFaultSite::BitFlip,
+        IoFaultSite::ShortRead,
+        IoFaultSite::FsyncFail,
+        IoFaultSite::Enospc,
+    ];
+
+    /// Stable snake_case name for reports and JSON artifacts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            IoFaultSite::TornWrite => "torn_write",
+            IoFaultSite::BitFlip => "bit_flip",
+            IoFaultSite::ShortRead => "short_read",
+            IoFaultSite::FsyncFail => "fsync_fail",
+            IoFaultSite::Enospc => "enospc",
+        }
+    }
+
+    /// Is this fault worth retrying? Transient faults get bounded
+    /// retry+backoff; permanent ones fail (Enospc) or corrupt
+    /// (TornWrite, BitFlip) on the first firing.
+    pub const fn is_transient(self) -> bool {
+        matches!(self, IoFaultSite::ShortRead | IoFaultSite::FsyncFail)
+    }
+}
+
+/// A deterministic oracle deciding whether an I/O fault fires at a
+/// store coordinate. `fires` must be pure: the same `(site, seg,
+/// attempt)` always returns the same answer, so a retry sees fresh
+/// coordinates (the attempt counter advanced) while a re-run of the
+/// same plan re-fails identically.
+pub trait IoFaultPlan: Clone + Send + 'static {
+    /// `false` plans promise `fires` never returns `true`; injection
+    /// sites guard on this so the no-fault build compiles the sites
+    /// away, exactly like `Recorder::ENABLED` and `FaultPlan::ARMED`.
+    const ARMED: bool;
+
+    /// Does a fault fire for this operation? `seg` is the on-disk
+    /// segment sequence number; `attempt` counts retries of the same
+    /// logical operation starting at 0.
+    fn fires(&self, site: IoFaultSite, seg: u64, attempt: u32) -> bool;
+}
+
+/// The default plan: no faults, no cost. With `F = NoopIoFaults` every
+/// `if F::ARMED` injection site folds away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopIoFaults;
+
+impl IoFaultPlan for NoopIoFaults {
+    const ARMED: bool = false;
+
+    #[inline(always)]
+    fn fires(&self, _site: IoFaultSite, _seg: u64, _attempt: u32) -> bool {
+        false
+    }
+}
+
+/// One scripted fault at an exact coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoInjection {
+    pub site: IoFaultSite,
+    pub seg: u64,
+    pub attempt: u32,
+}
+
+/// A scripted plan: an explicit list of coordinates, either hand-written
+/// (the CI fault grid) or generated from a seed (the differential
+/// proptest). Cloning shares the list.
+#[derive(Clone, Debug)]
+pub struct ScriptedIoFaults {
+    injections: Arc<Vec<IoInjection>>,
+}
+
+impl ScriptedIoFaults {
+    pub fn new(injections: Vec<IoInjection>) -> ScriptedIoFaults {
+        ScriptedIoFaults { injections: Arc::new(injections) }
+    }
+
+    /// A single fault at one segment's first attempt — the unit of the
+    /// fault matrix.
+    pub fn single(site: IoFaultSite, seg: u64) -> ScriptedIoFaults {
+        ScriptedIoFaults::new(vec![IoInjection { site, seg, attempt: 0 }])
+    }
+
+    /// A fault that fires on *every* attempt up to `max_attempts` —
+    /// turns a transient site into an effectively permanent failure
+    /// (retry-exhaustion testing).
+    pub fn persistent(site: IoFaultSite, seg: u64, max_attempts: u32) -> ScriptedIoFaults {
+        ScriptedIoFaults::new(
+            (0..=max_attempts).map(|attempt| IoInjection { site, seg, attempt }).collect(),
+        )
+    }
+
+    /// `count` pseudo-random first-attempt injections drawn
+    /// deterministically from `seed` over `segs` segment numbers.
+    /// Identical seeds give identical plans on every platform
+    /// (splitmix64, no global state).
+    pub fn seeded(seed: u64, count: usize, segs: u64) -> ScriptedIoFaults {
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64: the standard seedable 64-bit mixer.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let injections = (0..count)
+            .map(|_| IoInjection {
+                site: IoFaultSite::ALL[(next() % IoFaultSite::ALL.len() as u64) as usize],
+                seg: next() % segs.max(1),
+                attempt: 0,
+            })
+            .collect();
+        ScriptedIoFaults { injections: Arc::new(injections) }
+    }
+
+    /// The scripted coordinates (diagnostics / test assertions).
+    pub fn injections(&self) -> &[IoInjection] {
+        &self.injections
+    }
+}
+
+impl IoFaultPlan for ScriptedIoFaults {
+    const ARMED: bool = true;
+
+    fn fires(&self, site: IoFaultSite, seg: u64, attempt: u32) -> bool {
+        self.injections.iter().any(|i| i.site == site && i.seg == seg && i.attempt == attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disarmed() {
+        const { assert!(!NoopIoFaults::ARMED) }
+        assert!(!NoopIoFaults.fires(IoFaultSite::TornWrite, 0, 0));
+    }
+
+    #[test]
+    fn scripted_fires_only_at_its_coordinates() {
+        let plan = ScriptedIoFaults::single(IoFaultSite::BitFlip, 3);
+        assert!(plan.fires(IoFaultSite::BitFlip, 3, 0));
+        assert!(!plan.fires(IoFaultSite::BitFlip, 3, 1));
+        assert!(!plan.fires(IoFaultSite::BitFlip, 2, 0));
+        assert!(!plan.fires(IoFaultSite::TornWrite, 3, 0));
+    }
+
+    #[test]
+    fn persistent_covers_every_attempt() {
+        let plan = ScriptedIoFaults::persistent(IoFaultSite::FsyncFail, 1, 4);
+        for attempt in 0..=4 {
+            assert!(plan.fires(IoFaultSite::FsyncFail, 1, attempt));
+        }
+        assert!(!plan.fires(IoFaultSite::FsyncFail, 1, 5));
+        assert!(!plan.fires(IoFaultSite::FsyncFail, 0, 0));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        let a = ScriptedIoFaults::seeded(42, 8, 16);
+        let b = ScriptedIoFaults::seeded(42, 8, 16);
+        assert_eq!(a.injections(), b.injections());
+        for i in a.injections() {
+            assert!(i.seg < 16);
+            assert_eq!(i.attempt, 0);
+        }
+        let c = ScriptedIoFaults::seeded(43, 8, 16);
+        assert_ne!(a.injections(), c.injections(), "different seeds should differ");
+    }
+
+    #[test]
+    fn transient_classification_matches_the_retry_contract() {
+        assert!(IoFaultSite::ShortRead.is_transient());
+        assert!(IoFaultSite::FsyncFail.is_transient());
+        assert!(!IoFaultSite::TornWrite.is_transient());
+        assert!(!IoFaultSite::BitFlip.is_transient());
+        assert!(!IoFaultSite::Enospc.is_transient());
+        // Names are stable and unique (JSON artifact schema).
+        let mut seen = std::collections::HashSet::new();
+        for s in IoFaultSite::ALL {
+            assert!(seen.insert(s.name()));
+        }
+    }
+}

@@ -38,6 +38,14 @@
 //!   append-only varint-gap-encoded segments, so the window budget is a
 //!   cache size rather than a correctness limit — slices stitched by
 //!   `dift-slicing` span the whole execution, not just the window.
+//! * [`durable`] — crash-safe on-disk storage for sealed cold-tier
+//!   segments: a versioned checksummed format written via temp-file +
+//!   atomic rename, an open-time scrub that quarantines damage, and a
+//!   four-rung recovery ladder that turns corruption into explicit
+//!   `Degraded` query outcomes instead of wrong slices.
+//! * [`iofault`] — deterministic I/O fault injection (torn writes, bit
+//!   flips, short reads, fsync failures, disk-full) in the
+//!   `multicore::faultplan` mold, proving the ladder rather than hoping.
 //!
 //! Cost calibration: instrumentation work is charged to the VM cycle
 //! counter via explicit constants in [`costs`]; the *ratios* between the
@@ -49,19 +57,23 @@ pub mod cold;
 pub mod compact;
 pub mod costs;
 pub mod dep;
+pub mod durable;
 pub mod graph;
 pub mod index;
+pub mod iofault;
 pub mod offline;
 pub mod ontrac;
 pub mod shadow;
 
 pub use adaptive::{AdaptLevel, Adaptation, AdaptiveTracer};
 pub use buffer::CircularTraceBuffer;
-pub use cold::{ColdStore, ColdView};
+pub use cold::{ColdStore, ColdView, CompactionReport, QuarantineEvent, SegMeta};
 pub use compact::CompactDdg;
 pub use dep::{DepKind, Dependence, StepMeta};
+pub use durable::{CorruptKind, IoStats, ScrubReport, SegmentStore};
 pub use graph::DdgGraph;
 pub use index::{IndexData, SliceIndex, SliceSnapshot};
+pub use iofault::{IoFaultPlan, IoFaultSite, IoInjection, NoopIoFaults, ScriptedIoFaults};
 pub use offline::{OfflinePipeline, OfflineStats};
 pub use ontrac::{OnTrac, OnTracConfig, OnTracStats};
 pub use shadow::{ControlStack, ShadowState};

@@ -68,6 +68,12 @@ pub struct OnTracConfig {
     /// default: the cold tier grows with the execution (≈9 B/record),
     /// which long-running ablation sweeps don't want.
     pub cold_tier: bool,
+    /// Spill sealed cold-tier segments to checksummed files under this
+    /// directory ([`crate::durable`]), so evicted history survives the
+    /// process. Implies the cold tier. If the directory cannot be
+    /// created the tracer degrades to the in-memory cold tier (counted
+    /// by `ColdStore::mem_fallbacks`) rather than failing the run.
+    pub durable_dir: Option<std::path::PathBuf>,
     /// Sorted, disjoint `[start, end)` step ranges whose dependences are
     /// *summarized* elsewhere and therefore elided from the buffer — the
     /// "L+summaries" ladder level: ranges covered by taint
@@ -94,6 +100,7 @@ impl OnTracConfig {
             record_war_waw: false,
             slice_index: true,
             cold_tier: false,
+            durable_dir: None,
             elide_steps: Vec::new(),
         }
     }
@@ -113,6 +120,7 @@ impl OnTracConfig {
             record_war_waw: false,
             slice_index: true,
             cold_tier: false,
+            durable_dir: None,
             elide_steps: Vec::new(),
         }
     }
@@ -222,7 +230,10 @@ impl<R: Recorder> OnTrac<R> {
             mem_last_read: vec![0; if cfg.record_war_waw { mem_words } else { 0 }],
             step_meta: std::collections::HashMap::new(),
             index: cfg.slice_index.then(SliceIndex::default),
-            cold: cfg.cold_tier.then(ColdStore::new),
+            cold: match &cfg.durable_dir {
+                Some(dir) => Some(ColdStore::durable_or_memory(dir)),
+                None => cfg.cold_tier.then(ColdStore::new),
+            },
             cfg,
             stats: OnTracStats::default(),
             obs,
@@ -631,6 +642,14 @@ impl<R: Recorder> Tool for OnTrac<R> {
 
     fn on_finish(&mut self, _m: &mut Machine, _r: &RunResult) {
         self.stats.window_len = self.buffer.window_len();
+        if let Some(cold) = &mut self.cold {
+            // Planned shutdown: seal and spill the open tail so a
+            // durable run loses nothing (an unplanned crash loses at
+            // most this unsealed tail — the recovery guarantee).
+            if cold.is_durable() {
+                cold.flush();
+            }
+        }
         if R::ENABLED {
             self.obs.gauge(Metric::DdgWindowLen, self.buffer.window_len());
             self.obs.gauge(Metric::DdgResidentBytes, self.buffer.bytes() as u64);
@@ -646,6 +665,17 @@ impl<R: Recorder> Tool for OnTrac<R> {
                 self.obs.gauge(Metric::DdgColdSegments, cold.segment_count() as u64);
                 self.obs.gauge(Metric::DdgColdBytes, cold.bytes());
                 self.obs.gauge(Metric::DdgColdRecords, cold.record_count());
+                self.obs.gauge(Metric::DdgColdMemoHits, cold.memo_hits());
+                self.obs.gauge(Metric::DdgColdMemoEvictions, cold.memo_evictions());
+                self.obs.add(Metric::DdgColdCorrupt, cold.corrupt_segments());
+                self.obs.gauge(Metric::DdgDurableQuarantined, cold.corrupt_segments());
+                self.obs.gauge(Metric::DdgDurableEnospc, cold.mem_fallbacks());
+                if let Some(io) = cold.durable_stats() {
+                    use std::sync::atomic::Ordering::Relaxed;
+                    self.obs.gauge(Metric::DdgDurableSpills, io.spills.load(Relaxed));
+                    self.obs.gauge(Metric::DdgDurableDiskBytes, io.disk_bytes.load(Relaxed));
+                    self.obs.gauge(Metric::DdgDurableRetries, io.retries.load(Relaxed));
+                }
             }
         }
     }

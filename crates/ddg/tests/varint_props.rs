@@ -1,0 +1,108 @@
+//! Round-trip properties for the LEB128 varint codec in
+//! `dift_ddg::buffer` — the encoding the circular buffer's byte
+//! accounting, the cold tier's gap records, and the durable on-disk
+//! segment format all lean on. A silent asymmetry here would corrupt
+//! sealed history, so the codec gets its own adversarial suite:
+//! boundary values, exhaustive round-trips near every length step, and
+//! the truncated-input error path the recovery ladder depends on.
+
+use dift_ddg::buffer::{get_varint, put_varint, varint_len};
+use proptest::prelude::*;
+
+#[test]
+fn boundary_values_roundtrip_at_documented_lengths() {
+    // Each (value, encoded length) at the 7-bit group boundaries.
+    let cases: [(u64, usize); 11] = [
+        (0, 1),
+        (1, 1),
+        (127, 1),           // 1-byte max
+        (128, 2),           // first 2-byte value
+        ((1 << 14) - 1, 2), // 2-byte max
+        (1 << 14, 3),
+        ((1 << 28) - 1, 4),
+        (1 << 28, 5),
+        ((1 << 63) - 1, 9),
+        (1 << 63, 10),
+        (u64::MAX, 10),
+    ];
+    for (v, len) in cases {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        assert_eq!(buf.len(), len, "encoded length of {v}");
+        assert_eq!(varint_len(v), len, "varint_len of {v}");
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        assert_eq!(pos, len, "decode must consume exactly the encoding");
+    }
+}
+
+#[test]
+fn truncated_input_returns_none_not_garbage() {
+    for v in [128u64, 1 << 14, 1 << 28, u64::MAX] {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        // Every strict prefix ends mid-value: decode must refuse.
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                get_varint(&buf[..cut], &mut pos),
+                None,
+                "prefix of len {cut} of the encoding of {v} must not decode"
+            );
+        }
+    }
+    // Empty input as well.
+    let mut pos = 0;
+    assert_eq!(get_varint(&[], &mut pos), None);
+}
+
+proptest! {
+    #[test]
+    fn roundtrips_any_value(v in 0u64..u64::MAX) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), varint_len(v));
+        let mut pos = 0;
+        prop_assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn roundtrips_concatenated_streams(
+        vs in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let mut buf = Vec::new();
+        for &v in &vs {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(vs.len());
+        while pos < buf.len() {
+            out.push(get_varint(&buf, &mut pos).expect("stream decodes"));
+        }
+        prop_assert_eq!(out, vs);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected(v in 128u64..u64::MAX, cut_pick in 0usize..1024) {
+        // Any multi-byte encoding cut strictly short must return None.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        let cut = cut_pick % buf.len(); // strictly shorter than the encoding
+        let mut pos = 0;
+        prop_assert_eq!(get_varint(&buf[..cut], &mut pos), None);
+    }
+
+    #[test]
+    fn values_near_length_boundaries_roundtrip(shift in 0u32..9, delta in 0u64..5) {
+        // Exercise ±2 around every 7-bit length boundary.
+        let base = 1u64 << (7 * (shift + 1)).min(63);
+        let v = base.saturating_sub(2).saturating_add(delta);
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), varint_len(v));
+        let mut pos = 0;
+        prop_assert_eq!(get_varint(&buf, &mut pos), Some(v));
+    }
+}

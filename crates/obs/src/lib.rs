@@ -120,6 +120,15 @@ metrics! {
     DdgColdSegments     => ("ddg/cold/segments", Gauge),
     DdgColdBytes        => ("ddg/cold/bytes", Gauge),
     DdgColdRecords      => ("ddg/cold/records", Gauge),
+    DdgColdMemoHits     => ("ddg/cold/memo_hits", Gauge),
+    DdgColdMemoEvictions => ("ddg/cold/memo_evictions", Gauge),
+    DdgColdCorrupt      => ("ddg/cold/corrupt_segments", Counter),
+    // ddg::durable — crash-safe on-disk segment storage.
+    DdgDurableSpills    => ("ddg/durable/spilled_segments", Gauge),
+    DdgDurableDiskBytes => ("ddg/durable/disk_bytes", Gauge),
+    DdgDurableRetries   => ("ddg/durable/io_retries", Gauge),
+    DdgDurableEnospc    => ("ddg/durable/enospc_fallbacks", Gauge),
+    DdgDurableQuarantined => ("ddg/durable/quarantined_segments", Gauge),
     // slicing::service — demand-driven slice queries.
     SlQueries           => ("slicing/service/queries", Counter),
     SlBatches           => ("slicing/service/batches", Counter),
@@ -128,6 +137,7 @@ metrics! {
     SlSnapshotReuse     => ("slicing/service/snapshot_reuse", Counter),
     SlChunkCopies       => ("slicing/service/chunk_copies", Gauge),
     SlColdQueries       => ("slicing/service/cold_queries", Counter),
+    SlDegraded          => ("slicing/service/degraded_queries", Counter),
     // multicore::epoch / multicore::channel — the fan-out.
     McMessages          => ("multicore/channel/messages", Counter),
     McStallCycles       => ("multicore/channel/stall_cycles", Counter),

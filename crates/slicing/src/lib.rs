@@ -44,8 +44,9 @@ pub use implicit::{locate_omission_error, switch_predicate, OmissionReport, Swit
 pub use prune::{prune_with_confidence, ConfidenceReport};
 pub use relevant::{potential_dependences, relevant_slice, PotentialDep};
 pub use service::{
-    backward_from_addr_over, backward_from_addr_stitched, backward_over, backward_stitched,
-    batch_via_rebuild, forward_over, forward_stitched, DepSource, SliceQuery, SliceService,
-    StitchedSource,
+    backward_from_addr_over, backward_from_addr_stitched, backward_from_addr_stitched_checked,
+    backward_over, backward_stitched, backward_stitched_checked, batch_via_rebuild, forward_over,
+    forward_stitched, forward_stitched_checked, DepSource, SliceQuery, SliceService,
+    StitchedOutcome, StitchedSource,
 };
 pub use slicer::{KindMask, Slice, Slicer};

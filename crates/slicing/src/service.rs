@@ -44,6 +44,7 @@
 
 use crate::slicer::{KindMask, Slice, Slicer};
 use dift_ddg::cold::{ColdStore, ColdView};
+use dift_ddg::iofault::{IoFaultPlan, NoopIoFaults};
 use dift_ddg::{DdgGraph, DepKind, SliceIndex, SliceSnapshot};
 use dift_isa::Addr;
 use dift_obs::{Metric, NoopRecorder, Recorder};
@@ -178,18 +179,18 @@ pub fn backward_from_addr_over<S: DepSource + ?Sized>(
 /// set already absorbed). The [`ColdView`] inside memoizes segment
 /// decoding for the source's lifetime — create one source per query
 /// batch.
-pub struct StitchedSource<'a> {
+pub struct StitchedSource<'a, F: IoFaultPlan = NoopIoFaults> {
     live: &'a SliceSnapshot,
-    cold: ColdView<'a>,
+    cold: ColdView<'a, F>,
 }
 
-impl<'a> StitchedSource<'a> {
-    pub fn new(live: &'a SliceSnapshot, cold: &'a ColdStore) -> StitchedSource<'a> {
+impl<'a, F: IoFaultPlan> StitchedSource<'a, F> {
+    pub fn new(live: &'a SliceSnapshot, cold: &'a ColdStore<F>) -> StitchedSource<'a, F> {
         StitchedSource { live, cold: ColdView::new(cold) }
     }
 }
 
-impl DepSource for StitchedSource<'_> {
+impl<F: IoFaultPlan> DepSource for StitchedSource<'_, F> {
     fn defs(&self, step: u64) -> impl Iterator<Item = (u64, DepKind)> {
         dift_ddg::IndexData::defs(self.live, step).chain(self.cold.defs(step))
     }
@@ -212,9 +213,9 @@ impl DepSource for StitchedSource<'_> {
 }
 
 /// Backward slice over the stitched live + cold history.
-pub fn backward_stitched(
+pub fn backward_stitched<F: IoFaultPlan>(
     live: &SliceSnapshot,
-    cold: &ColdStore,
+    cold: &ColdStore<F>,
     criterion: &[u64],
     mask: KindMask,
 ) -> Slice {
@@ -222,9 +223,9 @@ pub fn backward_stitched(
 }
 
 /// Forward slice over the stitched live + cold history.
-pub fn forward_stitched(
+pub fn forward_stitched<F: IoFaultPlan>(
     live: &SliceSnapshot,
-    cold: &ColdStore,
+    cold: &ColdStore<F>,
     criterion: &[u64],
     mask: KindMask,
 ) -> Slice {
@@ -233,13 +234,104 @@ pub fn forward_stitched(
 
 /// Backward slice seeded with every dynamic instance of `addr` across
 /// the whole stitched history.
-pub fn backward_from_addr_stitched(
+pub fn backward_from_addr_stitched<F: IoFaultPlan>(
     live: &SliceSnapshot,
-    cold: &ColdStore,
+    cold: &ColdStore<F>,
     addr: Addr,
     mask: KindMask,
 ) -> Slice {
     backward_from_addr_over(&StitchedSource::new(live, cold), addr, mask)
+}
+
+/// The result of an integrity-checked stitched query.
+///
+/// Cold-tier segments that fail the durable recovery ladder (CRC,
+/// metadata validation — see `dift_ddg::durable`) are quarantined, not
+/// panicked on and never silently dropped: the walk completes over the
+/// surviving history and the outcome names exactly the user-step ranges
+/// that could not be consulted. A `Full` outcome is the bit-identical
+/// whole-execution slice; a `Degraded` one is an honest partial answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StitchedOutcome {
+    /// Every cold segment the walk needed was intact.
+    Full(Slice),
+    /// Some history is quarantined; the slice excludes it and
+    /// `missing_step_ranges` (merged, ascending) says what is gone.
+    Degraded { slice: Slice, missing_step_ranges: Vec<(u64, u64)> },
+}
+
+impl StitchedOutcome {
+    fn from_parts(slice: Slice, missing: Vec<(u64, u64)>) -> StitchedOutcome {
+        if missing.is_empty() {
+            StitchedOutcome::Full(slice)
+        } else {
+            StitchedOutcome::Degraded { slice, missing_step_ranges: missing }
+        }
+    }
+
+    /// The slice, whatever the integrity verdict.
+    pub fn slice(&self) -> &Slice {
+        match self {
+            StitchedOutcome::Full(s) => s,
+            StitchedOutcome::Degraded { slice, .. } => slice,
+        }
+    }
+
+    /// Consume into the slice.
+    pub fn into_slice(self) -> Slice {
+        match self {
+            StitchedOutcome::Full(s) => s,
+            StitchedOutcome::Degraded { slice, .. } => slice,
+        }
+    }
+
+    /// Did quarantined history limit this answer?
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, StitchedOutcome::Degraded { .. })
+    }
+
+    /// The lost step ranges (empty for [`StitchedOutcome::Full`]).
+    pub fn missing_step_ranges(&self) -> &[(u64, u64)] {
+        match self {
+            StitchedOutcome::Full(_) => &[],
+            StitchedOutcome::Degraded { missing_step_ranges, .. } => missing_step_ranges,
+        }
+    }
+}
+
+/// [`backward_stitched`] with an integrity verdict: the walk runs over
+/// the surviving history, then the cold store's quarantine ledger says
+/// whether any of it was lost.
+pub fn backward_stitched_checked<F: IoFaultPlan>(
+    live: &SliceSnapshot,
+    cold: &ColdStore<F>,
+    criterion: &[u64],
+    mask: KindMask,
+) -> StitchedOutcome {
+    let slice = backward_stitched(live, cold, criterion, mask);
+    StitchedOutcome::from_parts(slice, cold.missing_step_ranges())
+}
+
+/// [`forward_stitched`] with an integrity verdict.
+pub fn forward_stitched_checked<F: IoFaultPlan>(
+    live: &SliceSnapshot,
+    cold: &ColdStore<F>,
+    criterion: &[u64],
+    mask: KindMask,
+) -> StitchedOutcome {
+    let slice = forward_stitched(live, cold, criterion, mask);
+    StitchedOutcome::from_parts(slice, cold.missing_step_ranges())
+}
+
+/// [`backward_from_addr_stitched`] with an integrity verdict.
+pub fn backward_from_addr_stitched_checked<F: IoFaultPlan>(
+    live: &SliceSnapshot,
+    cold: &ColdStore<F>,
+    addr: Addr,
+    mask: KindMask,
+) -> StitchedOutcome {
+    let slice = backward_from_addr_stitched(live, cold, addr, mask);
+    StitchedOutcome::from_parts(slice, cold.missing_step_ranges())
 }
 
 /// One slice request; a batch of these shares a single snapshot.
@@ -348,9 +440,9 @@ impl<R: Recorder> SliceService<R> {
 
     /// Backward slice across the whole execution: live window stitched
     /// with the tracer's cold tier.
-    pub fn backward_stitched(
+    pub fn backward_stitched<F: IoFaultPlan>(
         &mut self,
-        cold: &ColdStore,
+        cold: &ColdStore<F>,
         criterion: &[u64],
         mask: KindMask,
     ) -> Slice {
@@ -360,9 +452,9 @@ impl<R: Recorder> SliceService<R> {
     }
 
     /// Forward slice across the whole execution.
-    pub fn forward_stitched(
+    pub fn forward_stitched<F: IoFaultPlan>(
         &mut self,
-        cold: &ColdStore,
+        cold: &ColdStore<F>,
         criterion: &[u64],
         mask: KindMask,
     ) -> Slice {
@@ -372,9 +464,9 @@ impl<R: Recorder> SliceService<R> {
     }
 
     /// Backward slice from every (live or evicted) instance of `addr`.
-    pub fn backward_from_addr_stitched(
+    pub fn backward_from_addr_stitched<F: IoFaultPlan>(
         &mut self,
-        cold: &ColdStore,
+        cold: &ColdStore<F>,
         addr: Addr,
         mask: KindMask,
     ) -> Slice {
@@ -383,11 +475,55 @@ impl<R: Recorder> SliceService<R> {
         s
     }
 
+    /// [`Self::backward_stitched`] with an integrity verdict; degraded
+    /// answers bump `slicing/service/degraded_queries`.
+    pub fn backward_stitched_checked<F: IoFaultPlan>(
+        &mut self,
+        cold: &ColdStore<F>,
+        criterion: &[u64],
+        mask: KindMask,
+    ) -> StitchedOutcome {
+        let out = backward_stitched_checked(&self.snap, cold, criterion, mask);
+        self.note_outcome(&out);
+        out
+    }
+
+    /// [`Self::forward_stitched`] with an integrity verdict.
+    pub fn forward_stitched_checked<F: IoFaultPlan>(
+        &mut self,
+        cold: &ColdStore<F>,
+        criterion: &[u64],
+        mask: KindMask,
+    ) -> StitchedOutcome {
+        let out = forward_stitched_checked(&self.snap, cold, criterion, mask);
+        self.note_outcome(&out);
+        out
+    }
+
+    /// [`Self::backward_from_addr_stitched`] with an integrity verdict.
+    pub fn backward_from_addr_stitched_checked<F: IoFaultPlan>(
+        &mut self,
+        cold: &ColdStore<F>,
+        addr: Addr,
+        mask: KindMask,
+    ) -> StitchedOutcome {
+        let out = backward_from_addr_stitched_checked(&self.snap, cold, addr, mask);
+        self.note_outcome(&out);
+        out
+    }
+
     fn note_stitched(&mut self, s: &Slice) {
         if R::ENABLED {
             self.obs.add(Metric::SlColdQueries, 1);
         }
         self.note(s);
+    }
+
+    fn note_outcome(&mut self, out: &StitchedOutcome) {
+        if R::ENABLED && out.is_degraded() {
+            self.obs.add(Metric::SlDegraded, 1);
+        }
+        self.note_stitched(out.slice());
     }
 
     /// Answer a batch of queries against one consistent window.
