@@ -22,6 +22,9 @@
 //! report durability   # T8 durable cold tier: segment spill/scan,
 //!                     #   torn-write recovery, disk-backed stitched
 //!                     #   queries (+ BENCH_durability.json)
+//! report lineage-shard
+//!                     # T9 sharded lineage + slice fragments on the
+//!                     #   epoch pipeline (+ BENCH_lineage_shard.json)
 //! report compare <baseline.json> <candidate.json> [--thresholds <file>]
 //!                     # diff two BENCH_*.json; exit 1 on regression
 //! report --test       # CI scale
@@ -51,7 +54,10 @@
 //! the CI replay-determinism step byte-diffs), and `durability` writes
 //! `BENCH_durability.json` (checksummed-segment spill/scan throughput,
 //! on-disk bytes per record, torn-write recovery fraction and scrub
-//! time, and disk-backed stitched-query bit-identity).
+//! time, and disk-backed stitched-query bit-identity), and
+//! `lineage-shard` writes `BENCH_lineage_shard.json` (epoch-sharded
+//! lineage/slicing vs serial: bit-identity fraction, modeled shard
+//! speedup, and arena-merge / fragment-splice costs).
 //!
 //! `compare` is the CI bench gate: it flattens both JSON files, checks
 //! every metric a `bench_thresholds.toml` rule matches, and exits
@@ -68,7 +74,7 @@ use serde::Value;
 
 const SELECTIONS: &str =
     "e1..e10, mix, e1b, e2a, e2b, e3a, e5a, e7a, taint, multicore-scaling, obs, resilience, \
-     slicing, summaries, history, sentinel, durability, ablations, all";
+     slicing, summaries, history, sentinel, durability, lineage-shard, ablations, all";
 
 fn usage() {
     eprintln!(
@@ -143,6 +149,7 @@ fn main() {
             || id == "history"
             || id == "sentinel"
             || id == "durability"
+            || id == "lineage-shard"
             || main_exps.iter().chain(ablations).any(|(k, _)| *k == id)
     };
     if let Some(bad) = selected.iter().find(|id| !known(id)) {
@@ -241,6 +248,14 @@ fn main() {
         print(&dift_bench::durability_to_table(&report));
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
         write_json("BENCH_durability.json", &payload);
+    }
+    if wanted("lineage-shard") {
+        // Measured once; the table and BENCH_lineage_shard.json share
+        // the run.
+        let report = dift_bench::lineage_shard_report(scale);
+        print(&dift_bench::lineage_shard_to_table(&report));
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_json("BENCH_lineage_shard.json", &payload);
     }
 }
 

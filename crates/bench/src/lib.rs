@@ -14,6 +14,7 @@ pub mod apps_exps;
 pub mod compare;
 pub mod durability_exp;
 pub mod history_exp;
+pub mod lineage_shard_exp;
 pub mod obs_report;
 pub mod resilience;
 pub mod scaling;
@@ -35,6 +36,10 @@ pub use durability_exp::{
 };
 pub use history_exp::{
     history_report, history_to_table, t6_history, HistoryReport, HistoryRow, SnapshotRow,
+};
+pub use lineage_shard_exp::{
+    lineage_shard_report, lineage_shard_to_table, t9_lineage_shard, LineageShardPoint,
+    LineageShardReport, LineageShardRow,
 };
 pub use obs_report::{obs_report, ObsReport};
 pub use resilience::{

@@ -271,6 +271,57 @@ fn durability_selection_writes_the_json_artifact() {
 }
 
 #[test]
+fn lineage_shard_selection_writes_the_json_artifact() {
+    let dir = scratch("lineage_shard");
+    let o = run_in(&dir, &["lineage-shard", "--test", "--json"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("\"id\""), "{}", stdout(&o));
+    let payload = std::fs::read_to_string(dir.join("BENCH_lineage_shard.json")).expect("artifact");
+    for needle in [
+        "identical_fraction",
+        "modeled_speedup_geomean_4w",
+        "arena_nodes",
+        "cross_epoch_deps",
+        "chunks_moved",
+        "index_edges",
+        "modeled_only",
+        "rows",
+    ] {
+        assert!(payload.contains(needle), "BENCH_lineage_shard.json missing {needle}");
+    }
+    // The gated invariant must hold even at CI scale: every sharded
+    // width reproduces the serial lineage engine and slice index.
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    assert_eq!(
+        v.field("identical_fraction"),
+        Some(&serde_json::Value::F64(1.0)),
+        "identical_fraction: {payload}"
+    );
+}
+
+#[test]
+fn lineage_shard_selection_rejects_unknown_flags() {
+    let dir = scratch("lineage_shard_badflag");
+    let o = run_in(&dir, &["lineage-shard", "--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(!dir.join("BENCH_lineage_shard.json").exists(), "must not run on bad flags");
+}
+
+#[test]
+fn lineage_shard_appears_in_usage_and_unknown_selection_still_fails() {
+    let dir = scratch("lineage_shard_usage");
+    let o = run_in(&dir, &["--help"]);
+    assert!(o.status.success());
+    assert!(stderr(&o).contains("lineage-shard"), "usage must list the lineage-shard selection");
+    let o = run_in(&dir, &["lineage-shards", "--test"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("unknown selection"), "{}", stderr(&o));
+}
+
+#[test]
 fn durability_selection_rejects_unknown_flags() {
     let dir = scratch("durability_badflag");
     let o = run_in(&dir, &["durability", "--frobnicate"]);

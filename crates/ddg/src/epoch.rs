@@ -1,0 +1,443 @@
+//! Epoch-sharded dependence derivation and [`SliceIndex`] fragment
+//! composition.
+//!
+//! The serial [`OnTrac`](crate::OnTrac) deriver needs the last-writer
+//! shadow state of the whole stream prefix. To ride the epoch-parallel
+//! pipeline (DESIGN §9, §17) each helper shard instead derives its
+//! epoch's dependences with **local** last-writer tables that start
+//! empty:
+//!
+//! * a use whose def lies in the same epoch resolves shard-side and is
+//!   indexed into a private per-shard [`SliceIndex`] fragment;
+//! * a use of a location not (yet) written in the epoch becomes a
+//!   **pending dependence** naming the location, resolved at
+//!   composition time against the global last-writer tables the
+//!   composer folds forward epoch by epoch;
+//! * dynamic control dependences are exact shard-side: the cheap
+//!   label-independent pre-scan ([`control_entry_snapshots`]) clones
+//!   the [`ControlStack`] at every epoch boundary, so each shard knows
+//!   the branch regions its first instruction runs under (a dependence
+//!   on a pre-epoch branch still goes through the pending path, since
+//!   only the composer knows that branch's def-side metadata).
+//!
+//! The semantics mirror `OnTrac` with [`OnTracConfig::unoptimized`]
+//! (every dependence recorded, no eviction): the differential test in
+//! `dift-slicing` holds sharded slices bit-identical to the serial
+//! tracer's.
+//!
+//! Composition ([`EpochDepComposer`]) is cheap where it matters:
+//! fragments splice into the merged index by `Arc`-moving whole chunks
+//! ([`SliceIndex::absorb_fragment`]); only the few cross-epoch pending
+//! records take the ordinary `on_push` path.
+//!
+//! [`OnTracConfig::unoptimized`]: crate::OnTracConfig::unoptimized
+
+use crate::buffer::BufRecord;
+use crate::dep::{DepKind, Dependence};
+use crate::index::{FragmentMergeStats, SliceIndex};
+use crate::shadow::ControlStack;
+use dift_isa::{Addr, MemAddr, Program, Reg, StmtId};
+use dift_vm::{ControlEffect, StepEffects, ThreadId};
+use std::collections::HashMap;
+
+/// The location (or pre-epoch branch) a pending dependence reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PendingSource {
+    Reg(ThreadId, Reg),
+    Mem(MemAddr),
+    /// Control dependence on a branch executed before the epoch; the
+    /// def step is already known, only its metadata is not.
+    Branch(u64),
+}
+
+/// A dependence whose def side lies before the epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingDep {
+    pub user: u64,
+    pub user_addr: Addr,
+    pub user_stmt: StmtId,
+    pub kind: DepKind,
+    pub src: PendingSource,
+}
+
+/// One epoch's dependence delta: an indexed fragment of in-epoch
+/// records, the pending cross-epoch reads, and the epoch-exit
+/// last-writer tables the composer folds forward.
+pub struct EpochDeps {
+    index: SliceIndex,
+    pending: Vec<PendingDep>,
+    reg_defs: HashMap<(ThreadId, Reg), u64>,
+    mem_defs: HashMap<MemAddr, u64>,
+    def_meta: HashMap<u64, (Addr, StmtId)>,
+    instrs: u64,
+}
+
+impl EpochDeps {
+    /// Steps summarized (the composer's integrity check).
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    /// In-epoch records indexed shard-side.
+    pub fn edges(&self) -> u64 {
+        self.index.edges()
+    }
+
+    /// Cross-epoch reads awaiting composition.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Shard-side deriver for one epoch — the sharded mirror of the
+/// unoptimized `OnTrac` derivation loop.
+pub struct EpochDepSummarizer {
+    frag: EpochDeps,
+    control: ControlStack,
+    epoch_start: u64,
+    /// Shadow-memory capacity: writes at or beyond are ignored, exactly
+    /// as [`crate::ShadowState`] ignores them.
+    mem_words: u64,
+}
+
+impl EpochDepSummarizer {
+    /// `control` is this epoch's entry snapshot from
+    /// [`control_entry_snapshots`]; `epoch_start` the global step of
+    /// the epoch's first instruction; `mem_words` the serial tracer's
+    /// shadow capacity (semantics above).
+    pub fn new(control: ControlStack, epoch_start: u64, mem_words: usize) -> EpochDepSummarizer {
+        EpochDepSummarizer {
+            frag: EpochDeps {
+                index: SliceIndex::default(),
+                pending: Vec::new(),
+                reg_defs: HashMap::new(),
+                mem_defs: HashMap::new(),
+                def_meta: HashMap::new(),
+                instrs: 0,
+            },
+            control,
+            epoch_start,
+            mem_words: mem_words as u64,
+        }
+    }
+
+    fn record(&mut self, kind: DepKind, user: u64, def: u64, fx: &StepEffects) {
+        let (def_addr, def_stmt) = self.frag.def_meta.get(&def).copied().unwrap_or((0, 0));
+        let rec = BufRecord {
+            dep: Dependence::new(user, def, kind),
+            user_addr: fx.addr,
+            def_addr,
+            user_stmt: fx.insn.stmt,
+            def_stmt,
+        };
+        self.frag.index.on_push(&rec);
+    }
+
+    fn defer(&mut self, kind: DepKind, fx: &StepEffects, src: PendingSource) {
+        self.frag.pending.push(PendingDep {
+            user: fx.step,
+            user_addr: fx.addr,
+            user_stmt: fx.insn.stmt,
+            kind,
+            src,
+        });
+    }
+
+    /// Derive one step (steps must arrive in stream order).
+    pub fn step(&mut self, fx: &StepEffects) {
+        let tid = fx.tid;
+        let step = fx.step;
+        self.frag.instrs += 1;
+
+        self.control.on_step(tid, fx.addr);
+        if fx.reg_write.is_some() || fx.mem_write.is_some() || fx.insn.is_branch() {
+            self.frag.def_meta.insert(step, (fx.addr, fx.insn.stmt));
+        }
+
+        // Register uses.
+        for &r in fx.insn.reg_uses().as_slice() {
+            match self.frag.reg_defs.get(&(tid, r)) {
+                Some(&def) => self.record(DepKind::RegData, step, def, fx),
+                None => self.defer(DepKind::RegData, fx, PendingSource::Reg(tid, r)),
+            }
+        }
+        // Memory read.
+        if let Some((addr, _)) = fx.mem_read {
+            match self.frag.mem_defs.get(&addr) {
+                Some(&def) => self.record(DepKind::MemData, step, def, fx),
+                None if addr < self.mem_words => {
+                    self.defer(DepKind::MemData, fx, PendingSource::Mem(addr))
+                }
+                None => {}
+            }
+        }
+        // Control dependence: exact shard-side thanks to the entry
+        // snapshot; only pre-epoch def metadata defers.
+        if let Some(branch) = self.control.current_dep(tid) {
+            if branch >= self.epoch_start {
+                self.record(DepKind::Control, step, branch, fx);
+            } else {
+                self.defer(DepKind::Control, fx, PendingSource::Branch(branch));
+            }
+        }
+
+        // Last-writer updates.
+        if let Some((r, _, _)) = fx.reg_write {
+            self.frag.reg_defs.insert((tid, r), step);
+        }
+        if let Some((addr, _, _)) = fx.mem_write {
+            if addr < self.mem_words {
+                self.frag.mem_defs.insert(addr, step);
+            }
+        }
+
+        // Control-stack maintenance.
+        match fx.control {
+            Some(ControlEffect::Branch { .. }) => self.control.on_branch(tid, fx.addr, step),
+            Some(ControlEffect::Call { .. }) => self.control.on_call(tid),
+            Some(ControlEffect::Ret { .. }) => self.control.on_ret(tid),
+            _ => {}
+        }
+    }
+
+    pub fn finish(self) -> EpochDeps {
+        self.frag
+    }
+}
+
+/// Derive one epoch's dependences.
+pub fn summarize_dep_epoch(
+    fxs: &[StepEffects],
+    control: ControlStack,
+    epoch_start: u64,
+    mem_words: usize,
+) -> EpochDeps {
+    let mut s = EpochDepSummarizer::new(control, epoch_start, mem_words);
+    for fx in fxs {
+        s.step(fx);
+    }
+    s.finish()
+}
+
+/// The label-independent control pre-scan: clone the [`ControlStack`]
+/// at every epoch boundary so each shard starts from the exact control
+/// context of its first instruction. O(stream) stack operations, no
+/// shadow state — the same cheap-sequential-pass category as the taint
+/// pipeline's `IoBase` scan.
+pub fn control_entry_snapshots(program: &Program, chunks: &[&[StepEffects]]) -> Vec<ControlStack> {
+    let mut cs = ControlStack::new(program);
+    let mut out = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        out.push(cs.clone());
+        for fx in *chunk {
+            cs.on_step(fx.tid, fx.addr);
+            match fx.control {
+                Some(ControlEffect::Branch { .. }) => cs.on_branch(fx.tid, fx.addr, fx.step),
+                Some(ControlEffect::Call { .. }) => cs.on_call(fx.tid),
+                Some(ControlEffect::Ret { .. }) => cs.on_ret(fx.tid),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Composition counters (reported by the lineage-shard bench).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DepComposeStats {
+    pub fragments: usize,
+    pub chunks_moved: usize,
+    pub chunks_merged: usize,
+    /// Pending dependences resolved to a pre-epoch def and recorded.
+    pub cross_epoch_records: u64,
+    /// Pending dependences whose location had never been written (no
+    /// dependence exists — the serial tracer records nothing either).
+    pub unresolved_pendings: u64,
+}
+
+/// Folds epoch fragments, in stream order, into one whole-run
+/// [`SliceIndex`] plus the global last-writer tables that resolve
+/// pending dependences.
+#[derive(Default)]
+pub struct EpochDepComposer {
+    index: SliceIndex,
+    reg_defs: HashMap<(ThreadId, Reg), u64>,
+    mem_defs: HashMap<MemAddr, u64>,
+    step_meta: HashMap<u64, (Addr, StmtId)>,
+    stats: DepComposeStats,
+}
+
+impl EpochDepComposer {
+    pub fn new() -> EpochDepComposer {
+        EpochDepComposer::default()
+    }
+
+    /// Absorb the next epoch's fragment. Pendings are resolved against
+    /// the pre-epoch global tables *before* the fragment's exit tables
+    /// fold forward; a pending whose location was never written
+    /// resolves to no dependence, exactly like the serial tracer's
+    /// `None` shadow lookup.
+    pub fn absorb(&mut self, frag: EpochDeps) -> FragmentMergeStats {
+        let mut resolved: Vec<BufRecord> = Vec::with_capacity(frag.pending.len());
+        for p in &frag.pending {
+            let def = match p.src {
+                PendingSource::Reg(tid, r) => self.reg_defs.get(&(tid, r)).copied(),
+                PendingSource::Mem(addr) => self.mem_defs.get(&addr).copied(),
+                PendingSource::Branch(step) => Some(step),
+            };
+            let Some(def) = def else {
+                self.stats.unresolved_pendings += 1;
+                continue;
+            };
+            let (def_addr, def_stmt) = self.step_meta.get(&def).copied().unwrap_or((0, 0));
+            resolved.push(BufRecord {
+                dep: Dependence::new(p.user, def, p.kind),
+                user_addr: p.user_addr,
+                def_addr,
+                user_stmt: p.user_stmt,
+                def_stmt,
+            });
+        }
+        let ms = self.index.absorb_fragment(frag.index);
+        for rec in &resolved {
+            self.index.on_push(rec);
+        }
+        self.stats.cross_epoch_records += resolved.len() as u64;
+        self.stats.fragments += 1;
+        self.stats.chunks_moved += ms.chunks_moved;
+        self.stats.chunks_merged += ms.chunks_merged;
+        self.reg_defs.extend(frag.reg_defs);
+        self.mem_defs.extend(frag.mem_defs);
+        self.step_meta.extend(frag.def_meta);
+        ms
+    }
+
+    pub fn stats(&self) -> DepComposeStats {
+        self.stats
+    }
+
+    /// The merged whole-run index (queryable via
+    /// `dift-slicing`'s `SliceService`).
+    pub fn into_index(self) -> SliceIndex {
+        self.index
+    }
+
+    pub fn index(&self) -> &SliceIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgGraph;
+    use crate::ontrac::{OnTrac, OnTracConfig};
+    use dift_dbi::{Engine, Tool};
+    use dift_isa::{BinOp, BranchCond, ProgramBuilder};
+    use dift_vm::{Machine, MachineConfig};
+    use std::sync::Arc;
+
+    /// A looped program with loads/stores and cross-block flow.
+    fn looped_program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        b.func("main");
+        b.li(Reg(1), 6);
+        b.li(Reg(2), 0);
+        b.li(Reg(3), 10);
+        b.label("loop");
+        b.store(Reg(2), Reg(3), 0);
+        b.load(Reg(4), Reg(3), 0);
+        b.bin(BinOp::Add, Reg(2), Reg(2), Reg(4));
+        b.bini(BinOp::Add, Reg(3), Reg(3), 1);
+        b.bini(BinOp::Sub, Reg(1), Reg(1), 1);
+        b.branch(BranchCond::Ne, Reg(1), Reg(0), "loop");
+        b.halt();
+        Arc::new(b.build().unwrap())
+    }
+
+    /// Capture the step stream of a program run.
+    fn capture(program: &Arc<Program>) -> Vec<StepEffects> {
+        struct Cap(Vec<StepEffects>);
+        impl Tool for Cap {
+            fn after(&mut self, _m: &mut Machine, fx: &StepEffects) {
+                self.0.push(fx.clone());
+            }
+        }
+        let m = Machine::new(program.clone(), MachineConfig::small());
+        let mut cap = Cap(Vec::new());
+        let r = Engine::new(m).run_tool(&mut cap);
+        assert!(r.status.is_clean(), "{:?}", r.status);
+        cap.0
+    }
+
+    fn sorted_edges(idx: &SliceIndex) -> Vec<(u64, u64, DepKind)> {
+        let mut v: Vec<(u64, u64, DepKind)> = idx
+            .steps()
+            .flat_map(|s| idx.defs(s).map(move |(d, k)| (s, d, k)).collect::<Vec<_>>())
+            .collect();
+        v.sort_unstable_by_key(|e| (e.0, e.1, e.2 as u8));
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn sharded_fragments_match_serial_unoptimized_index() {
+        let program = looped_program();
+        let mem_words = MachineConfig::small().mem_words;
+        let stream = capture(&program);
+        assert!(stream.len() > 20);
+
+        // Serial reference: OnTrac unoptimized with a never-evicting
+        // buffer; its slice index is the ground truth.
+        let mut serial = OnTrac::new(&program, mem_words, OnTracConfig::unoptimized(1 << 24));
+        let m = Machine::new(program.clone(), MachineConfig::small());
+        let r = Engine::new(m).run_tool(&mut serial);
+        assert!(r.status.is_clean());
+        let want = serial.slice_index().expect("index on");
+
+        for epoch_len in [3usize, 7, 16, 1024] {
+            let chunks: Vec<&[StepEffects]> = stream.chunks(epoch_len).collect();
+            let snaps = control_entry_snapshots(&program, &chunks);
+            let mut comp = EpochDepComposer::new();
+            for (chunk, snap) in chunks.iter().zip(snaps) {
+                let frag = summarize_dep_epoch(chunk, snap, chunk[0].step, mem_words);
+                comp.absorb(frag);
+            }
+            let got = comp.into_index();
+            assert_eq!(sorted_edges(&got), sorted_edges(want), "epoch_len {epoch_len}");
+            assert_eq!(got.edges(), want.edges(), "edge multiset, epoch_len {epoch_len}");
+            for step in want.steps() {
+                assert_eq!(got.meta_of(step), want.meta_of(step), "meta({step})");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_index_matches_whole_run_graph_rebuild() {
+        let program = looped_program();
+        let mem_words = MachineConfig::small().mem_words;
+        let stream = capture(&program);
+        let mut serial = OnTrac::new(&program, mem_words, OnTracConfig::unoptimized(1 << 24));
+        let m = Machine::new(program.clone(), MachineConfig::small());
+        Engine::new(m).run_tool(&mut serial);
+        let g = DdgGraph::from_records(serial.buffer().records(), &program);
+
+        let chunks: Vec<&[StepEffects]> = stream.chunks(8).collect();
+        let snaps = control_entry_snapshots(&program, &chunks);
+        let mut comp = EpochDepComposer::new();
+        for (chunk, snap) in chunks.iter().zip(snaps) {
+            comp.absorb(summarize_dep_epoch(chunk, snap, chunk[0].step, mem_words));
+        }
+        let idx = comp.into_index();
+        for step in g.steps() {
+            let mut want: Vec<(u64, DepKind)> =
+                g.defs_of(step).iter().map(|d| (d.def, d.kind)).collect();
+            want.sort_unstable_by_key(|e| (e.0, e.1 as u8));
+            want.dedup();
+            let mut got: Vec<(u64, DepKind)> = idx.defs(step).collect();
+            got.sort_unstable_by_key(|e| (e.0, e.1 as u8));
+            got.dedup();
+            assert_eq!(got, want, "defs_of({step})");
+        }
+    }
+}

@@ -315,6 +315,17 @@ impl IndexData {
     }
 }
 
+/// Outcome counters of one [`SliceIndex::absorb_fragment`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FragmentMergeStats {
+    /// Fragment chunks spliced in wholesale (O(1) `Arc` moves).
+    pub chunks_moved: usize,
+    /// Boundary chunks whose maps had to be unioned entry-by-entry.
+    pub chunks_merged: usize,
+    /// Edges the fragment contributed.
+    pub edges: u64,
+}
+
 /// The live, incrementally-maintained index. Owned by the tracer
 /// ([`crate::OnTrac`]) next to the circular buffer; updated on every
 /// `push` and pruned on every eviction so its contents always equal the
@@ -386,6 +397,79 @@ impl SliceIndex {
     /// generations imply an identical window.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Splice a shard-built fragment into this index — the
+    /// epoch-parallel merge primitive ([`crate::epoch`]). Each helper
+    /// shard indexes its epoch's in-epoch dependences into a private
+    /// `SliceIndex`; because epochs partition the step range, a
+    /// fragment's chunks are disjoint from every other epoch's except
+    /// at the chunk-boundary seams, so the merge moves whole chunks by
+    /// `Arc` (O(1) per chunk) and only unions the seam chunks
+    /// entry-by-entry. Fragments must cover disjoint step ranges;
+    /// overlapping *step keys* would silently concatenate adjacency
+    /// buckets (queries still see the union, but refcounts are summed,
+    /// debug-asserted on metadata agreement).
+    pub fn absorb_fragment(&mut self, frag: SliceIndex) -> FragmentMergeStats {
+        use std::collections::btree_map::Entry as BEntry;
+        use std::collections::hash_map::Entry as HEntry;
+        let mut stats = FragmentMergeStats { edges: frag.data.edges, ..Default::default() };
+        let d = &mut self.data;
+        d.edges += frag.data.edges;
+        d.step_total += frag.data.step_total;
+        d.chunk_copies += frag.data.chunk_copies;
+        d.spine_copies += frag.data.spine_copies;
+        d.desyncs += frag.data.desyncs;
+        if Arc::strong_count(&d.chunks) > 1 {
+            d.spine_copies += 1;
+        }
+        let spine = Arc::make_mut(&mut d.chunks);
+        let frag_chunks =
+            Arc::try_unwrap(frag.data.chunks).unwrap_or_else(|shared| (*shared).clone());
+        for (id, chunk) in frag_chunks {
+            match spine.entry(id) {
+                BEntry::Vacant(v) => {
+                    v.insert(chunk);
+                    stats.chunks_moved += 1;
+                }
+                BEntry::Occupied(mut o) => {
+                    stats.chunks_merged += 1;
+                    if Arc::strong_count(o.get()) > 1 {
+                        d.chunk_copies += 1;
+                    }
+                    let dst = Arc::make_mut(o.get_mut());
+                    let src = Arc::try_unwrap(chunk).unwrap_or_else(|shared| (*shared).clone());
+                    for (k, v) in src.defs_of {
+                        dst.defs_of.entry(k).or_default().extend(v);
+                    }
+                    for (k, v) in src.users_of {
+                        dst.users_of.entry(k).or_default().extend(v);
+                    }
+                    for (k, e) in src.steps {
+                        match dst.steps.entry(k) {
+                            HEntry::Vacant(ve) => {
+                                ve.insert(e);
+                            }
+                            HEntry::Occupied(mut oe) => {
+                                debug_assert_eq!(
+                                    (oe.get().addr, oe.get().stmt),
+                                    (e.addr, e.stmt),
+                                    "step {k}: fragment metadata diverged"
+                                );
+                                oe.get_mut().count += e.count;
+                                // The step was counted by both sides.
+                                d.step_total -= 1;
+                            }
+                        }
+                    }
+                    for (a, set) in src.addr_steps {
+                        dst.addr_steps.entry(a).or_default().extend(set);
+                    }
+                }
+            }
+        }
+        self.generation += 1;
+        stats
     }
 
     /// Freeze the current window into an immutable, `Send + Sync`

@@ -27,6 +27,10 @@
 //! * [`compact`] — the compact (post-processed) DDG representation with
 //!   per-static-edge timestamp-pair runs.
 //! * [`graph`] — an in-memory queryable DDG used by the slicing crate.
+//! * [`epoch`] — epoch-sharded dependence derivation: per-shard
+//!   [`SliceIndex`] fragments with local last-writer tables and pending
+//!   cross-epoch dependences, composed in stream order into a whole-run
+//!   index identical to the serial tracer's (DESIGN §17).
 //! * [`index`] — the incrementally-maintained slice index: per-step
 //!   adjacency plus an addr→steps map kept in lockstep with the buffer
 //!   (fed on push, pruned on eviction), so backward/forward slices over
@@ -58,6 +62,7 @@ pub mod compact;
 pub mod costs;
 pub mod dep;
 pub mod durable;
+pub mod epoch;
 pub mod graph;
 pub mod index;
 pub mod iofault;
@@ -71,8 +76,12 @@ pub use cold::{ColdStore, ColdView, CompactionReport, QuarantineEvent, SegMeta};
 pub use compact::CompactDdg;
 pub use dep::{DepKind, Dependence, StepMeta};
 pub use durable::{CorruptKind, IoStats, ScrubReport, SegmentStore};
+pub use epoch::{
+    control_entry_snapshots, summarize_dep_epoch, DepComposeStats, EpochDepComposer,
+    EpochDepSummarizer, EpochDeps,
+};
 pub use graph::DdgGraph;
-pub use index::{IndexData, SliceIndex, SliceSnapshot};
+pub use index::{FragmentMergeStats, IndexData, SliceIndex, SliceSnapshot};
 pub use iofault::{IoFaultPlan, IoFaultSite, IoInjection, NoopIoFaults, ScriptedIoFaults};
 pub use offline::{OfflinePipeline, OfflineStats};
 pub use ontrac::{OnTrac, OnTracConfig, OnTracStats};

@@ -170,6 +170,12 @@ impl ShadowState {
 ///
 /// The dynamic control dependence of the current instruction is the
 /// region on top of the current frame's stack.
+///
+/// `Clone` is deliberate: the epoch-sharded deriver
+/// ([`crate::epoch`]) snapshots the stack at each epoch boundary
+/// during the cheap sequential pre-scan, giving every shard the exact
+/// control context its first instruction runs under.
+#[derive(Clone)]
 pub struct ControlStack {
     /// branch addr -> region end addr.
     region_end: HashMap<Addr, Addr>,

@@ -19,6 +19,15 @@ pub trait LineageBackend {
     fn is_empty(&self, s: &Self::Set) -> bool;
     /// Materialize (ascending) — reporting/validation only.
     fn elements(&self, s: &Self::Set) -> Vec<u64>;
+    /// The `limit` smallest elements, ascending, at cost proportional
+    /// to the output. Reporting paths use this instead of
+    /// [`elements`](Self::elements) so pathological sets (near-universal
+    /// at wide widths) cannot hang them.
+    fn elements_up_to(&self, s: &Self::Set, limit: usize) -> Vec<u64> {
+        let mut v = self.elements(s);
+        v.truncate(limit);
+        v
+    }
     fn len(&self, s: &Self::Set) -> u64;
     /// Bytes attributable to storing `stored` live sets right now.
     fn shadow_bytes(&self, stored: &[&Self::Set]) -> usize;
@@ -38,6 +47,12 @@ impl BddBackend {
 
     pub fn manager(&self) -> &BddManager {
         &self.mgr
+    }
+
+    /// Mutable manager access — the shard-compose path absorbs private
+    /// per-epoch arenas into this primary manager.
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.mgr
     }
 }
 
@@ -62,6 +77,12 @@ impl LineageBackend for BddBackend {
 
     fn elements(&self, s: &NodeId) -> Vec<u64> {
         self.mgr.elements(*s)
+    }
+
+    fn elements_up_to(&self, s: &NodeId, limit: usize) -> Vec<u64> {
+        // The manager's bounded walk is O(limit · nvars) even on sets
+        // whose full enumeration would be astronomical.
+        self.mgr.elements_up_to(*s, limit)
     }
 
     fn len(&self, s: &NodeId) -> u64 {

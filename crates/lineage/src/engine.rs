@@ -21,17 +21,21 @@ pub struct LineageStats {
 }
 
 /// The lineage engine, generic over the set backend.
+///
+/// Fields are `pub(crate)` so the shard-compose path
+/// ([`crate::shard`]) can apply per-epoch symbolic summaries directly
+/// to the shadow state.
 pub struct LineageEngine<B: LineageBackend> {
-    backend: B,
-    regs: Vec<Vec<B::Set>>,
-    mem: HashMap<MemAddr, B::Set>,
-    inputs_seen: u64,
+    pub(crate) backend: B,
+    pub(crate) regs: Vec<Vec<B::Set>>,
+    pub(crate) mem: HashMap<MemAddr, B::Set>,
+    pub(crate) inputs_seen: u64,
     /// Channel that produced input index `i` (indexed by input index).
-    input_channels: Vec<u16>,
+    pub(crate) input_channels: Vec<u16>,
     /// `(channel, emit index, lineage elements)` per output word.
     pub outputs: Vec<(u16, u64, Vec<u64>)>,
-    out_counts: HashMap<u16, u64>,
-    stats: LineageStats,
+    pub(crate) out_counts: HashMap<u16, u64>,
+    pub(crate) stats: LineageStats,
     /// Sample shadow memory every N instructions (full scans are
     /// expensive for the naive backend).
     sample_every: u64,
@@ -60,7 +64,12 @@ impl<B: LineageBackend> LineageEngine<B> {
         &self.backend
     }
 
-    fn ensure_tid(&mut self, tid: ThreadId) {
+    /// Total input words consumed so far (= next input index).
+    pub fn inputs_seen(&self) -> u64 {
+        self.inputs_seen
+    }
+
+    pub(crate) fn ensure_tid(&mut self, tid: ThreadId) {
         while self.regs.len() <= tid as usize {
             let empty = self.backend.empty();
             self.regs.push(vec![empty; NUM_REGS]);
@@ -87,6 +96,22 @@ impl<B: LineageBackend> LineageEngine<B> {
     /// Lineage of a live memory cell, resolved to sorted input indices.
     pub fn mem_elements(&self, addr: MemAddr) -> Vec<u64> {
         self.mem.get(&addr).map(|s| self.backend.elements(s)).unwrap_or_default()
+    }
+
+    /// Bounded variant of [`reg_elements`](Self::reg_elements): the
+    /// `limit` smallest indices, at cost proportional to the output.
+    /// Reporting paths should prefer this.
+    pub fn reg_elements_up_to(&self, tid: ThreadId, reg: usize, limit: usize) -> Vec<u64> {
+        self.regs
+            .get(tid as usize)
+            .and_then(|regs| regs.get(reg))
+            .map(|s| self.backend.elements_up_to(s, limit))
+            .unwrap_or_default()
+    }
+
+    /// Bounded variant of [`mem_elements`](Self::mem_elements).
+    pub fn mem_elements_up_to(&self, addr: MemAddr, limit: usize) -> Vec<u64> {
+        self.mem.get(&addr).map(|s| self.backend.elements_up_to(s, limit)).unwrap_or_default()
     }
 
     /// Channel that produced each input index (indexed by input index).
@@ -179,7 +204,7 @@ impl<B: LineageBackend> LineageEngine<B> {
         charge
     }
 
-    fn sample_memory(&mut self) {
+    pub(crate) fn sample_memory(&mut self) {
         // Resident shadow state: memory cells plus live register labels.
         let mut stored: Vec<&B::Set> = self.mem.values().collect();
         for regs in &self.regs {

@@ -17,13 +17,20 @@
 //!   (the baseline whose memory explodes);
 //! * [`LineageEngine`] — the DBI tool performing set-valued propagation,
 //!   with cycle charges per instruction and per set operation, and
-//!   shadow-memory accounting for the E7 table.
+//!   shadow-memory accounting for the E7 table;
+//! * [`shard`] — per-epoch symbolic lineage summaries over private
+//!   roBDD arenas, composed onto a primary engine by a canonicity-
+//!   preserving hash-cons merge (the epoch-parallel path).
 
 pub mod backend;
 pub mod engine;
+pub mod shard;
 
 pub use backend::{BddBackend, LineageBackend, NaiveBackend};
 pub use engine::{LineageEngine, LineageStats};
+pub use shard::{
+    summarize_lineage_epoch, LineageEpochSummarizer, LineageEpochSummary, SinkLog, SymSet,
+};
 
 /// Cycle charges for lineage tracing.
 pub mod costs {

@@ -26,6 +26,7 @@ pub mod channel;
 pub mod epoch;
 pub mod faultplan;
 pub mod helper;
+pub mod lineage_shard;
 pub mod resilience;
 
 pub use channel::{ChannelModel, MultiQueueSim, QueueSim};
@@ -38,4 +39,8 @@ pub use faultplan::{
     INJECTED_PANIC_MARKER,
 };
 pub use helper::{run_helper_dift, run_inline_dift, DiftRun, MulticoreStats};
+pub use lineage_shard::{
+    shard_lineage_stream, shard_lineage_stream_obs, shard_lineage_stream_tolerant,
+    LineageShardConfig, LineageShardRun, LineageShardStats,
+};
 pub use resilience::{RecoveryPolicy, RecoveryStats};

@@ -1,0 +1,309 @@
+//! Sharded lineage tracing (and optional slice-index derivation) on the
+//! epoch-parallel pipeline.
+//!
+//! [`epoch_process_stream_tolerant`](crate::epoch::epoch_process_stream_tolerant)
+//! fans *taint* propagation out by epoch; this module does the same for
+//! the two remaining serial analyses (DESIGN §17):
+//!
+//! * **Lineage** — each shard summarizes its epoch into a
+//!   [`LineageEpochSummary`]: set-valued effects over a private roBDD
+//!   arena, with reads of pre-epoch state left symbolic. Composition
+//!   absorbs each arena into the primary [`BddManager`] via the
+//!   canonicity-preserving hash-cons merge and resolves the symbolic
+//!   reads, reproducing the serial [`LineageEngine`] bit for bit.
+//! * **Slicing** — each shard derives its epoch's dependences into a
+//!   private `SliceIndex` fragment ([`dift_ddg::epoch`]); composition
+//!   splices fragments chunk-by-chunk and resolves the few cross-epoch
+//!   pending dependences, so `dift-slicing`'s `SliceService` can answer
+//!   queries against a sharded run.
+//!
+//! The fault-tolerance contract is inherited unchanged: summaries are
+//! pure functions of their epoch's records (plus label-independent
+//! pre-scans), so any epoch lost to an injected [`FaultSite`] is
+//! re-summarized inline during composition and the result is still
+//! bit-identical to serial processing.
+//!
+//! [`BddManager`]: dift_robdd::BddManager
+
+use crate::faultplan::{FaultPlan, FaultSite, NoopFaults, INJECTED_PANIC_MARKER};
+use crate::resilience::RecoveryStats;
+use dift_ddg::epoch::{control_entry_snapshots, summarize_dep_epoch, EpochDeps};
+use dift_ddg::{ControlStack, SliceIndex};
+use dift_isa::Program;
+use dift_lineage::{
+    summarize_lineage_epoch, BddBackend, LineageEngine, LineageEpochSummary, SinkLog,
+};
+use dift_obs::{Metric, NoopRecorder, Recorder};
+use dift_taint::IoBase;
+use dift_vm::StepEffects;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+use std::time::Instant;
+
+/// Configuration of the sharded lineage/slicing run.
+#[derive(Clone, Debug)]
+pub struct LineageShardConfig {
+    /// Shard threads the stream fans out across.
+    pub workers: usize,
+    /// Instructions per epoch.
+    pub epoch_len: usize,
+    /// Bit width of the roBDD input-identifier universe.
+    pub id_bits: u32,
+    /// Capture sink observations (stores, outputs, address lineage) for
+    /// the sentinel, exactly as the serial `SinkObserver` would.
+    pub capture_sinks: bool,
+    /// Also derive per-epoch `SliceIndex` fragments and merge them.
+    pub slice: bool,
+}
+
+impl LineageShardConfig {
+    pub fn new(workers: usize, epoch_len: usize, id_bits: u32) -> LineageShardConfig {
+        LineageShardConfig { workers, epoch_len, id_bits, capture_sinks: false, slice: false }
+    }
+}
+
+/// Wall-clock and merge-cost accounting for one sharded run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LineageShardStats {
+    pub epochs: u64,
+    pub workers: usize,
+    /// Total shard-side summarize time — the serial-equivalent work.
+    pub shard_nanos_total: u64,
+    /// Busiest worker's summarize time — the parallel critical path.
+    pub max_worker_nanos: u64,
+    /// Sequential composition time (arena merges, symbolic resolution,
+    /// fragment splicing).
+    pub compose_nanos: u64,
+    /// roBDD nodes built in shard arenas (upper bound on merge traffic).
+    pub arena_nodes: u64,
+    /// Dependences whose def lay in an earlier epoch (resolved at
+    /// composition).
+    pub cross_epoch_deps: u64,
+    /// Pending reads of never-written locations (no dependence exists).
+    pub unresolved_pendings: u64,
+    /// Index chunks spliced by `Arc` move vs merged key-by-key.
+    pub chunks_moved: u64,
+    pub chunks_merged: u64,
+}
+
+impl LineageShardStats {
+    /// Modeled shard speedup: serial-equivalent shard work over the
+    /// parallel critical path (busiest worker + sequential compose).
+    /// Wall-clock on a single-core host cannot show this; the model is
+    /// exact in the sense that both numerator and denominator are
+    /// measured, only their overlap is assumed.
+    pub fn modeled_speedup(&self) -> f64 {
+        let path = self.max_worker_nanos + self.compose_nanos;
+        if path == 0 {
+            1.0
+        } else {
+            (self.shard_nanos_total + self.compose_nanos) as f64 / path as f64
+        }
+    }
+}
+
+/// The result of a sharded run: a primary engine (and optional sink log
+/// / merged index) bit-identical to serial processing, plus accounting.
+pub struct LineageShardRun {
+    pub engine: LineageEngine<BddBackend>,
+    /// Sink observations in serial order (`capture_sinks` only).
+    pub sinks: Option<SinkLog>,
+    /// The merged whole-run slice index (`slice` only).
+    pub index: Option<SliceIndex>,
+    pub stats: LineageShardStats,
+    pub recovery: RecoveryStats,
+}
+
+/// [`shard_lineage_stream_obs`] with no recorder and no faults.
+pub fn shard_lineage_stream(
+    stream: &[StepEffects],
+    program: &Program,
+    mem_words: usize,
+    cfg: &LineageShardConfig,
+) -> LineageShardRun {
+    shard_lineage_stream_obs(stream, program, mem_words, cfg, NoopFaults, NoopRecorder).0
+}
+
+/// Epoch-parallel lineage (and optional slicing) over a pre-captured
+/// effects stream, under a [`FaultPlan`] adversary, with `dift-obs`
+/// probes. Mirrors the taint pipeline's tolerant runner: workers claim
+/// epochs from a shared counter; a wedged worker stops claiming; panics
+/// are caught per epoch; and any epoch whose summary is missing or
+/// fails the instruction-count integrity check is re-summarized inline
+/// during composition — the result is always bit-identical to serial.
+pub fn shard_lineage_stream_obs<F: FaultPlan, R: Recorder + Send>(
+    stream: &[StepEffects],
+    program: &Program,
+    mem_words: usize,
+    cfg: &LineageShardConfig,
+    faults: F,
+    mut obs: R,
+) -> (LineageShardRun, R) {
+    assert!(cfg.epoch_len >= 1, "epochs must be non-empty");
+    assert!(cfg.workers >= 1, "at least one worker");
+    let chunks: Vec<&[StepEffects]> = stream.chunks(cfg.epoch_len).collect();
+
+    // Label-independent sequential pre-scans: per-channel input counts
+    // (numbers the lineage identifiers) and, when slicing, the control
+    // stack at each epoch entry (grounds control dependences).
+    let mut bases = Vec::with_capacity(chunks.len());
+    let mut base = IoBase::default();
+    for c in &chunks {
+        bases.push(base.clone());
+        base.advance(c);
+    }
+    let snaps: Option<Vec<ControlStack>> =
+        cfg.slice.then(|| control_entry_snapshots(program, &chunks));
+
+    type Slot = (LineageEpochSummary, Option<EpochDeps>);
+    let summaries: Vec<OnceLock<Slot>> = chunks.iter().map(|_| OnceLock::new()).collect();
+    let worker_nanos: Vec<AtomicU64> = (0..cfg.workers).map(|_| AtomicU64::new(0)).collect();
+    let next = AtomicUsize::new(0);
+    let fired = AtomicU64::new(0);
+    thread::scope(|s| {
+        let chunks = &chunks;
+        let bases = &bases;
+        let snaps = &snaps;
+        let summaries = &summaries;
+        let next = &next;
+        let fired = &fired;
+        for (w, nanos) in worker_nanos.iter().enumerate() {
+            let faults = faults.clone();
+            let cfg = cfg.clone();
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                if F::ARMED && faults.fires(FaultSite::QueueStall, w, i) {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                if F::ARMED && faults.fires(FaultSite::DropMessage, w, i) {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let t0 = Instant::now();
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    if F::ARMED && faults.fires(FaultSite::ShardPanic, w, i) {
+                        fired.fetch_add(1, Ordering::Relaxed);
+                        panic_any(format!("{INJECTED_PANIC_MARKER} scripted worker panic"));
+                    }
+                    if F::ARMED && faults.fires(FaultSite::CorruptSummary, w, i) {
+                        fired.fetch_add(1, Ordering::Relaxed);
+                        // Summarize the epoch minus its first record; the
+                        // instruction-count check catches it at compose.
+                        let sum = summarize_lineage_epoch(
+                            &chunks[i][1..],
+                            cfg.id_bits,
+                            &bases[i],
+                            cfg.capture_sinks,
+                        );
+                        (sum, None)
+                    } else {
+                        let sum = summarize_lineage_epoch(
+                            chunks[i],
+                            cfg.id_bits,
+                            &bases[i],
+                            cfg.capture_sinks,
+                        );
+                        let deps = snaps.as_ref().map(|snaps| {
+                            summarize_dep_epoch(
+                                chunks[i],
+                                snaps[i].clone(),
+                                chunks[i][0].step,
+                                mem_words,
+                            )
+                        });
+                        (sum, deps)
+                    }
+                }));
+                nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if let Ok(slot) = res {
+                    let _ = summaries[i].set(slot);
+                }
+            });
+        }
+    });
+
+    let mut recovery = RecoveryStats {
+        faults_injected: fired.load(Ordering::Relaxed),
+        ..RecoveryStats::default()
+    };
+    let mut stats = LineageShardStats {
+        epochs: chunks.len() as u64,
+        workers: cfg.workers,
+        shard_nanos_total: worker_nanos.iter().map(|n| n.load(Ordering::Relaxed)).sum(),
+        max_worker_nanos: worker_nanos.iter().map(|n| n.load(Ordering::Relaxed)).max().unwrap_or(0),
+        ..LineageShardStats::default()
+    };
+    if R::ENABLED {
+        for n in &worker_nanos {
+            obs.observe(Metric::LsShardEpochNanos, n.load(Ordering::Relaxed));
+        }
+        obs.add(Metric::LsEpochs, stats.epochs);
+    }
+
+    // Composition: epoch order, inline recovery for invalid slots.
+    let mut engine = LineageEngine::new(BddBackend::new(cfg.id_bits));
+    let mut sinks = cfg.capture_sinks.then(SinkLog::default);
+    let mut composer = cfg.slice.then(dift_ddg::EpochDepComposer::new);
+    let t0 = Instant::now();
+    for (i, slot) in summaries.into_iter().enumerate() {
+        let want = chunks[i].len() as u64;
+        let valid = slot.into_inner().filter(|(sum, deps)| {
+            sum.instrs() == want
+                && (!cfg.slice || deps.as_ref().is_some_and(|d| d.instrs() == want))
+        });
+        let (sum, deps) = match valid {
+            Some(slot) => slot,
+            None => {
+                recovery.epochs_lost += 1;
+                recovery.degraded_epochs += 1;
+                recovery.epochs_recovered += 1;
+                let sum =
+                    summarize_lineage_epoch(chunks[i], cfg.id_bits, &bases[i], cfg.capture_sinks);
+                let deps = snaps.as_ref().map(|snaps| {
+                    summarize_dep_epoch(chunks[i], snaps[i].clone(), chunks[i][0].step, mem_words)
+                });
+                (sum, deps)
+            }
+        };
+        stats.arena_nodes += sum.arena_nodes() as u64;
+        sum.apply(&mut engine, sinks.as_mut());
+        if let (Some(c), Some(d)) = (composer.as_mut(), deps) {
+            let ms = c.absorb(d);
+            stats.chunks_moved += ms.chunks_moved as u64;
+            stats.chunks_merged += ms.chunks_merged as u64;
+        }
+    }
+    stats.compose_nanos = t0.elapsed().as_nanos() as u64;
+    if let Some(c) = &composer {
+        let cs = c.stats();
+        stats.cross_epoch_deps = cs.cross_epoch_records;
+        stats.unresolved_pendings = cs.unresolved_pendings;
+    }
+    if R::ENABLED {
+        obs.add(Metric::LsComposeNanos, stats.compose_nanos);
+        obs.add(Metric::LsArenaNodes, stats.arena_nodes);
+        obs.add(Metric::LsCrossEpochDeps, stats.cross_epoch_deps);
+        obs.add(Metric::LsEpochsRecovered, recovery.epochs_recovered);
+    }
+
+    let index = composer.map(|c| c.into_index());
+    (LineageShardRun { engine, sinks, index, stats, recovery }, obs)
+}
+
+/// [`shard_lineage_stream_obs`] without probes — the fault-injection
+/// test entry point.
+pub fn shard_lineage_stream_tolerant<F: FaultPlan>(
+    stream: &[StepEffects],
+    program: &Program,
+    mem_words: usize,
+    cfg: &LineageShardConfig,
+    faults: F,
+) -> LineageShardRun {
+    shard_lineage_stream_obs(stream, program, mem_words, cfg, faults, NoopRecorder).0
+}

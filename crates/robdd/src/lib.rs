@@ -233,9 +233,31 @@ impl BddManager {
     }
 
     /// Number of elements in the set.
+    ///
+    /// Exact for every cardinality representable in a `u64`. The one
+    /// unrepresentable cardinality — the universal set over `nvars =
+    /// 64`, which has exactly 2^64 elements — **saturates to
+    /// `u64::MAX`**. A returned `u64::MAX` is therefore ambiguous
+    /// between "2^64 − 1" and "2^64"; callers that must distinguish
+    /// can test `set == TRUE`. No other set is affected: at `nvars ≤
+    /// 63` every count fits, and at `nvars = 64` every proper subset
+    /// has at most 2^64 − 1 elements.
     pub fn count(&self, set: NodeId) -> u64 {
         let mut memo: HashMap<NodeId, u64> = HashMap::new();
         self.count_rec(set, 0, &mut memo)
+    }
+
+    /// `x << shift`, saturating to `u64::MAX` when the true value
+    /// overflows (shift past the leading zeros of a nonzero `x`).
+    #[inline]
+    fn shl_saturating(x: u64, shift: u32) -> u64 {
+        if x == 0 {
+            0
+        } else if shift > x.leading_zeros() {
+            u64::MAX
+        } else {
+            x << shift
+        }
     }
 
     fn count_rec(&self, node: NodeId, level: u32, memo: &mut HashMap<NodeId, u64>) -> u64 {
@@ -245,58 +267,129 @@ impl BddManager {
         let below = if node == FALSE {
             0
         } else if node == TRUE {
-            1u64.checked_shl(self.nvars - var).map(|_| 1).unwrap_or(1) // placeholder, handled by skip factor
+            // The terminal sits at the level past the last variable:
+            // exactly one (empty) assignment; the skip factor below
+            // accounts for every variable between `level` and it.
+            1
         } else if let Some(&c) = memo.get(&node) {
             c
         } else {
             let n = self.nodes[node as usize];
             let lo = self.count_rec(n.lo, n.var + 1, memo);
             let hi = self.count_rec(n.hi, n.var + 1, memo);
-            let c = lo + hi;
+            // Only the whole-universe count can exceed u64::MAX, and it
+            // does so by exactly one — saturation is the documented
+            // policy (see `count`).
+            let c = lo.saturating_add(hi);
             memo.insert(node, c);
             c
         };
-        // Terminal TRUE represents all assignments of remaining vars.
-        let below = if node == TRUE { 1u64 << (self.nvars - var).min(63) } else { below };
-        // Skipped variables between `level` and `var` double the count.
-        below << (var - level).min(63)
+        // Skipped variables between `level` and `var` double the count;
+        // the 2^64-element universal set saturates here.
+        Self::shl_saturating(below, var - level)
     }
 
-    /// Enumerate the set's elements (ascending). Intended for reporting
-    /// and tests; cost is proportional to the output size.
+    /// Enumerate the set's elements (ascending). **Test/validation
+    /// only**: cost is proportional to the output size, which for
+    /// near-universal sets at wide `nvars` is astronomical — reporting
+    /// paths must use [`elements_up_to`](Self::elements_up_to).
     pub fn elements(&self, set: NodeId) -> Vec<u64> {
+        self.elements_up_to(set, usize::MAX)
+    }
+
+    /// The set's `limit` smallest elements, ascending. Cost is
+    /// proportional to the *output* (O(limit · nvars)): the bounded
+    /// walk takes the 0-branch of every variable — explicit or skipped
+    /// — before the 1-branch and stops the moment `limit` elements are
+    /// emitted, so even `TRUE` over 64 variables returns in O(limit)
+    /// instead of recursing 2^64 times. This is the reporting-safe
+    /// enumeration; [`elements`](Self::elements) is the unbounded
+    /// test-only variant.
+    pub fn elements_up_to(&self, set: NodeId, limit: usize) -> Vec<u64> {
         let mut out = Vec::new();
-        self.enumerate(set, 0, 0, &mut out);
+        if limit > 0 {
+            self.enumerate_bounded(set, 0, 0, limit, &mut out);
+        }
         out
     }
 
-    fn enumerate(&self, node: NodeId, level: u32, prefix: u64, out: &mut Vec<u64>) {
+    /// Ascending bounded enumeration; returns true when `limit` was
+    /// reached (callers short-circuit). Every non-`FALSE` node has at
+    /// least one path to `TRUE` (hash-consing collapses dead
+    /// branches), so each visit is charged to an emitted element and
+    /// total work stays O(output · nvars).
+    fn enumerate_bounded(
+        &self,
+        node: NodeId,
+        level: u32,
+        prefix: u64,
+        limit: usize,
+        out: &mut Vec<u64>,
+    ) -> bool {
         if node == FALSE {
-            return;
+            return false;
+        }
+        if level == self.nvars {
+            debug_assert_eq!(node, TRUE);
+            out.push(prefix);
+            return out.len() >= limit;
         }
         let var = self.var(node);
-        // Expand skipped variables (both assignments reach `node`).
         if var > level {
-            self.enumerate_skip(node, level, var, prefix, out);
-            return;
-        }
-        if node == TRUE {
-            debug_assert_eq!(level, self.nvars);
-            out.push(prefix);
-            return;
+            // Skipped variable: both assignments reach `node`; 0 first
+            // keeps the output ascending.
+            return self.enumerate_bounded(node, level + 1, prefix << 1, limit, out)
+                || self.enumerate_bounded(node, level + 1, (prefix << 1) | 1, limit, out);
         }
         let n = self.nodes[node as usize];
-        self.enumerate(n.lo, level + 1, prefix << 1, out);
-        self.enumerate(n.hi, level + 1, (prefix << 1) | 1, out);
+        self.enumerate_bounded(n.lo, level + 1, prefix << 1, limit, out)
+            || self.enumerate_bounded(n.hi, level + 1, (prefix << 1) | 1, limit, out)
     }
 
-    fn enumerate_skip(&self, node: NodeId, level: u32, var: u32, prefix: u64, out: &mut Vec<u64>) {
-        if level == var {
-            self.enumerate(node, level, prefix, out);
-            return;
+    /// Rewrite sets owned by another manager (over the same variable
+    /// universe) into this one, returning the translated `roots` in
+    /// order. This is the shard-merge primitive: each helper shard
+    /// builds lineage in a private arena, and composition absorbs the
+    /// arena's live roots into the primary manager.
+    ///
+    /// The walk visits `other`'s reachable nodes in ascending id order
+    /// — which is bottom-up, because `mk` only ever references
+    /// already-built children — and rebuilds each through this
+    /// manager's own [hash-consing]. Canonicity is therefore
+    /// preserved: an absorbed set gets **the same node id** a serial
+    /// build of the same set in this manager would produce, so merged
+    /// sets stay pointer-comparable against serially-built ones. Cost
+    /// is O(nodes reachable from `roots`) in `other`, independent of
+    /// set cardinality.
+    ///
+    /// [hash-consing]: #method.node_count
+    pub fn absorb(&mut self, other: &BddManager, roots: &[NodeId]) -> Vec<NodeId> {
+        assert_eq!(self.nvars, other.nvars, "managers must share the variable universe");
+        let mut reach = vec![false; other.nodes.len()];
+        let mut stack: Vec<NodeId> = roots.iter().copied().filter(|&r| r > TRUE).collect();
+        while let Some(n) = stack.pop() {
+            if reach[n as usize] {
+                continue;
+            }
+            reach[n as usize] = true;
+            let node = other.nodes[n as usize];
+            if node.lo > TRUE {
+                stack.push(node.lo);
+            }
+            if node.hi > TRUE {
+                stack.push(node.hi);
+            }
         }
-        self.enumerate_skip(node, level + 1, var, prefix << 1, out);
-        self.enumerate_skip(node, level + 1, var, (prefix << 1) | 1, out);
+        // Identity start covers the terminals (0 → 0, 1 → 1).
+        let mut map: Vec<NodeId> = (0..other.nodes.len() as NodeId).collect();
+        for id in 2..other.nodes.len() {
+            if !reach[id] {
+                continue;
+            }
+            let n = other.nodes[id];
+            map[id] = self.mk(n.var, map[n.lo as usize], map[n.hi as usize]);
+        }
+        roots.iter().map(|&r| map[r as usize]).collect()
     }
 
     /// Total nodes allocated by the manager (shared across all sets).
@@ -457,6 +550,115 @@ mod tests {
         assert_eq!(m.union(ab, ab), ab);
         assert_eq!(m.count(ab), 13);
     }
+
+    #[test]
+    fn count_universal_set_at_64_vars_saturates() {
+        // Regression: the 2^64-element universal set used to miscount
+        // (placeholder expression + `.min(63)` shift clamps). Policy:
+        // it saturates to u64::MAX; everything smaller is exact.
+        let mut m = BddManager::new(64);
+        let all = m.range(0, u64::MAX);
+        assert_eq!(all, TRUE);
+        assert_eq!(m.count(all), u64::MAX);
+    }
+
+    #[test]
+    fn count_near_universal_sets_at_64_vars_exact() {
+        let mut m = BddManager::new(64);
+        let all = m.range(0, u64::MAX);
+        // 2^64 − 1 elements: exactly representable, must be exact.
+        for victim in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            let v = m.singleton(victim);
+            let d = m.difference(all, v);
+            assert_eq!(m.count(d), u64::MAX, "universe minus {victim}");
+            assert!(!m.contains(d, victim));
+        }
+        // 2^64 − 2 elements.
+        let a = m.singleton(0);
+        let b = m.singleton(u64::MAX);
+        let two = m.union(a, b);
+        let d = m.difference(all, two);
+        assert_eq!(m.count(d), u64::MAX - 1);
+        // Exactly half the universe (top bit set): 2^63 fits exactly.
+        let top = m.range(1 << 63, u64::MAX);
+        assert_eq!(m.count(top), 1 << 63);
+    }
+
+    #[test]
+    fn count_wide_ranges_exact() {
+        let mut m = BddManager::new(64);
+        for (lo, hi) in
+            [(0u64, 0u64), (0, 1 << 40), (u64::MAX - 5, u64::MAX), (1 << 20, (1 << 52) + 17)]
+        {
+            let r = m.range(lo, hi);
+            assert_eq!(m.count(r), hi - lo + 1, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn elements_up_to_is_bounded_on_huge_sets() {
+        // Regression: `elements`/`enumerate_skip` recursed 2^(gap) times
+        // across skipped-variable gaps, so TRUE at 64 vars hung. The
+        // bounded walk's cost is proportional to the output.
+        let mut m = BddManager::new(64);
+        let all = m.range(0, u64::MAX);
+        assert_eq!(m.elements_up_to(all, 5), vec![0, 1, 2, 3, 4]);
+        let v = m.singleton(2);
+        let holey = m.difference(all, v);
+        assert_eq!(m.elements_up_to(holey, 4), vec![0, 1, 3, 4]);
+        assert!(m.elements_up_to(all, 0).is_empty());
+        // High elements force long skipped prefixes on the way down.
+        let hi = m.range(u64::MAX - 2, u64::MAX);
+        let s = m.union(v, hi);
+        assert_eq!(m.elements_up_to(s, 8), vec![2, u64::MAX - 2, u64::MAX - 1, u64::MAX]);
+    }
+
+    #[test]
+    fn elements_up_to_matches_elements_prefix() {
+        let mut m = BddManager::new(16);
+        let mut s = m.empty();
+        for v in [9u64, 4, 1000, 77, 3, 500] {
+            s = m.insert(s, v);
+        }
+        let full = m.elements(s);
+        for k in 0..=full.len() + 1 {
+            assert_eq!(m.elements_up_to(s, k), full[..k.min(full.len())].to_vec());
+        }
+    }
+
+    #[test]
+    fn absorb_preserves_canonicity() {
+        // Build the same sets in a private arena and serially in the
+        // primary; absorbing the arena must land on identical node ids.
+        let mut primary = BddManager::new(16);
+        let pre = primary.range(100, 131); // shared structure pre-exists
+        let mut arena = BddManager::new(16);
+        let a = arena.range(100, 131);
+        let s = arena.singleton(7);
+        let u = arena.union(a, s);
+        let moved = primary.absorb(&arena, &[a, s, u, FALSE, TRUE]);
+        assert_eq!(moved[0], pre, "equal sets are pointer-equal after absorb");
+        let serial_s = primary.singleton(7);
+        let serial_u = primary.union(pre, serial_s);
+        assert_eq!(moved[1], serial_s);
+        assert_eq!(moved[2], serial_u);
+        assert_eq!(moved[3], FALSE);
+        assert_eq!(moved[4], TRUE);
+        assert_eq!(primary.elements(moved[2]), arena.elements(u));
+    }
+
+    #[test]
+    fn absorb_only_copies_reachable_nodes() {
+        let mut arena = BddManager::new(16);
+        let _garbage = arena.range(0, 4095); // dead in the arena
+        let live = arena.singleton(9);
+        let mut primary = BddManager::new(16);
+        let before = primary.node_count();
+        let moved = primary.absorb(&arena, &[live]);
+        // Only the singleton chain (≤ nvars nodes) crossed over.
+        assert!(primary.node_count() - before <= 16);
+        assert_eq!(primary.elements(moved[0]), vec![9]);
+    }
 }
 
 #[cfg(test)]
@@ -538,6 +740,42 @@ mod proptests {
             let r = m.range(lo, hi);
             let want: Vec<u64> = (lo..=hi).collect();
             prop_assert_eq!(m.elements(r), want);
+        }
+
+        #[test]
+        fn count_matches_elements_at_wide_widths(nvars in 32u32..65,
+                                                 vals in proptest::collection::vec(0u64..u64::MAX, 0..40)) {
+            // Regression for the count_rec shift clamps: at widths past
+            // 32 the old `.min(63)` arithmetic could misweigh skipped
+            // variables. Count must agree with exact enumeration.
+            let mut m = BddManager::new(nvars);
+            let mask = if nvars == 64 { u64::MAX } else { (1u64 << nvars) - 1 };
+            let vals: Vec<u64> = vals.iter().map(|v| v & mask).collect();
+            let mut s = m.empty();
+            for &v in &vals { s = m.insert(s, v); }
+            let want = naive(&vals);
+            prop_assert_eq!(m.count(s) as usize, want.len());
+            let want: Vec<u64> = want.into_iter().collect();
+            prop_assert_eq!(m.elements(s), want.clone());
+            prop_assert_eq!(m.elements_up_to(s, want.len() + 3), want);
+        }
+
+        #[test]
+        fn absorb_matches_serial_build(nvars in 8u32..65,
+                                       pre in proptest::collection::vec(0u64..u64::MAX, 0..25),
+                                       vals in proptest::collection::vec(0u64..u64::MAX, 0..25)) {
+            let mask = if nvars == 64 { u64::MAX } else { (1u64 << nvars) - 1 };
+            let mut primary = BddManager::new(nvars);
+            let mut spre = primary.empty();
+            for &v in &pre { spre = primary.insert(spre, v & mask); }
+            let mut arena = BddManager::new(nvars);
+            let mut sa = arena.empty();
+            for &v in &vals { sa = arena.insert(sa, v & mask); }
+            let moved = primary.absorb(&arena, &[sa])[0];
+            // Identical to the set built serially in the primary.
+            let mut serial = primary.empty();
+            for &v in &vals { serial = primary.insert(serial, v & mask); }
+            prop_assert_eq!(moved, serial);
         }
     }
 }

@@ -47,6 +47,23 @@ pub struct SinkObservations {
 }
 
 impl SinkObservations {
+    /// Observations from an epoch-sharded lineage run
+    /// (`dift_multicore::shard_lineage_stream` with sink capture on):
+    /// the shards' composed [`SinkLog`] carries the same captures the
+    /// serial [`SinkObserver`] would have made, in the same order;
+    /// `input_channels` comes from the composed engine. The resulting
+    /// events and policy outcomes are byte-identical to the serial path.
+    ///
+    /// [`SinkLog`]: dift_lineage::SinkLog
+    pub fn from_sharded(log: dift_lineage::SinkLog, input_channels: Vec<u16>) -> SinkObservations {
+        SinkObservations {
+            addr_lineage: log.addr_lineage,
+            stores: log.stores,
+            outputs: log.outputs,
+            input_channels,
+        }
+    }
+
     /// Distinct channels behind a lineage set, sorted.
     pub fn channels_of(&self, lineage: &[u64]) -> Vec<u16> {
         let mut chs: Vec<u16> =
@@ -72,6 +89,13 @@ impl Default for SinkObserver {
     }
 }
 
+/// Hard ceiling on materialized sink-lineage sets: the full 16-bit
+/// input-id universe. Within the observer's id space this truncates
+/// nothing, so captures stay exact; it makes the enumeration cost of a
+/// sink event explicit (O(set), at most 64K) instead of trusting the
+/// set representation never to hold a wider universe.
+const MAX_SINK_SET: usize = 1 << 16;
+
 impl SinkObserver {
     /// Observer with the standard 16-bit input-id space (64K inputs).
     pub fn new() -> SinkObserver {
@@ -88,7 +112,7 @@ impl SinkObserver {
         // engine's checks see it (before this step's register write —
         // exact even when a load clobbers its own base register).
         if let Some(r) = fx.insn.addr_uses().as_slice().first() {
-            let elems = self.lineage.reg_elements(fx.tid, r.index());
+            let elems = self.lineage.reg_elements_up_to(fx.tid, r.index(), MAX_SINK_SET);
             if !elems.is_empty() {
                 self.obs.addr_lineage.insert(fx.step, elems);
             }
@@ -100,7 +124,7 @@ impl SinkObserver {
         // (for atomics that is union(value reg, old cell) — reading the
         // cell back is what makes this exact).
         if let Some((cell, _, _)) = fx.mem_write {
-            let elems = self.lineage.mem_elements(cell);
+            let elems = self.lineage.mem_elements_up_to(cell, MAX_SINK_SET);
             if !elems.is_empty() {
                 self.obs.stores.push((fx.step, fx.tid, fx.addr, cell, elems));
             }

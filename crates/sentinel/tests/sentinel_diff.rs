@@ -9,10 +9,10 @@
 
 use dift_dbi::{Engine, Tool};
 use dift_isa::{BinOp, BranchCond, Program, ProgramBuilder, Reg};
-use dift_multicore::{run_epoch_dift, EpochModel};
+use dift_multicore::{run_epoch_dift, shard_lineage_stream, EpochModel, LineageShardConfig};
 use dift_sentinel::{
-    apply_policy, combine_events, BoundaryPolicy, LineagePredicate, SinkClass, SinkObserver,
-    SourceSpec, TaintBoundary, Verdict,
+    apply_policy, combine_events, BoundaryPolicy, LineagePredicate, SinkClass, SinkObservations,
+    SinkObserver, SourceSpec, TaintBoundary, Verdict,
 };
 use dift_taint::{
     PcTaint, SummaryCacheConfig, SummaryCachedEngine, TaintAlert, TaintEngine, TaintPolicy,
@@ -258,5 +258,53 @@ proptest! {
         prop_assert_eq!(&e.alerts, &plain.alerts, "cached alert stream must agree");
         let via_cache = verdicts(&mut observer, &e.alerts, &e.output_labels);
         prop_assert_eq!(&via_cache, &baseline, "summary-cached sentinel outcome diverged");
+    }
+
+    /// The lineage pass itself sharded: observations composed from the
+    /// epoch-sharded `SinkLog` must reproduce the serial observer's
+    /// captures exactly — and the policy outcome stays byte-identical.
+    #[test]
+    fn sharded_lineage_observations_match_serial(
+        body in proptest::collection::vec(stmt(), 1..12),
+        sweeps in 2u8..7,
+        in0 in proptest::collection::vec(0u64..1000, 1..4),
+        in1 in proptest::collection::vec(0u64..1000, 1..4),
+        epoch_len in 3usize..24,
+        workers in 1usize..4,
+    ) {
+        let p = build(in0.len(), in1.len(), sweeps, &body);
+        let policy = TaintPolicy::default();
+        let mut cap = Capture::default();
+        let m = machine(&p, &in0, &in1);
+        let mem_words = m.mem_words();
+        Engine::new(m).run_tool(&mut cap);
+
+        let mut observer = SinkObserver::new();
+        for fx in &cap.fxs {
+            observer.process(fx);
+        }
+        let mut plain = TaintEngine::<PcTaint>::new(policy);
+        plain.pre_size(mem_words);
+        for fx in &cap.fxs {
+            plain.process(fx);
+        }
+        let baseline = verdicts(&mut observer, &plain.alerts, &plain.output_labels);
+
+        let mut cfg = LineageShardConfig::new(workers, epoch_len, 16);
+        cfg.capture_sinks = true;
+        let run = shard_lineage_stream(&cap.fxs, &p, mem_words, &cfg);
+        let sharded = SinkObservations::from_sharded(
+            run.sinks.expect("sink capture enabled"),
+            run.engine.input_channels().to_vec(),
+        );
+        let serial = observer.observations();
+        prop_assert_eq!(&sharded.addr_lineage, &serial.addr_lineage, "address lineage");
+        prop_assert_eq!(&sharded.stores, &serial.stores, "store captures");
+        prop_assert_eq!(&sharded.outputs, &serial.outputs, "output captures");
+        prop_assert_eq!(&sharded.input_channels, &serial.input_channels, "channel map");
+
+        let events = combine_events(&sharded, &plain.alerts, &plain.output_labels);
+        let outcome = apply_policy(&boundary(), events).canonical_json();
+        prop_assert_eq!(outcome, baseline, "sharded sentinel outcome diverged");
     }
 }
